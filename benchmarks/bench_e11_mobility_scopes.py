@@ -1,0 +1,24 @@
+"""Bench E11 — robot mobility scopes (§3.4)."""
+
+from conftest import run_once
+
+from dcrobot.experiments import e11_mobility_scopes
+
+
+def test_e11_mobility_scopes(benchmark):
+    result = run_once(benchmark, e11_mobility_scopes.run, quick=True)
+    print()
+    print(result.render())
+
+    points = dict(result.series)["p50_ttr_vs_units"]
+    hall_small, row_small, rack_small, rack_full = [
+        p50 for _units, p50 in points]
+
+    # Shape: with the same 3-unit budget, hall scope keeps repairs in
+    # minutes while narrow scopes fall back to day-scale humans for
+    # uncovered racks; full rack coverage restores minutes at a much
+    # larger unit count.
+    assert hall_small < 3600.0
+    assert row_small > 10 * hall_small
+    assert rack_full < 3600.0
+    assert points[-1][0] > points[0][0]  # full coverage needs more units

@@ -1,0 +1,24 @@
+"""Bench E12 — GPU-cluster goodput vs failure rate (§1)."""
+
+from conftest import run_once
+
+from dcrobot.experiments import e12_gpu_cluster
+
+
+def test_e12_gpu_cluster(benchmark):
+    result = run_once(benchmark, e12_gpu_cluster.run, quick=True)
+    print()
+    print(result.render())
+
+    l0 = dict(result.series)["goodput_vs_rate_L0"]
+    l3 = dict(result.series)["goodput_vs_rate_L3"]
+
+    # Shape: goodput decays with failure rate for both, but
+    # self-maintenance holds it far higher; at the top rate, the L0
+    # goodput loss is at least 3x the L3 loss.
+    assert l0[0][1] > l0[-1][1], "L0 goodput decays with rate"
+    for (_s, goodput_l0), (_s2, goodput_l3) in zip(l0, l3):
+        assert goodput_l3 >= goodput_l0
+    loss_l0 = 1.0 - l0[-1][1]
+    loss_l3 = 1.0 - l3[-1][1]
+    assert loss_l0 > 3.0 * loss_l3

@@ -1,0 +1,24 @@
+"""Bench E1 — service window: human ticketing vs robots (§2)."""
+
+from conftest import run_once
+
+from dcrobot.experiments import e01_service_window
+
+
+def test_e1_service_window(benchmark):
+    result = run_once(benchmark, e01_service_window.run, quick=True)
+    print()
+    print(result.render())
+
+    # Shape: robot median service window is minutes; human is hours+;
+    # speedup at least an order of magnitude.
+    human = dict(result.series)["ttr_cdf_L0"]
+    robot = dict(result.series)["ttr_cdf_L3"]
+
+    def median(points):
+        return points[len(points) // 2][0]
+
+    human_p50, robot_p50 = median(human), median(robot)
+    assert robot_p50 < 3600.0, "robot median must be under an hour"
+    assert human_p50 > 4 * 3600.0, "human median must be hours-to-days"
+    assert human_p50 / robot_p50 > 10.0

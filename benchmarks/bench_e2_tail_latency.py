@@ -1,0 +1,21 @@
+"""Bench E2 — tail latency under a flapping link (§1)."""
+
+from conftest import run_once
+
+from dcrobot.experiments import e02_tail_latency
+
+
+def test_e2_tail_latency(benchmark):
+    result = run_once(benchmark, e02_tail_latency.run, quick=True)
+    print()
+    print(result.render())
+
+    series = dict(result.series)
+    p99_none = series["fct_p99_no_repair"][0][1]
+    p99_human = series["fct_p99_L0_humans"][0][1]
+    p99_robot = series["fct_p99_L3_robots"][0][1]
+
+    # Shape: unrepaired flapping poisons the tail most; humans restore
+    # it eventually; robots keep p99 lowest.
+    assert p99_none > p99_human > p99_robot
+    assert p99_none / p99_robot > 5.0

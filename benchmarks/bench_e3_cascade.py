@@ -1,0 +1,21 @@
+"""Bench E3 — repair amplification vs contact profile (§1/§2)."""
+
+from conftest import run_once
+
+from dcrobot.experiments import e03_cascade
+
+
+def test_e3_cascade(benchmark):
+    result = run_once(benchmark, e03_cascade.run, quick=True)
+    print()
+    print(result.render())
+
+    human = dict(result.series)["amplification_human"]
+    robot = dict(result.series)["amplification_robot"]
+
+    # Shape: human amplification grows with bundle density and exceeds
+    # the robot's at every density; robot stays near 1.0.
+    assert human[-1][1] > human[0][1], "human ampl. grows with density"
+    for (_d, human_factor), (_d2, robot_factor) in zip(human, robot):
+        assert human_factor > robot_factor
+    assert all(factor < 1.3 for _d, factor in robot)

@@ -1,0 +1,24 @@
+"""Bench E4 — redundancy needed per maintenance mode (§2)."""
+
+from conftest import run_once
+
+from dcrobot.experiments import e04_rightprovisioning
+
+
+def test_e4_rightprovisioning(benchmark):
+    result = run_once(benchmark, e04_rightprovisioning.run, quick=True)
+    print()
+    print(result.render())
+
+    l0 = dict(result.series)["sla_vs_redundancy_L0"]
+    l3 = dict(result.series)["sla_vs_redundancy_L3"]
+
+    # Shape: at every redundancy level robots meet or beat humans, and
+    # robots reach a given target at no-more redundancy than humans.
+    for (_r, avail_l0), (_r2, avail_l3) in zip(l0, l3):
+        assert avail_l3 >= avail_l0
+    target = 0.999
+    first_l0 = next((r for r, a in l0 if a >= target), 99)
+    first_l3 = next((r for r, a in l3 if a >= target), 99)
+    assert first_l3 <= first_l0
+    assert first_l3 <= 2, "robots should right-provision at r<=2"

@@ -1,0 +1,20 @@
+"""Bench E5 — proactive reseat sweeps (§4)."""
+
+from conftest import run_once
+
+from dcrobot.experiments import e05_proactive
+
+
+def test_e5_proactive(benchmark):
+    result = run_once(benchmark, e05_proactive.run, quick=True)
+    print()
+    print(result.render())
+
+    points = dict(result.series)["incidents_vs_trigger"]
+    by_trigger = {trigger: incidents for trigger, incidents in points}
+    reactive = by_trigger[0]  # trigger 0 encodes "reactive only"
+
+    # Shape: some sweep setting reduces reactive incident volume below
+    # the purely reactive baseline.
+    assert min(incidents for trigger, incidents in points
+               if trigger != 0) < reactive

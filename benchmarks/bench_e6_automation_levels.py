@@ -1,0 +1,22 @@
+"""Bench E6 — automation levels 0-4 (§2.1)."""
+
+from conftest import run_once
+
+from dcrobot.experiments import e06_automation_levels
+
+
+def test_e6_automation_levels(benchmark):
+    result = run_once(benchmark, e06_automation_levels.run, quick=True)
+    print()
+    print(result.render())
+
+    p50 = dict(dict(result.series)["p50_ttr_by_level"])
+
+    # Shape: the service-window cliff appears when robots start
+    # executing (L2), and L3/L4 stay in the minutes regime.
+    assert p50[0] > 10 * p50[2], "L2 must be >10x faster than L0"
+    assert p50[3] <= p50[2]
+    assert p50[4] < 3600.0
+    # L0 and L1 share human dispatch latency (assist changes quality,
+    # not logistics).
+    assert abs(p50[0] - p50[1]) / p50[0] < 0.5

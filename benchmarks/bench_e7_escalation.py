@@ -1,0 +1,20 @@
+"""Bench E7 — escalation ladder resolution stages (§3.2)."""
+
+from conftest import run_once
+
+from dcrobot.experiments import e07_escalation
+
+
+def test_e7_escalation(benchmark):
+    result = run_once(benchmark, e07_escalation.run, quick=True)
+    print()
+    print(result.render())
+
+    shares = dict(dict(result.series)["resolution_share"])
+
+    # Shape (§3.2): reseat resolves the majority ("surprisingly
+    # effective"); later stages resolve progressively less; switchgear
+    # replacement is rare.
+    assert shares[0] > 0.5, "reseat must resolve the majority"
+    assert shares[0] > shares[2] > 0.0
+    assert shares[4] < 0.1

@@ -1,0 +1,23 @@
+"""Bench E8 — robot operation timing and fleet throughput (§3.3)."""
+
+from conftest import run_once
+
+from dcrobot.experiments import e08_robot_ops
+
+
+def test_e8_robot_ops(benchmark):
+    result = run_once(benchmark, e08_robot_ops.run, quick=True)
+    print()
+    print(result.render())
+
+    # Shape: the paper's headline timings hold.
+    note = result.notes[0]
+    inspection_seconds = float(note.split(":")[1].split("s")[0])
+    assert inspection_seconds < 30.0, "8-core inspection < 30 s (§3.3.2)"
+
+    throughput = dict(result.series)["ops_per_hour_vs_fleet"]
+    # Throughput scales near-linearly with fleet size.
+    (one, rate_one), *_rest, (four, rate_four) = throughput
+    assert rate_four > 3.0 * rate_one
+    # Single-unit rate implies a full reseat takes "a few minutes".
+    assert 5.0 < rate_one < 60.0

@@ -1,0 +1,21 @@
+"""Bench E9 — the self-maintainability metric (§4)."""
+
+from conftest import run_once
+
+from dcrobot.experiments import e09_topology_smi
+
+
+def test_e9_topology_smi(benchmark):
+    result = run_once(benchmark, e09_topology_smi.run, quick=True)
+    print()
+    print(result.render())
+
+    points = dict(result.series)["smi_vs_availability"]
+
+    # Shape: the metric is computable and discriminates between designs
+    # (spread > 0.05 across topologies), and every sim completed.
+    smis = [smi for smi, _availability in points]
+    assert len(points) == 4
+    assert max(smis) - min(smis) > 0.05
+    assert all(0.0 < smi <= 1.0 for smi in smis)
+    assert all(availability > 0.9 for _smi, availability in points)

@@ -1,0 +1,16 @@
+"""Shared benchmark helpers.
+
+Every bench runs one paper experiment end to end (quick scale) through
+pytest-benchmark with a single round — these are macro-benchmarks of
+whole simulated campaigns, not micro-benchmarks — and then asserts the
+qualitative *shape* the paper claims, so a bench run doubles as a
+reproduction check.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,63 @@
+"""Scenario: size the robot fleet for a hall (§3.4).
+
+The planner models the fleet as an M/M/c queue over the hall's fault
+arrival rate and robot service times, recommends the smallest fleet
+meeting a repair-time target, and this script then *validates* the
+recommendation with a full closed-loop simulation.
+
+Run:  python examples/fleet_planning.py
+"""
+
+import numpy as np
+
+from dcrobot.core import AutomationLevel, FleetPlanner
+from dcrobot.experiments import WorldConfig, run_world
+from dcrobot.failures import FailureRates
+from dcrobot.metrics import format_duration
+from dcrobot.topology import build_fattree
+
+FAILURE_SCALE = 30.0  # a hall having a bad quarter
+TARGET_SECONDS = 1800.0
+
+
+def main() -> None:
+    topo = build_fattree(k=4, rng=np.random.default_rng(1))
+    rates = FailureRates().scaled(FAILURE_SCALE)
+    planner = FleetPlanner(topo, rates=rates)
+
+    rate_per_hour = planner.incident_rate_per_second() * 3600.0
+    print(f"hall: {topo.name}, {topo.link_count} links, "
+          f"{rate_per_hour:.2f} robot-serviceable incidents/hour")
+    print(f"target: p50 repair < {format_duration(TARGET_SECONDS)}\n")
+
+    print("fleet  predicted repair  utilization")
+    for manipulators in (1, 2, 4, 8):
+        plan = planner.predict(manipulators)
+        predicted = (format_duration(plan.predicted_repair_seconds)
+                     if plan.predicted_repair_seconds != float("inf")
+                     else "saturated")
+        print(f"{manipulators:>5}  {predicted:>16}  "
+              f"{plan.utilization:>10.1%}")
+
+    plan = planner.recommend(target_repair_seconds=TARGET_SECONDS)
+    print(f"\nrecommendation: {plan.manipulators} manipulators + "
+          f"{plan.cleaners} cleaners "
+          f"(predicted {format_duration(plan.predicted_repair_seconds)})")
+
+    print("\nvalidating with a 20-day closed-loop simulation...")
+    result = run_world(WorldConfig(
+        horizon_days=20.0, seed=2, failure_scale=FAILURE_SCALE,
+        level=AutomationLevel.L3_HIGH_AUTOMATION,
+        fleet_config=plan.to_fleet_config()))
+    stats = result.repair_stats()
+    print(f"simulated: {stats.count} incidents, "
+          f"p50 {format_duration(stats.p50)}, "
+          f"p95 {format_duration(stats.p95)}")
+    print("(the simulated p50 adds detection + verification overheads "
+          "the queueing model excludes; the p95 tail is cable/switch "
+          "replacements that fall back to day-scale technicians at "
+          "Level 3)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Scenario: learn to fix links before they fail (§4).
+
+Phase 1: run an unmaintained fabric and collect labelled telemetry
+(flap counters, DDM optical margins, age, ...).  Phase 2: train a
+from-scratch logistic regression on it.  Phase 3: plug the model into a
+PredictivePolicy and compare incidents against a reactive world.
+
+Run:  python examples/predictive_maintenance.py
+"""
+
+import numpy as np
+
+from dcrobot.core import AutomationLevel, PredictivePolicy
+from dcrobot.experiments import WorldConfig, build_world
+from dcrobot.failures import Environment
+from dcrobot.ml import (
+    FEATURE_NAMES,
+    DatasetCollector,
+    FeatureExtractor,
+    LogisticRegression,
+    evaluate,
+    train_test_split,
+)
+
+DAY = 86400.0
+
+
+def collect(seed=0, days=30.0):
+    world = build_world(WorldConfig(
+        horizon_days=days, seed=seed, policy="none",
+        dust_rate_per_day=0.02, aging_rate_per_day=0.01))
+    extractor = FeatureExtractor(world.environment,
+                                 rng=np.random.default_rng(seed + 1))
+    collector = DatasetCollector(world.fabric, extractor,
+                                 snapshot_interval=6 * 3600.0,
+                                 horizon_seconds=48 * 3600.0)
+    world.sim.process(collector.run(world.sim))
+    world.sim.run(until=days * DAY)
+    return collector.build(sim_end=days * DAY)
+
+
+def main() -> None:
+    print("phase 1: collecting telemetry from an unmaintained fabric...")
+    dataset = collect()
+    print(f"  {len(dataset)} snapshots, "
+          f"{dataset.positive_fraction:.0%} fail within 48h")
+
+    print("phase 2: training logistic regression "
+          f"on {len(FEATURE_NAMES)} features...")
+    train_x, train_y, test_x, test_y = train_test_split(
+        dataset.features, dataset.labels,
+        rng=np.random.default_rng(42))
+    model = LogisticRegression(epochs=600).fit(train_x, train_y)
+    report = evaluate(test_y, model.predict_proba(test_x))
+    print(f"  held-out: precision {report.precision:.2f}, "
+          f"recall {report.recall:.2f}, AUC {report.auc:.2f}")
+    ranked = sorted(zip(FEATURE_NAMES, model.weights),
+                    key=lambda pair: -abs(pair[1]))
+    print("  top signals:", ", ".join(
+        f"{name} ({weight:+.2f})" for name, weight in ranked[:3]))
+
+    print("phase 3: deploying the model as a maintenance policy...")
+    results = {}
+    for label, policy in (
+            ("reactive", "reactive"),
+            ("predictive", lambda fabric: PredictivePolicy(
+                fabric,
+                scorer=lambda link, now: float(model.predict_proba(
+                    FeatureExtractor(
+                        Environment(),
+                        rng=np.random.default_rng(5)).extract(link, now))),
+                threshold=0.5))):
+        world = build_world(WorldConfig(
+            horizon_days=20.0, seed=99,
+            level=AutomationLevel.L3_HIGH_AUTOMATION, policy=policy,
+            failure_scale=0.5, dust_rate_per_day=0.02,
+            aging_rate_per_day=0.01))
+        world.sim.run(until=20.0 * DAY)
+        controller = world.controller
+        results[label] = (len(controller.closed_incidents)
+                          + len(controller.open_incidents)
+                          + len(controller.unresolved_incidents),
+                          len(controller.proactive_outcomes),
+                          world.availability().mean)
+
+    for label, (incidents, proactive, availability) in results.items():
+        print(f"  {label:10s} incidents={incidents:3d} "
+              f"proactive-ops={proactive:3d} "
+              f"availability={availability:.6f}")
+    saved = results["reactive"][0] - results["predictive"][0]
+    print(f"\npredictive maintenance avoided {saved} incidents "
+          f"({saved / max(results['reactive'][0], 1):.0%} of the "
+          f"reactive ticket volume)")
+
+
+if __name__ == "__main__":
+    main()

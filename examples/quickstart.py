@@ -1,0 +1,78 @@
+"""Quickstart: watch a self-maintaining network fix itself.
+
+Builds a small fat-tree, wires up the full self-maintenance stack at
+automation Level 3 (autonomous robots with a technician fallback),
+breaks a couple of links, and narrates what the control plane does.
+
+Run:  python examples/quickstart.py
+"""
+
+from dcrobot.core import AutomationLevel, MaintenanceServiceAPI
+from dcrobot.experiments import WorldConfig, build_world
+from dcrobot.metrics import format_duration
+from dcrobot.network import DegradationKind
+
+DAY = 86400.0
+
+
+def main() -> None:
+    # One call assembles topology, failure physics, telemetry, robots,
+    # technicians, and the controller.  failure_scale=0 means the only
+    # faults are the ones we inject by hand below.
+    world = build_world(WorldConfig(
+        horizon_days=3.0,
+        level=AutomationLevel.L3_HIGH_AUTOMATION,
+        failure_scale=0.0, dust_rate_per_day=0.0,
+        aging_rate_per_day=0.0, seed=7))
+    sim, fabric = world.sim, world.fabric
+    api = MaintenanceServiceAPI(world.controller)
+
+    links = list(fabric.links.values())
+    wedged = links[0]                     # firmware wedge -> reseat
+    dirty = next(link for link in links if link.cable.cleanable)
+
+    def saboteur():
+        yield sim.timeout(2 * 3600.0)
+        print(f"[{format_duration(sim.now)}] FAULT: firmware wedge "
+              f"on {wedged.id}")
+        world.injector.inject(DegradationKind.FIRMWARE_STUCK, wedged,
+                              sim.now)
+        yield sim.timeout(6 * 3600.0)
+        print(f"[{format_duration(sim.now)}] FAULT: contaminated "
+              f"end-face on {dirty.id} "
+              f"({dirty.cable.core_count}-core "
+              f"{dirty.cable.kind.value.upper()})")
+        world.injector.inject(DegradationKind.CONTAMINATION, dirty,
+                              sim.now)
+        world.injector.inject(DegradationKind.CONTAMINATION, dirty,
+                              sim.now)
+
+    sim.process(saboteur())
+    sim.run(until=3 * DAY)
+
+    print()
+    print("=== what the control plane did ===")
+    for incident in world.controller.closed_incidents:
+        actions = " -> ".join(action.value
+                              for _t, action in incident.attempt_history)
+        print(f"{incident.link_id}: detected as {incident.symptom}, "
+              f"repaired via [{actions}] in "
+              f"{format_duration(incident.time_to_repair)}")
+
+    status = api.status()
+    print()
+    print(f"incidents closed: {status.closed_incidents}, "
+          f"open: {status.open_incidents}")
+    print(f"mean service window: "
+          f"{format_duration(status.mean_time_to_repair_seconds)}")
+    print(f"links down right now: {status.links_down}"
+          f"/{status.links_total}")
+    if world.fleet is not None:
+        for robot in world.fleet.manipulators + world.fleet.cleaners:
+            if robot.operations_done:
+                print(f"{robot.id}: {robot.operations_done} operations, "
+                      f"{format_duration(robot.busy_seconds)} busy")
+
+
+if __name__ == "__main__":
+    main()

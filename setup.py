@@ -1,0 +1,16 @@
+"""Setuptools entry point (legacy path for offline editable installs)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="dcrobot",
+    version="0.1.0",
+    description=(
+        "Self-maintaining networked systems: simulation and control plane "
+        "for datacenter maintenance robotics (HotNets '24 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "networkx"],
+)

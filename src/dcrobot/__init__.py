@@ -1,0 +1,24 @@
+"""dcrobot — self-maintaining networked systems.
+
+A simulation and control-plane library reproducing "Self-maintaining
+[networked] systems: The rise of datacenter robotics!" (HotNets '24).
+
+The package is layered bottom-up:
+
+* :mod:`dcrobot.sim` — discrete-event kernel,
+* :mod:`dcrobot.network` / :mod:`dcrobot.topology` — physical inventory
+  and datacenter fabrics,
+* :mod:`dcrobot.failures` / :mod:`dcrobot.traffic` /
+  :mod:`dcrobot.telemetry` — failure physics, traffic, and monitoring,
+* :mod:`dcrobot.humans` / :mod:`dcrobot.robots` — the two maintenance
+  executors (technician workforce and modular robot fleet),
+* :mod:`dcrobot.core` — the self-maintenance control plane (the paper's
+  primary contribution),
+* :mod:`dcrobot.ml`, :mod:`dcrobot.metrics`,
+  :mod:`dcrobot.experiments` — prediction, measurement, and the
+  paper-experiment harness.
+"""
+
+from dcrobot._version import __version__
+
+__all__ = ["__version__"]

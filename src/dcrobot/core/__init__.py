@@ -1,0 +1,103 @@
+"""The self-maintenance control plane (S9) — the paper's core
+contribution: work orders, repair physics, escalation, policies,
+impact-aware scheduling, automation levels, controller, service API."""
+
+from dcrobot.core.actions import (
+    Priority,
+    RepairAction,
+    RepairOutcome,
+    WorkOrder,
+)
+from dcrobot.core.api import MaintenanceServiceAPI, MaintenanceStatus
+from dcrobot.core.audit import (
+    AuditLog,
+    AuditRecord,
+    AuthorizationError,
+    CapabilityToken,
+    MaintenanceAuthorizer,
+)
+from dcrobot.core.automation import (
+    LEVEL_SPECS,
+    AutomationLevel,
+    LevelSpec,
+    spec_for,
+)
+from dcrobot.core.controller import (
+    ControllerConfig,
+    Incident,
+    MaintenanceController,
+)
+from dcrobot.core.escalation import (
+    DEFAULT_LADDER,
+    EscalationConfig,
+    EscalationLadder,
+)
+from dcrobot.core.policy import (
+    NullPolicy,
+    PlanRequest,
+    PredictivePolicy,
+    ProactivePolicy,
+    ReactivePolicy,
+)
+from dcrobot.core.repairs import (
+    ASSISTED_TECHNICIAN_SKILL,
+    ROBOT_SKILL,
+    TECHNICIAN_SKILL,
+    RepairPhysics,
+    SkillProfile,
+)
+from dcrobot.core.planner import FleetPlan, FleetPlanner, erlang_c
+from dcrobot.core.reconfigure import (
+    RewirePlan,
+    RewireReport,
+    RewireStep,
+    RoboticRewirer,
+    StepKind,
+    plan_rewiring,
+)
+from dcrobot.core.scheduler import ImpactAwareScheduler, SchedulerConfig
+
+__all__ = [
+    "RepairAction",
+    "Priority",
+    "WorkOrder",
+    "RepairOutcome",
+    "RepairPhysics",
+    "SkillProfile",
+    "TECHNICIAN_SKILL",
+    "ROBOT_SKILL",
+    "ASSISTED_TECHNICIAN_SKILL",
+    "EscalationLadder",
+    "EscalationConfig",
+    "DEFAULT_LADDER",
+    "ReactivePolicy",
+    "NullPolicy",
+    "ProactivePolicy",
+    "PredictivePolicy",
+    "PlanRequest",
+    "ImpactAwareScheduler",
+    "SchedulerConfig",
+    "AutomationLevel",
+    "LevelSpec",
+    "LEVEL_SPECS",
+    "spec_for",
+    "MaintenanceController",
+    "ControllerConfig",
+    "Incident",
+    "MaintenanceServiceAPI",
+    "MaintenanceStatus",
+    "AuditLog",
+    "AuditRecord",
+    "CapabilityToken",
+    "MaintenanceAuthorizer",
+    "AuthorizationError",
+    "FleetPlanner",
+    "FleetPlan",
+    "erlang_c",
+    "plan_rewiring",
+    "RewirePlan",
+    "RewireStep",
+    "RewireReport",
+    "RoboticRewirer",
+    "StepKind",
+]

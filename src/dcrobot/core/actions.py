@@ -1,0 +1,98 @@
+"""Maintenance actions, work orders, and repair outcomes.
+
+This is the shared vocabulary between the control plane and its two
+executor backends (technician workforce, robot fleet).  The action set
+is exactly the paper's §3.2 repair progression: reseat → clean →
+replace transceiver → replace cable → replace switchgear.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+from typing import List
+
+_ORDER_IDS = itertools.count()
+
+
+class RepairAction(enum.Enum):
+    """Physical repair operations, in escalation order."""
+
+    RESEAT = "reseat"
+    CLEAN = "clean"
+    REPLACE_TRANSCEIVER = "replace-transceiver"
+    REPLACE_CABLE = "replace-cable"
+    REPLACE_SWITCHGEAR = "replace-switchgear"
+
+    @property
+    def ladder_rank(self) -> int:
+        """Position in the default escalation ladder (0 = first tried)."""
+        return _LADDER_RANK[self]
+
+
+_LADDER_RANK = {
+    RepairAction.RESEAT: 0,
+    RepairAction.CLEAN: 1,
+    RepairAction.REPLACE_TRANSCEIVER: 2,
+    RepairAction.REPLACE_CABLE: 3,
+    RepairAction.REPLACE_SWITCHGEAR: 4,
+}
+
+
+class Priority(enum.Enum):
+    """Ticket/work-order priority (drives technician dispatch delay)."""
+
+    HIGH = 0
+    NORMAL = 1
+
+    def __lt__(self, other: "Priority") -> bool:
+        return self.value < other.value
+
+
+@dataclasses.dataclass
+class WorkOrder:
+    """One repair task issued by the control plane."""
+
+    link_id: str
+    action: RepairAction
+    created_at: float
+    priority: Priority = Priority.NORMAL
+    symptom: str = ""
+    #: Links the executor announces it may physically contact (§2's
+    #: pre-maintenance cable-touch report).
+    announced_touches: List[str] = dataclasses.field(default_factory=list)
+    order_id: int = dataclasses.field(
+        default_factory=lambda: next(_ORDER_IDS))
+
+    def __repr__(self) -> str:
+        return (f"<WorkOrder #{self.order_id} {self.action.value} "
+                f"{self.link_id} {self.priority.name}>")
+
+
+@dataclasses.dataclass
+class RepairOutcome:
+    """What actually happened when a work order was executed."""
+
+    order: WorkOrder
+    executor_id: str
+    started_at: float
+    finished_at: float
+    #: The action was physically completed (not: the link is healthy —
+    #: the controller verifies that separately via telemetry).
+    completed: bool
+    #: Executor gave up and needs a different capability (e.g. a robot
+    #: that cannot verify cleanliness "requests human support", §3.3.2).
+    needs_human: bool = False
+    notes: str = ""
+    #: Collateral damage of the physical contact, if any.
+    secondary_disturbed: int = 0
+    secondary_damaged: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def secondary_failures(self) -> int:
+        return self.secondary_disturbed + self.secondary_damaged

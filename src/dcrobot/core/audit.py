@@ -1,0 +1,164 @@
+"""Audit and authorization for the maintenance plane (§4 "Network
+security").
+
+"An exciting area is the development of robust, integrated security
+frameworks and advanced monitoring systems to protect against the
+complex and dynamic threats introduced by robotics and automation."
+
+A robot that can unplug any transceiver in the hall is an attack
+surface.  Two minimal defenses are provided:
+
+* :class:`MaintenanceAuthorizer` — capability tokens scoping which
+  principals may request which actions on which links; physical actions
+  above a token's ceiling are denied.
+* :class:`AuditLog` — an append-only, hash-chained record of every
+  authorization decision and physical action, so tampering with history
+  is detectable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+from typing import Dict, List, Optional, Sequence
+
+from dcrobot.core.actions import RepairAction
+
+_TOKEN_IDS = itertools.count()
+
+
+@dataclasses.dataclass(frozen=True)
+class CapabilityToken:
+    """Grants a principal a bounded set of maintenance powers."""
+
+    principal: str
+    allowed_actions: frozenset
+    #: Link-id prefixes the token covers; empty means all links.
+    link_scope: tuple = ()
+    expires_at: Optional[float] = None
+    token_id: int = dataclasses.field(
+        default_factory=lambda: next(_TOKEN_IDS))
+
+    def covers_link(self, link_id: str) -> bool:
+        if not self.link_scope:
+            return True
+        return any(link_id.startswith(prefix)
+                   for prefix in self.link_scope)
+
+    def valid_at(self, now: float) -> bool:
+        return self.expires_at is None or now < self.expires_at
+
+
+@dataclasses.dataclass(frozen=True)
+class AuditRecord:
+    """One entry in the hash chain."""
+
+    index: int
+    time: float
+    principal: str
+    action: str
+    link_id: str
+    allowed: bool
+    detail: str
+    previous_hash: str
+    entry_hash: str
+
+
+def _hash_entry(index: int, time: float, principal: str, action: str,
+                link_id: str, allowed: bool, detail: str,
+                previous_hash: str) -> str:
+    payload = (f"{index}|{time:.6f}|{principal}|{action}|{link_id}|"
+               f"{allowed}|{detail}|{previous_hash}")
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class AuditLog:
+    """Append-only hash-chained action log."""
+
+    GENESIS = "0" * 64
+
+    def __init__(self) -> None:
+        self.records: List[AuditRecord] = []
+
+    def append(self, time: float, principal: str, action: str,
+               link_id: str, allowed: bool, detail: str = "") -> AuditRecord:
+        previous = (self.records[-1].entry_hash if self.records
+                    else self.GENESIS)
+        index = len(self.records)
+        record = AuditRecord(
+            index=index, time=time, principal=principal, action=action,
+            link_id=link_id, allowed=allowed, detail=detail,
+            previous_hash=previous,
+            entry_hash=_hash_entry(index, time, principal, action,
+                                   link_id, allowed, detail, previous))
+        self.records.append(record)
+        return record
+
+    def verify_chain(self) -> bool:
+        """Recompute the chain; False if any record was altered."""
+        previous = self.GENESIS
+        for record in self.records:
+            if record.previous_hash != previous:
+                return False
+            expected = _hash_entry(
+                record.index, record.time, record.principal,
+                record.action, record.link_id, record.allowed,
+                record.detail, record.previous_hash)
+            if record.entry_hash != expected:
+                return False
+            previous = record.entry_hash
+        return True
+
+    def entries_for(self, link_id: str) -> List[AuditRecord]:
+        return [record for record in self.records
+                if record.link_id == link_id]
+
+
+class AuthorizationError(PermissionError):
+    """The principal's tokens do not cover the requested action."""
+
+
+class MaintenanceAuthorizer:
+    """Checks maintenance requests against issued capability tokens."""
+
+    def __init__(self, audit_log: Optional[AuditLog] = None) -> None:
+        self.audit = audit_log or AuditLog()
+        self._tokens: Dict[str, List[CapabilityToken]] = {}
+
+    def issue(self, principal: str,
+              actions: Sequence[RepairAction],
+              link_scope: Sequence[str] = (),
+              expires_at: Optional[float] = None) -> CapabilityToken:
+        """Grant a principal a capability token."""
+        token = CapabilityToken(
+            principal=principal,
+            allowed_actions=frozenset(actions),
+            link_scope=tuple(link_scope),
+            expires_at=expires_at)
+        self._tokens.setdefault(principal, []).append(token)
+        return token
+
+    def revoke(self, token: CapabilityToken) -> None:
+        tokens = self._tokens.get(token.principal, [])
+        if token in tokens:
+            tokens.remove(token)
+
+    def check(self, now: float, principal: str, action: RepairAction,
+              link_id: str) -> bool:
+        """Whether the principal may perform the action (audited)."""
+        allowed = any(
+            token.valid_at(now)
+            and action in token.allowed_actions
+            and token.covers_link(link_id)
+            for token in self._tokens.get(principal, []))
+        self.audit.append(now, principal, action.value, link_id,
+                          allowed)
+        return allowed
+
+    def authorize(self, now: float, principal: str,
+                  action: RepairAction, link_id: str) -> None:
+        """Like :meth:`check` but raises on denial."""
+        if not self.check(now, principal, action, link_id):
+            raise AuthorizationError(
+                f"{principal} may not {action.value} on {link_id}")

@@ -1,0 +1,109 @@
+"""Automation levels 0–4 (§2.1).
+
+The paper adapts the SAE driving-automation taxonomy to datacenter
+maintenance.  Each level is a :class:`LevelSpec` describing who executes
+which repairs and how much human supervision robot work consumes — the
+controller uses the spec to route work orders, and the cost model uses
+the supervision ratios.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import FrozenSet
+
+from dcrobot.core.actions import RepairAction
+
+_BASIC_ROBOT_ACTIONS = frozenset({
+    RepairAction.RESEAT,
+    RepairAction.CLEAN,
+    RepairAction.REPLACE_TRANSCEIVER,
+})
+
+
+class AutomationLevel(enum.IntEnum):
+    """The five levels of §2.1."""
+
+    L0_NO_AUTOMATION = 0
+    L1_OPERATOR_ASSISTANCE = 1
+    L2_PARTIAL_AUTOMATION = 2
+    L3_HIGH_AUTOMATION = 3
+    L4_FULL_AUTOMATION = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class LevelSpec:
+    """What an automation level permits and what it costs in oversight."""
+
+    level: AutomationLevel
+    description: str
+    #: Actions robots may execute autonomously at this level.
+    robot_actions: FrozenSet[RepairAction]
+    #: Human supervision time as a fraction of robot operation time
+    #: (teleoperation/supervision at L2, spot audits at L3+).
+    supervision_ratio: float
+    #: Human approval latency added before each robot operation.
+    approval_latency_seconds: float
+    #: Whether technicians use Level-1 assist devices (better inspection
+    #: and cleaning quality when working manually).
+    operator_assist_devices: bool
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.supervision_ratio <= 1.0:
+            raise ValueError("supervision_ratio outside [0, 1]")
+        if self.approval_latency_seconds < 0:
+            raise ValueError("approval latency must be >= 0")
+
+
+LEVEL_SPECS = {
+    AutomationLevel.L0_NO_AUTOMATION: LevelSpec(
+        level=AutomationLevel.L0_NO_AUTOMATION,
+        description="All tasks performed manually by skilled technicians.",
+        robot_actions=frozenset(),
+        supervision_ratio=0.0,
+        approval_latency_seconds=0.0,
+        operator_assist_devices=False,
+    ),
+    AutomationLevel.L1_OPERATOR_ASSISTANCE: LevelSpec(
+        level=AutomationLevel.L1_OPERATOR_ASSISTANCE,
+        description=("Automated devices augment human operators (the "
+                     "cleaning unit as a standalone technician tool)."),
+        robot_actions=frozenset(),
+        supervision_ratio=0.0,
+        approval_latency_seconds=0.0,
+        operator_assist_devices=True,
+    ),
+    AutomationLevel.L2_PARTIAL_AUTOMATION: LevelSpec(
+        level=AutomationLevel.L2_PARTIAL_AUTOMATION,
+        description=("Specialized tasks performed autonomously with "
+                     "human supervision or teleoperation."),
+        robot_actions=_BASIC_ROBOT_ACTIONS,
+        supervision_ratio=0.5,
+        approval_latency_seconds=600.0,
+        operator_assist_devices=True,
+    ),
+    AutomationLevel.L3_HIGH_AUTOMATION: LevelSpec(
+        level=AutomationLevel.L3_HIGH_AUTOMATION,
+        description=("Fully autonomous end-to-end tasks with limited "
+                     "human supervision."),
+        robot_actions=_BASIC_ROBOT_ACTIONS,
+        supervision_ratio=0.05,
+        approval_latency_seconds=0.0,
+        operator_assist_devices=True,
+    ),
+    AutomationLevel.L4_FULL_AUTOMATION: LevelSpec(
+        level=AutomationLevel.L4_FULL_AUTOMATION,
+        description=("Every repair operation fully autonomous, including "
+                     "cable and switchgear replacement."),
+        robot_actions=frozenset(RepairAction),
+        supervision_ratio=0.01,
+        approval_latency_seconds=0.0,
+        operator_assist_devices=False,
+    ),
+}
+
+
+def spec_for(level: AutomationLevel) -> LevelSpec:
+    """The :class:`LevelSpec` for a level."""
+    return LEVEL_SPECS[level]

@@ -1,0 +1,305 @@
+"""The self-maintenance controller — the paper's software-defined
+maintenance plane (§2, §4 "Software-defined controllers").
+
+The controller closes the loop the paper describes: telemetry symptoms
+come in, a policy decides what deserves work, the escalation ladder
+picks the stage, the impact-aware scheduler drains traffic and defers
+proactive work to quiet windows, an executor (robot fleet and/or
+technician pool, per the automation level) performs the repair, and the
+controller verifies the outcome and escalates until the link is healthy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from dcrobot.core.actions import Priority, RepairAction, RepairOutcome, WorkOrder
+from dcrobot.core.automation import AutomationLevel, LevelSpec, spec_for
+from dcrobot.core.escalation import EscalationLadder
+from dcrobot.core.policy import PlanRequest, ReactivePolicy
+from dcrobot.core.scheduler import ImpactAwareScheduler
+from dcrobot.failures.health import HealthModel
+from dcrobot.network.enums import LinkState
+from dcrobot.network.inventory import Fabric
+from dcrobot.sim.engine import Simulation
+from dcrobot.telemetry.events import TelemetryEvent
+from dcrobot.telemetry.monitor import TelemetryMonitor
+
+
+@dataclasses.dataclass
+class Incident:
+    """One link-misbehaviour case, from detection to verified repair."""
+
+    link_id: str
+    opened_at: float
+    symptom: str
+    priority: Priority = Priority.NORMAL
+    attempts: List[RepairOutcome] = dataclasses.field(default_factory=list)
+    #: (time, action) pairs feeding the escalation ladder.
+    attempt_history: List[Tuple[float, RepairAction]] = dataclasses.field(
+        default_factory=list)
+    resolved: bool = False
+    closed_at: Optional[float] = None
+    unresolvable_reason: Optional[str] = None
+    in_flight: bool = False
+
+    @property
+    def time_to_repair(self) -> Optional[float]:
+        """Detection-to-verified-fix duration (the service window)."""
+        if self.closed_at is None:
+            return None
+        return self.closed_at - self.opened_at
+
+    @property
+    def attempt_count(self) -> int:
+        return len(self.attempts)
+
+
+@dataclasses.dataclass
+class ControllerConfig:
+    """Controller behaviour knobs."""
+
+    #: Wait after a repair before verifying (lets our own touch
+    #: disturbances decay so we don't misjudge the repair).
+    verification_delay_seconds: float = 1200.0
+    #: Cadence of the proactive policy loop.
+    policy_interval_seconds: float = 3600.0
+    #: Attempts per incident before declaring it unresolvable.
+    max_attempts: int = 8
+    #: Defer proactive work to the scheduler's quiet window.
+    defer_proactive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.verification_delay_seconds < 0:
+            raise ValueError("verification delay must be >= 0")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+
+class MaintenanceController:
+    """Routes symptoms to repairs and verifies the results."""
+
+    def __init__(self, sim: Simulation, fabric: Fabric,
+                 health: HealthModel, monitor: TelemetryMonitor,
+                 policy: ReactivePolicy,
+                 ladder: Optional[EscalationLadder] = None,
+                 scheduler: Optional[ImpactAwareScheduler] = None,
+                 level: AutomationLevel = AutomationLevel.L0_NO_AUTOMATION,
+                 humans=None, fleet=None,
+                 config: Optional[ControllerConfig] = None) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.health = health
+        self.monitor = monitor
+        self.policy = policy
+        self.ladder = ladder or EscalationLadder()
+        self.scheduler = scheduler or ImpactAwareScheduler()
+        self.level = level
+        self.spec: LevelSpec = spec_for(level)
+        self.humans = humans
+        self.fleet = fleet
+        self.config = config or ControllerConfig()
+        if humans is None and fleet is None:
+            raise ValueError("need at least one executor")
+
+        self.open_incidents: Dict[str, Incident] = {}
+        #: Per-link (time, action) repair attempts across *all*
+        #: incidents — the paper's escalation keys on re-tickets for the
+        #: same link within a window (§3.2), not on one incident's
+        #: lifetime, because gray failures re-ticket intermittently.
+        self.repair_history: Dict[str, List[Tuple[float, RepairAction]]] \
+            = {}
+        self.closed_incidents: List[Incident] = []
+        self.unresolved_incidents: List[Incident] = []
+        self.proactive_outcomes: List[RepairOutcome] = []
+        #: Supervision person-seconds consumed by robot work (L2/L3).
+        self.supervision_seconds = 0.0
+        self._proactive_pending: set = set()
+
+        monitor.subscribe(self.on_event)
+
+    def __repr__(self) -> str:
+        return (f"<MaintenanceController {self.level.name} open="
+                f"{len(self.open_incidents)} closed="
+                f"{len(self.closed_incidents)}>")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch the proactive policy loop."""
+        self.sim.process(self._policy_loop())
+
+    # -- reactive path -----------------------------------------------------------
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        """Telemetry callback: open or continue an incident."""
+        request = self.policy.on_symptom(event)
+        if request is None:
+            self.monitor.unmute(event.link_id)
+            return
+        incident = self.open_incidents.get(event.link_id)
+        if incident is None:
+            incident = Incident(link_id=event.link_id,
+                                opened_at=event.time,
+                                symptom=event.symptom.value,
+                                priority=request.priority)
+            self.open_incidents[event.link_id] = incident
+        if incident.in_flight:
+            return  # attempt already running; outcome loop handles it
+        incident.in_flight = True
+        self.sim.process(self._attempt(incident, request))
+
+    def _select_executor(self, action: RepairAction, link):
+        """Pick the executor per automation level and capability."""
+        node = self.fabric.node(link.port_a.parent_id)
+        rack_id = node.rack_id
+        robots_allowed = (self.fleet is not None
+                          and action in self.spec.robot_actions
+                          and self.fleet.can_execute(action)
+                          and rack_id is not None
+                          and self.fleet.covers(rack_id))
+        if robots_allowed:
+            return self.fleet
+        if self.humans is not None and self.humans.can_execute(action):
+            return self.humans
+        return None
+
+    def _attempt(self, incident: Incident, request: PlanRequest):
+        sim = self.sim
+        link = self.fabric.links[incident.link_id]
+        history = self.repair_history.setdefault(link.id, [])
+        action = request.action or self.ladder.next_action(
+            link, history, sim.now)
+        executor = self._select_executor(action, link)
+        if executor is None:
+            self._mark_unresolvable(
+                incident, f"no executor for {action.value}")
+            return
+
+        if executor is self.fleet and self.spec.approval_latency_seconds:
+            yield sim.timeout(self.spec.approval_latency_seconds)
+
+        order = WorkOrder(link_id=link.id, action=action,
+                          created_at=sim.now, priority=incident.priority,
+                          symptom=incident.symptom,
+                          announced_touches=executor.announce_touches(
+                              WorkOrder(link.id, action, sim.now)))
+        self.scheduler.before_repair(order)
+        outcome = yield executor.submit(order)
+        self._account(executor, outcome)
+        incident.attempts.append(outcome)
+        incident.attempt_history.append((sim.now, action))
+        history.append((sim.now, action))
+
+        if outcome.needs_human and self.humans is not None \
+                and executor is not self.humans:
+            # §3.3.2: the robot requests human support; same action,
+            # human hands.
+            retry = WorkOrder(link_id=link.id, action=action,
+                              created_at=sim.now,
+                              priority=incident.priority,
+                              symptom=incident.symptom,
+                              announced_touches=self.humans.
+                              announce_touches(
+                                  WorkOrder(link.id, action, sim.now)))
+            outcome = yield self.humans.submit(retry)
+            incident.attempts.append(outcome)
+            incident.attempt_history.append((sim.now, action))
+            history.append((sim.now, action))
+        self.scheduler.after_repair(order)
+
+        yield sim.timeout(self.config.verification_delay_seconds)
+        self.health.evaluate_link(link, sim.now)
+        effective = self._is_healthy(link)
+        self.policy.record_repair(link, action, effective, sim.now)
+
+        if effective:
+            self._close(incident)
+        elif incident.attempt_count >= self.config.max_attempts:
+            self._mark_unresolvable(incident, "attempt budget exhausted")
+        else:
+            # Re-arm telemetry: the next detection escalates the ladder.
+            incident.in_flight = False
+            self.monitor.unmute(link.id)
+
+    def _is_healthy(self, link) -> bool:
+        score = self.health.impairment_score(link, self.sim.now)
+        return (link.state is LinkState.UP
+                and score < self.health.params.marginal_threshold)
+
+    def _account(self, executor, outcome: RepairOutcome) -> None:
+        if executor is self.fleet:
+            self.supervision_seconds += (outcome.duration
+                                         * self.spec.supervision_ratio)
+
+    def _close(self, incident: Incident) -> None:
+        incident.resolved = True
+        incident.closed_at = self.sim.now
+        incident.in_flight = False
+        self.open_incidents.pop(incident.link_id, None)
+        self.closed_incidents.append(incident)
+        self.monitor.unmute(incident.link_id)
+
+    def _mark_unresolvable(self, incident: Incident, reason: str) -> None:
+        incident.unresolvable_reason = reason
+        incident.in_flight = False
+        self.open_incidents.pop(incident.link_id, None)
+        self.unresolved_incidents.append(incident)
+        # The link stays muted: re-reporting an unfixable link would
+        # spin forever; operators see it in unresolved_incidents.
+
+    # -- proactive path -------------------------------------------------------------
+
+    def _policy_loop(self):
+        sim = self.sim
+        while True:
+            yield sim.timeout(self.config.policy_interval_seconds)
+            for request in self.policy.periodic(sim.now):
+                if request.link_id in self.open_incidents:
+                    continue
+                if request.link_id in self._proactive_pending:
+                    continue
+                self._proactive_pending.add(request.link_id)
+                sim.process(self._proactive(request))
+
+    def _proactive(self, request: PlanRequest):
+        sim = self.sim
+        try:
+            if self.config.defer_proactive and request.proactive:
+                yield sim.timeout(
+                    self.scheduler.seconds_until_quiet_window(sim.now))
+            if request.link_id in self.open_incidents:
+                return  # it failed for real while we waited
+            link = self.fabric.links[request.link_id]
+            action = request.action or RepairAction.RESEAT
+            if not self.ladder.applicable(action, link):
+                return
+            executor = self._select_executor(action, link)
+            if executor is None:
+                return
+            order = WorkOrder(link_id=link.id, action=action,
+                              created_at=sim.now,
+                              priority=request.priority,
+                              symptom=request.reason,
+                              announced_touches=executor.announce_touches(
+                                  WorkOrder(link.id, action, sim.now)))
+            self.scheduler.before_repair(order)
+            outcome = yield executor.submit(order)
+            self.scheduler.after_repair(order)
+            self._account(executor, outcome)
+            self.proactive_outcomes.append(outcome)
+        finally:
+            self._proactive_pending.discard(request.link_id)
+
+    # -- reporting --------------------------------------------------------------------
+
+    def repair_times(self) -> List[float]:
+        """Service windows (seconds) of all resolved incidents."""
+        return [incident.time_to_repair
+                for incident in self.closed_incidents]
+
+    def total_attempts(self) -> int:
+        incidents = self.closed_incidents + self.unresolved_incidents \
+            + list(self.open_incidents.values())
+        return sum(incident.attempt_count for incident in incidents)

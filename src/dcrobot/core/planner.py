@@ -1,0 +1,158 @@
+"""Fleet planning: how many robots does a hall need?
+
+§3.4 ends with "We are still learning and experimenting to determine
+the best options" for deployment scope and fleet sizing.  This module
+gives the operator a first-order answer: model the fleet as an M/M/c
+queue (Poisson incident arrivals, exponential-ish service), size c so
+the predicted repair wait meets a target, and report utilization.
+
+The analytic prediction deliberately ignores verification delays and
+human-fallback actions — it sizes the *robotic* stage; integration
+tests check it against full simulations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+import numpy as np
+
+from dcrobot.failures.hazards import per_year
+from dcrobot.failures.injector import FailureRates
+from dcrobot.robots.fleet import FleetConfig
+from dcrobot.robots.mobility import MobilityScope
+from dcrobot.topology.base import Topology
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """P(wait > 0) for an M/M/c queue with offered load in Erlangs."""
+    if servers < 1:
+        raise ValueError("servers must be >= 1")
+    if offered_load < 0:
+        raise ValueError("offered_load must be >= 0")
+    if offered_load >= servers:
+        return 1.0
+    # Stable iterative form of the Erlang-C formula.
+    term = 1.0
+    total = 1.0
+    for k in range(1, servers):
+        term *= offered_load / k
+        total += term
+    term *= offered_load / servers
+    blocking = term * servers / (servers - offered_load)
+    return blocking / (total + blocking)
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetPlan:
+    """The planner's recommendation and its queueing prediction."""
+
+    manipulators: int
+    cleaners: int
+    scope: MobilityScope
+    predicted_wait_seconds: float
+    predicted_repair_seconds: float
+    utilization: float
+    incident_rate_per_hour: float
+
+    def to_fleet_config(self) -> FleetConfig:
+        return FleetConfig(manipulators=self.manipulators,
+                           cleaners=self.cleaners, scope=self.scope)
+
+    def __repr__(self) -> str:
+        return (f"<FleetPlan {self.manipulators}+{self.cleaners} "
+                f"{self.scope.value} repair~"
+                f"{self.predicted_repair_seconds:.0f}s "
+                f"util={self.utilization:.1%}>")
+
+
+class FleetPlanner:
+    """Sizes a robot fleet for a hall and fault environment."""
+
+    def __init__(self, topology: Topology,
+                 rates: Optional[FailureRates] = None,
+                 robot_speed_m_s: float = 0.5,
+                 mean_operation_seconds: float = 250.0,
+                 alignment_seconds: float = 30.0) -> None:
+        if mean_operation_seconds <= 0:
+            raise ValueError("mean_operation_seconds must be > 0")
+        self.topology = topology
+        self.rates = rates or FailureRates()
+        self.robot_speed_m_s = robot_speed_m_s
+        self.mean_operation_seconds = mean_operation_seconds
+        self.alignment_seconds = alignment_seconds
+
+    # -- model inputs -----------------------------------------------------------
+
+    def incident_rate_per_second(self) -> float:
+        """Fleet-wide robot-serviceable incident arrival rate.
+
+        Cable and switchgear failures fall back to humans at L3, so
+        they are excluded from the robotic queue.
+        """
+        robot_rate = (self.rates.total - self.rates.cable_damage
+                      - self.rates.switch_hw)
+        return per_year(robot_rate) * len(self.topology.fabric.links)
+
+    def mean_travel_seconds(self) -> float:
+        """Expected aisle travel to a uniformly chosen occupied rack.
+
+        Assumes home positions amortize to the hall centroid — a good
+        approximation once robots visit faults in random racks.
+        """
+        fabric = self.topology.fabric
+        racks = sorted({switch.rack_id
+                        for switch in fabric.switches.values()
+                        if switch.rack_id})
+        if len(racks) < 2:
+            return self.alignment_seconds
+        positions = [fabric.layout.racks[rack].position
+                     for rack in racks]
+        centroid_x = float(np.mean([p.x for p in positions]))
+        centroid_y = float(np.mean([p.y for p in positions]))
+        mean_distance = float(np.mean(
+            [abs(p.x - centroid_x) + abs(p.y - centroid_y)
+             for p in positions]))
+        return (mean_distance / self.robot_speed_m_s
+                + self.alignment_seconds)
+
+    def service_seconds(self) -> float:
+        """Mean robot service time per incident."""
+        return self.mean_travel_seconds() + self.mean_operation_seconds
+
+    # -- planning ------------------------------------------------------------------
+
+    def predict(self, manipulators: int) -> FleetPlan:
+        """Queueing prediction for a fleet of given size."""
+        arrival = self.incident_rate_per_second()
+        service = self.service_seconds()
+        offered = arrival * service
+        wait_probability = erlang_c(manipulators, offered)
+        if offered >= manipulators:
+            wait = float("inf")
+        else:
+            wait = (wait_probability * service
+                    / (manipulators - offered))
+        cleaners = max(1, math.ceil(manipulators / 2))
+        return FleetPlan(
+            manipulators=manipulators, cleaners=cleaners,
+            scope=MobilityScope.HALL,
+            predicted_wait_seconds=wait,
+            predicted_repair_seconds=wait + service,
+            utilization=min(1.0, offered / manipulators),
+            incident_rate_per_hour=arrival * 3600.0)
+
+    def recommend(self, target_repair_seconds: float = 1800.0,
+                  max_manipulators: int = 64) -> FleetPlan:
+        """Smallest fleet whose predicted repair time meets the target."""
+        if target_repair_seconds <= 0:
+            raise ValueError("target must be > 0")
+        best = None
+        for manipulators in range(1, max_manipulators + 1):
+            plan = self.predict(manipulators)
+            best = plan
+            if plan.predicted_repair_seconds <= target_repair_seconds:
+                return plan
+        return best  # largest considered; caller sees the miss

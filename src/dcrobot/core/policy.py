@@ -1,0 +1,177 @@
+"""Maintenance policies: reactive, proactive, predictive (§4).
+
+A policy decides *what to repair when*, in two hooks:
+
+* :meth:`on_symptom` — the reactive path: telemetry reported a sick
+  link; decide priority (and optionally pin an action, otherwise the
+  escalation ladder chooses).
+* :meth:`periodic` — the proactive path: called on a fixed cadence to
+  propose maintenance for links nobody complained about.
+
+The shipped policies mirror the paper's progression: today's reactive
+process, the proactive reseat-sweep example ("if several links on a
+switch have been fixed by reseating transceivers, the system could
+proactively reseat all transceivers on that switch"), and ML-scored
+predictive maintenance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional
+
+from dcrobot.core.actions import Priority, RepairAction
+from dcrobot.network.inventory import Fabric
+from dcrobot.network.link import Link
+from dcrobot.telemetry.events import Symptom, TelemetryEvent
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanRequest:
+    """A policy's request for maintenance on one link."""
+
+    link_id: str
+    priority: Priority
+    reason: str
+    #: Pin a specific action; None lets the escalation ladder decide.
+    action: Optional[RepairAction] = None
+    #: Proactive work may be deferred to a low-utilization window.
+    proactive: bool = False
+
+
+class NullPolicy:
+    """Ignores everything — the no-maintenance baseline.
+
+    Used by experiments to show what a fabric looks like when nobody
+    repairs it (E2's "no repair" series).
+    """
+
+    def __init__(self, fabric: Fabric) -> None:
+        self.fabric = fabric
+
+    def on_symptom(self, event: TelemetryEvent) -> Optional[PlanRequest]:
+        return None
+
+    def periodic(self, now: float) -> List[PlanRequest]:
+        return []
+
+    def record_repair(self, link: Link, action: RepairAction,
+                      effective: bool, now: float) -> None:
+        """No state."""
+
+
+class ReactivePolicy:
+    """Today's process: act only on reported symptoms (§4: "The process
+    is mostly reactive")."""
+
+    def __init__(self, fabric: Fabric) -> None:
+        self.fabric = fabric
+
+    def on_symptom(self, event: TelemetryEvent) -> Optional[PlanRequest]:
+        priority = (Priority.HIGH if event.symptom is Symptom.LINK_DOWN
+                    else Priority.NORMAL)
+        return PlanRequest(link_id=event.link_id, priority=priority,
+                           reason=f"reactive:{event.symptom.value}")
+
+    def periodic(self, now: float) -> List[PlanRequest]:
+        return []
+
+    def record_repair(self, link: Link, action: RepairAction,
+                      effective: bool, now: float) -> None:
+        """Reactive policy keeps no state."""
+
+
+class ProactivePolicy(ReactivePolicy):
+    """Adds the paper's proactive reseat sweep.
+
+    When ``trigger_count`` links on the same switch have been fixed by
+    reseating within ``memory_seconds``, every other link on that switch
+    is scheduled for a proactive reseat (deferred to a low-utilization
+    window by the scheduler).
+    """
+
+    def __init__(self, fabric: Fabric, trigger_count: int = 2,
+                 memory_seconds: float = 7 * 86400.0,
+                 sweep_cooldown_seconds: float = 30 * 86400.0) -> None:
+        super().__init__(fabric)
+        if trigger_count < 1:
+            raise ValueError("trigger_count must be >= 1")
+        self.trigger_count = trigger_count
+        self.memory_seconds = memory_seconds
+        self.sweep_cooldown_seconds = sweep_cooldown_seconds
+        self._reseat_fixes: Dict[str, List[float]] = defaultdict(list)
+        self._last_sweep: Dict[str, float] = {}
+        self._pending: List[PlanRequest] = []
+
+    def record_repair(self, link: Link, action: RepairAction,
+                      effective: bool, now: float) -> None:
+        """Learn from completed repairs; maybe arm a sweep."""
+        if action is not RepairAction.RESEAT or not effective:
+            return
+        for switch_id in link.endpoint_ids:
+            fixes = self._reseat_fixes[switch_id]
+            fixes.append(now)
+            fixes[:] = [t for t in fixes
+                        if now - t <= self.memory_seconds]
+            if len(fixes) >= self.trigger_count:
+                self._arm_sweep(switch_id, link.id, now)
+
+    def _arm_sweep(self, switch_id: str, fixed_link_id: str,
+                   now: float) -> None:
+        last = self._last_sweep.get(switch_id, -float("inf"))
+        if now - last < self.sweep_cooldown_seconds:
+            return
+        self._last_sweep[switch_id] = now
+        for link in self.fabric.links_of(switch_id):
+            if link.id == fixed_link_id:
+                continue
+            self._pending.append(PlanRequest(
+                link_id=link.id, priority=Priority.NORMAL,
+                reason=f"proactive:reseat-sweep:{switch_id}",
+                action=RepairAction.RESEAT, proactive=True))
+
+    def periodic(self, now: float) -> List[PlanRequest]:
+        pending, self._pending = self._pending, []
+        return pending
+
+
+class PredictivePolicy(ReactivePolicy):
+    """ML-scored proactive maintenance (§4 "Predictive maintenance").
+
+    ``scorer(link, now) -> float`` returns the predicted probability of
+    the link failing within the model's horizon; links above
+    ``threshold`` get proactive attention.  The action is chosen from
+    the link's construction: cleanable links get a clean (dirt is the
+    dominant predictable cause), others a reseat.
+    """
+
+    def __init__(self, fabric: Fabric,
+                 scorer: Callable[[Link, float], float],
+                 threshold: float = 0.5,
+                 cooldown_seconds: float = 7 * 86400.0) -> None:
+        super().__init__(fabric)
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.scorer = scorer
+        self.threshold = threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._last_request: Dict[str, float] = {}
+
+    def periodic(self, now: float) -> List[PlanRequest]:
+        requests = []
+        for link in self.fabric.links.values():
+            last = self._last_request.get(link.id, -float("inf"))
+            if now - last < self.cooldown_seconds:
+                continue
+            score = self.scorer(link, now)
+            if score < self.threshold:
+                continue
+            self._last_request[link.id] = now
+            action = (RepairAction.CLEAN if link.cable.cleanable
+                      else RepairAction.RESEAT)
+            requests.append(PlanRequest(
+                link_id=link.id, priority=Priority.NORMAL,
+                reason=f"predictive:score={score:.2f}",
+                action=action, proactive=True))
+        return requests

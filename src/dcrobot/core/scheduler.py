@@ -1,0 +1,86 @@
+"""Impact-aware repair scheduling (§2).
+
+Before hardware is touched the scheduler (i) drains the target link —
+and the links the executor announces it may contact — out of routing, so
+traffic migrates ahead of the physical disturbance, and (ii) defers
+non-urgent proactive work to low-utilization windows ("During periods of
+low utilization, automation hardware can be used for proactive
+maintenance at little to no additional cost").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from dcrobot.core.actions import WorkOrder
+from dcrobot.traffic.routing import EcmpRouter
+
+SECONDS_PER_DAY = 86400.0
+
+
+@dataclasses.dataclass
+class SchedulerConfig:
+    """Scheduling knobs."""
+
+    #: Drain announced-contact neighbours too (the ablation knob for
+    #: impact-aware vs naive scheduling).
+    drain_announced: bool = True
+    #: Daily low-utilization window for proactive work, as fractional
+    #: day-of-hours [start, end).
+    quiet_window_start_hour: float = 1.0
+    quiet_window_end_hour: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.quiet_window_start_hour
+                < self.quiet_window_end_hour <= 24):
+            raise ValueError("invalid quiet window")
+
+
+class ImpactAwareScheduler:
+    """Drains traffic around repairs and times proactive work."""
+
+    def __init__(self, router: Optional[EcmpRouter] = None,
+                 config: Optional[SchedulerConfig] = None) -> None:
+        self.router = router
+        self.config = config or SchedulerConfig()
+        #: link ids drained per order id, for symmetric undrain.
+        self._drained_for_order = {}
+
+    # -- quiet-window timing ------------------------------------------------
+
+    def seconds_until_quiet_window(self, now: float) -> float:
+        """Delay until the next proactive-maintenance window opens."""
+        config = self.config
+        day_seconds = now % SECONDS_PER_DAY
+        start = config.quiet_window_start_hour * 3600.0
+        end = config.quiet_window_end_hour * 3600.0
+        if start <= day_seconds < end:
+            return 0.0
+        if day_seconds < start:
+            return start - day_seconds
+        return SECONDS_PER_DAY - day_seconds + start
+
+    def in_quiet_window(self, now: float) -> bool:
+        return self.seconds_until_quiet_window(now) == 0.0
+
+    # -- drain management ---------------------------------------------------------
+
+    def before_repair(self, order: WorkOrder) -> List[str]:
+        """Drain the target (and announced touches); returns drained ids."""
+        if self.router is None:
+            return []
+        drained = [order.link_id]
+        if self.config.drain_announced:
+            drained.extend(order.announced_touches)
+        for link_id in drained:
+            self.router.drain(link_id)
+        self._drained_for_order[order.order_id] = drained
+        return drained
+
+    def after_repair(self, order: WorkOrder) -> None:
+        """Undrain everything drained for this order."""
+        if self.router is None:
+            return
+        for link_id in self._drained_for_order.pop(order.order_id, []):
+            self.router.undrain(link_id)

@@ -1,0 +1,82 @@
+"""Experiment harness (S12): every paper claim as a runnable experiment.
+
+Each experiment module exposes ``run(quick=True, seed=0) ->
+ExperimentResult``; the registry maps experiment ids (``e1`` .. ``e12``)
+to those functions.  Run one from the command line::
+
+    python -m dcrobot.experiments e1 [--full] [--seed N]
+"""
+
+from typing import Callable, Dict
+
+from dcrobot.experiments import (
+    e01_service_window,
+    e02_tail_latency,
+    e03_cascade,
+    e04_rightprovisioning,
+    e05_proactive,
+    e06_automation_levels,
+    e07_escalation,
+    e08_robot_ops,
+    e09_topology_smi,
+    e10_predictive_ml,
+    e11_mobility_scopes,
+    e12_gpu_cluster,
+)
+from dcrobot.experiments.result import ExperimentResult
+from dcrobot.experiments.runner import (
+    RunResult,
+    WorldConfig,
+    build_world,
+    run_world,
+)
+
+_MODULES = (
+    e01_service_window,
+    e02_tail_latency,
+    e03_cascade,
+    e04_rightprovisioning,
+    e05_proactive,
+    e06_automation_levels,
+    e07_escalation,
+    e08_robot_ops,
+    e09_topology_smi,
+    e10_predictive_ml,
+    e11_mobility_scopes,
+    e12_gpu_cluster,
+)
+
+#: Experiment id -> run function.
+REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
+    module.EXPERIMENT_ID: module.run for module in _MODULES
+}
+
+#: Experiment id -> (title, paper anchor).
+DESCRIPTIONS: Dict[str, tuple] = {
+    module.EXPERIMENT_ID: (module.TITLE, module.PAPER_ANCHOR)
+    for module in _MODULES
+}
+
+
+def run_experiment(experiment_id: str, quick: bool = True,
+                   seed: int = 0) -> ExperimentResult:
+    """Run one experiment by id (``e1`` .. ``e12``)."""
+    try:
+        runner = REGISTRY[experiment_id.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(REGISTRY)}") from None
+    return runner(quick=quick, seed=seed)
+
+
+__all__ = [
+    "REGISTRY",
+    "DESCRIPTIONS",
+    "run_experiment",
+    "ExperimentResult",
+    "WorldConfig",
+    "RunResult",
+    "build_world",
+    "run_world",
+]

@@ -1,0 +1,48 @@
+"""Command-line entry point: ``python -m dcrobot.experiments <id|all>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from dcrobot.experiments import DESCRIPTIONS, REGISTRY, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m dcrobot.experiments",
+        description="Reproduce the paper's experiments (E1-E12).")
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e1..e12), 'all', or 'list'")
+    parser.add_argument("--full", action="store_true",
+                        help="full-scale run (slower, paper-grade)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for experiment_id in sorted(REGISTRY):
+            title, anchor = DESCRIPTIONS[experiment_id]
+            print(f"{experiment_id:>4}  {title}  [{anchor}]")
+        return 0
+
+    targets = (sorted(REGISTRY) if args.experiment == "all"
+               else [args.experiment])
+    for experiment_id in targets:
+        started = time.time()
+        try:
+            result = run_experiment(experiment_id,
+                                    quick=not args.full,
+                                    seed=args.seed)
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+        print(result.render())
+        print(f"[{experiment_id} finished in "
+              f"{time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""E1 — Service window: human ticketing vs robotic self-maintenance.
+
+Paper anchor: §2 — "the significant reduction of the service window for
+failures, potentially shrinking the duration from hours and days to
+literally minutes."
+
+Same fault environment, two worlds: Level 0 (technicians + tickets) and
+Level 3 (autonomous robots for reseat/clean/swap).  Reported: the
+repair-time (detection → verified fix) distribution and resulting link
+availability.
+"""
+
+from __future__ import annotations
+
+from dcrobot.core.automation import AutomationLevel
+from dcrobot.experiments.result import ExperimentResult
+from dcrobot.experiments.runner import WorldConfig, run_world
+from dcrobot.metrics.mttr import format_duration
+from dcrobot.metrics.report import Table
+
+EXPERIMENT_ID = "e1"
+TITLE = "Service window: human ticketing vs self-maintaining network"
+PAPER_ANCHOR = "§2: 'from hours and days to literally minutes'"
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    horizon_days = 20.0 if quick else 90.0
+    failure_scale = 3.0
+    result = ExperimentResult(EXPERIMENT_ID, TITLE, PAPER_ANCHOR)
+    table = Table(
+        ["mode", "incidents", "p50 ttr", "p95 ttr", "max ttr",
+         "availability", "nines"],
+        title="Repair service window, identical fault environment")
+
+    ratios = {}
+    for label, level in (
+            ("L0 human ticketing", AutomationLevel.L0_NO_AUTOMATION),
+            ("L3 self-maintaining", AutomationLevel.L3_HIGH_AUTOMATION)):
+        run_result = run_world(WorldConfig(
+            horizon_days=horizon_days, failure_scale=failure_scale,
+            level=level, seed=seed))
+        stats = run_result.repair_stats()
+        availability = run_result.availability()
+        if stats is None:
+            table.add_row(label, 0, "-", "-", "-",
+                          f"{availability.mean:.6f}",
+                          f"{availability.nines:.2f}")
+            continue
+        ratios[label] = stats.p50
+        table.add_row(label, stats.count,
+                      format_duration(stats.p50),
+                      format_duration(stats.p95),
+                      format_duration(stats.max),
+                      f"{availability.mean:.6f}",
+                      f"{availability.nines:.2f}")
+        result.add_series(
+            f"ttr_cdf_{label.split()[0]}",
+            _cdf_points(run_result.controller.repair_times()))
+
+    result.add_table(table)
+    if len(ratios) == 2:
+        human, robot = ratios["L0 human ticketing"], \
+            ratios["L3 self-maintaining"]
+        result.note(
+            f"median service window speedup: {human / robot:.0f}x "
+            f"({format_duration(human)} -> {format_duration(robot)})")
+    return result
+
+
+def _cdf_points(times):
+    ordered = sorted(times)
+    count = len(ordered)
+    return [(value, (index + 1) / count)
+            for index, value in enumerate(ordered)]
+
+
+if __name__ == "__main__":
+    print(run(quick=True).render())

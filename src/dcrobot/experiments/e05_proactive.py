@@ -1,0 +1,80 @@
+"""E5 — Proactive maintenance: reseat sweeps vs purely reactive repair.
+
+Paper anchor: §4 Predictive maintenance — "if several links on a switch
+have been fixed by reseating transceivers, the system could proactively
+reseat all transceivers on that switch, even if no issues have been
+reported. We believe this proactive maintenance could enhance
+reliability and availability while reducing operational costs."
+
+Level-3 robot worlds with slow contact oxidation; the proactive policy's
+sweep trigger is swept from "never" (reactive) to aggressive.  Reported:
+reactive incidents (tickets that still happened), availability, sweep
+volume, and robot utilization — the cost of proactivity is robot time,
+which the quiet-window scheduler makes nearly free.
+"""
+
+from __future__ import annotations
+
+from dcrobot.core.automation import AutomationLevel
+from dcrobot.experiments.result import ExperimentResult
+from dcrobot.experiments.runner import WorldConfig, run_world
+from dcrobot.metrics.report import Table
+
+EXPERIMENT_ID = "e5"
+TITLE = "Proactive reseat sweeps vs reactive-only maintenance"
+PAPER_ANCHOR = "§4: proactively reseat all transceivers on that switch"
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    horizon_days = 20.0 if quick else 75.0
+    # Oxidation dominates: the fault class sweeps can actually pre-empt.
+    aging_rate = 0.02
+
+    modes = [
+        ("reactive only", "reactive", None),
+        ("sweep after 2 fixes", "proactive", 2),
+        ("sweep after 1 fix", "proactive", 1),
+    ]
+
+    result = ExperimentResult(EXPERIMENT_ID, TITLE, PAPER_ANCHOR)
+    table = Table(
+        ["policy", "reactive incidents", "proactive ops",
+         "availability", "robot util %"],
+        title="Proactive sweeps pre-empt oxidation failures")
+
+    incidents_series = []
+    for label, policy, trigger in modes:
+        config = WorldConfig(
+            horizon_days=horizon_days, seed=seed,
+            level=AutomationLevel.L3_HIGH_AUTOMATION,
+            policy=policy, failure_scale=0.5,
+            aging_rate_per_day=aging_rate)
+        if trigger is not None:
+            config.proactive_trigger = trigger
+        run_result = run_world(config)
+        controller = run_result.controller
+        incidents = (len(controller.closed_incidents)
+                     + len(controller.unresolved_incidents)
+                     + len(controller.open_incidents))
+        availability = run_result.availability()
+        robot_seconds = run_result.robot_busy_seconds()
+        robot_capacity = (run_result.robot_count()
+                          * run_result.horizon_seconds)
+        utilization = (100 * robot_seconds / robot_capacity
+                       if robot_capacity else 0.0)
+        table.add_row(label, incidents,
+                      len(controller.proactive_outcomes),
+                      f"{availability.mean:.6f}",
+                      f"{utilization:.2f}")
+        incidents_series.append((trigger or 0, incidents))
+
+    result.add_table(table)
+    result.add_series("incidents_vs_trigger", incidents_series)
+    result.note("sweeps reseat whole switches during the 01:00-05:00 "
+                "quiet window, wiping accumulated contact oxidation "
+                "before it ever trips telemetry")
+    return result
+
+
+if __name__ == "__main__":
+    print(run(quick=True).render())

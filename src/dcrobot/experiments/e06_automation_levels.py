@@ -1,0 +1,103 @@
+"""E6 — The five automation levels, end to end.
+
+Paper anchor: §2.1 — the SAE-style taxonomy from Level 0 (all manual)
+to Level 4 (fully autonomous, no humans in the hall).
+
+The same fault environment is replayed at every level.  Reported:
+incident volume, median/p95 service window, availability, repair
+amplification, human labor, robot utilization, and total maintenance
+cost — the monotone improvements (and the shifting cost mix) the
+taxonomy predicts.
+"""
+
+from __future__ import annotations
+
+from dcrobot.core.automation import AutomationLevel
+from dcrobot.experiments.result import ExperimentResult
+from dcrobot.experiments.runner import WorldConfig, run_world
+from dcrobot.metrics.mttr import format_duration
+from dcrobot.metrics.report import Table
+
+EXPERIMENT_ID = "e6"
+TITLE = "Automation levels 0-4: service window, availability, cost"
+PAPER_ANCHOR = "§2.1: five levels of datacenter maintenance automation"
+
+_LABELS = {
+    AutomationLevel.L0_NO_AUTOMATION: "L0 no automation",
+    AutomationLevel.L1_OPERATOR_ASSISTANCE: "L1 operator assist",
+    AutomationLevel.L2_PARTIAL_AUTOMATION: "L2 partial (supervised)",
+    AutomationLevel.L3_HIGH_AUTOMATION: "L3 high automation",
+    AutomationLevel.L4_FULL_AUTOMATION: "L4 full automation",
+}
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    import numpy as np
+
+    from dcrobot.experiments.runner import DAY, build_world
+    from dcrobot.failures import FailureRates, FaultTrace
+
+    horizon_days = 15.0 if quick else 60.0
+    failure_scale = 4.0
+
+    result = ExperimentResult(EXPERIMENT_ID, TITLE, PAPER_ANCHOR)
+    table = Table(
+        ["level", "incidents", "p50 ttr", "p95 ttr", "availability",
+         "ampl.", "tech-hours", "robot util %", "cost $"],
+        title="One month of maintenance at each automation level, "
+              "identical fault trace")
+
+    # One shared campaign: synthesize it against the (seed-identical)
+    # fabric so every level faces literally the same faults.
+    probe = build_world(WorldConfig(horizon_days=horizon_days,
+                                    seed=seed, failure_scale=0.0))
+    trace = FaultTrace.synthesize(
+        probe.fabric, horizon_days * DAY,
+        FailureRates().scaled(failure_scale),
+        rng=np.random.default_rng(seed + 100))
+
+    mttr_series, cost_series = [], []
+    for level in AutomationLevel:
+        run_result = run_world(WorldConfig(
+            horizon_days=horizon_days, seed=seed, level=level,
+            failure_scale=0.0, fault_trace=trace))
+        controller = run_result.controller
+        stats = run_result.repair_stats()
+        availability = run_result.availability()
+        amplification = run_result.amplification()
+        cost = run_result.cost()
+        tech_hours = (run_result.humans.labor_seconds / 3600.0
+                      if run_result.humans else 0.0)
+        tech_hours += controller.supervision_seconds / 3600.0
+        robot_capacity = (run_result.robot_count()
+                          * run_result.horizon_seconds)
+        utilization = (100 * run_result.robot_busy_seconds()
+                       / robot_capacity if robot_capacity else 0.0)
+        incidents = (len(controller.closed_incidents)
+                     + len(controller.unresolved_incidents)
+                     + len(controller.open_incidents))
+        table.add_row(
+            _LABELS[level], incidents,
+            format_duration(stats.p50) if stats else "-",
+            format_duration(stats.p95) if stats else "-",
+            f"{availability.mean:.6f}",
+            f"{amplification.amplification_factor:.2f}",
+            f"{tech_hours:.1f}",
+            f"{utilization:.2f}",
+            f"{cost.total_usd:,.0f}")
+        if stats:
+            mttr_series.append((int(level), stats.p50))
+        cost_series.append((int(level), cost.total_usd))
+
+    result.add_table(table)
+    result.add_series("p50_ttr_by_level", mttr_series)
+    result.add_series("cost_by_level", cost_series)
+    result.note("L1 keeps human dispatch latency (assist devices only "
+                "improve quality); the service-window cliff appears at "
+                "L2+ when robots execute; L4 removes the human "
+                "fallback for cable/switch replacement too")
+    return result
+
+
+if __name__ == "__main__":
+    print(run(quick=True).render())

@@ -1,0 +1,131 @@
+"""E10 — Predictive maintenance with learned failure models.
+
+Paper anchor: §4 Predictive maintenance — "new opportunities to use
+machine learning techniques to predict failures and detect related
+network behavior patterns, potentially leveraging data collected by
+robotic systems."
+
+Phase 1 trains failure predictors (logistic regression and boosted
+stumps, both from scratch) on telemetry collected from an unmaintained
+fabric — flap counters, DDM optical margins, age, repair history.
+Phase 2 deploys the logistic model as the scorer of a
+:class:`PredictivePolicy` in a fresh Level-3 world and compares
+reactive vs proactive vs predictive policies on incidents avoided and
+availability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from dcrobot.core.automation import AutomationLevel
+from dcrobot.core.policy import PredictivePolicy
+from dcrobot.experiments.result import ExperimentResult
+from dcrobot.experiments.runner import DAY, WorldConfig, build_world
+from dcrobot.failures.environment import Environment
+from dcrobot.metrics.report import Table
+from dcrobot.ml.dataset import DatasetCollector
+from dcrobot.ml.evaluate import evaluate, train_test_split
+from dcrobot.ml.features import FeatureExtractor
+from dcrobot.ml.logreg import LogisticRegression
+from dcrobot.ml.stumps import GradientBoostedStumps
+
+EXPERIMENT_ID = "e10"
+TITLE = "Learned failure prediction and the predictive policy"
+PAPER_ANCHOR = "§4: ML techniques to predict failures"
+
+
+def _collect_training_data(quick: bool, seed: int):
+    """Unmaintained world: degradation runs its course, giving clean
+    pre-failure telemetry trajectories."""
+    horizon_days = 30.0 if quick else 90.0
+    world = build_world(WorldConfig(
+        horizon_days=horizon_days, seed=seed, policy="none",
+        failure_scale=1.0, dust_rate_per_day=0.02,
+        aging_rate_per_day=0.01))
+    extractor = FeatureExtractor(world.environment,
+                                 rng=np.random.default_rng(seed + 50))
+    collector = DatasetCollector(world.fabric, extractor,
+                                 snapshot_interval=6 * 3600.0,
+                                 horizon_seconds=48 * 3600.0)
+    world.sim.process(collector.run(world.sim))
+    world.sim.run(until=horizon_days * DAY)
+    return collector.build(sim_end=horizon_days * DAY)
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(EXPERIMENT_ID, TITLE, PAPER_ANCHOR)
+
+    # Phase 1: train and evaluate the predictors.
+    dataset = _collect_training_data(quick, seed)
+    train_x, train_y, test_x, test_y = train_test_split(
+        dataset.features, dataset.labels, test_fraction=0.3,
+        rng=np.random.default_rng(seed + 60))
+    model_table = Table(
+        ["model", "precision", "recall", "F1", "AUC"],
+        title=f"48h-ahead failure prediction "
+              f"({len(dataset)} samples, "
+              f"{dataset.positive_fraction:.0%} positive)")
+    logistic = LogisticRegression(epochs=600).fit(train_x, train_y)
+    boosted = GradientBoostedStumps(
+        rounds=30 if quick else 60).fit(train_x, train_y)
+    for name, model in (("logistic regression", logistic),
+                        ("boosted stumps", boosted)):
+        report = evaluate(test_y, model.predict_proba(test_x),
+                          threshold=0.5)
+        model_table.add_row(name, f"{report.precision:.2f}",
+                            f"{report.recall:.2f}", f"{report.f1:.2f}",
+                            f"{report.auc:.2f}")
+    result.add_table(model_table)
+
+    # Phase 2: the trained model drives proactive maintenance.
+    horizon_days = 20.0 if quick else 60.0
+    policy_table = Table(
+        ["policy", "reactive incidents", "proactive ops",
+         "availability"],
+        title="Policy comparison under Level-3 robotics")
+
+    def predictive_factory(fabric):
+        # The runner builds its Environment with defaults, so an
+        # identically-constructed instance gives the same temperature
+        # trajectory — the extractor needs nothing else.
+        extractor = FeatureExtractor(
+            Environment(), rng=np.random.default_rng(seed + 70))
+        scorer = (lambda link, now:
+                  float(logistic.predict_proba(
+                      extractor.extract(link, now))))
+        return PredictivePolicy(fabric, scorer=scorer, threshold=0.5)
+
+    modes = [
+        ("reactive", "reactive"),
+        ("proactive sweeps", "proactive"),
+        ("predictive (LR)", predictive_factory),
+    ]
+    series = []
+    for label, policy in modes:
+        config = WorldConfig(
+            horizon_days=horizon_days, seed=seed + 80,
+            level=AutomationLevel.L3_HIGH_AUTOMATION, policy=policy,
+            failure_scale=0.5, dust_rate_per_day=0.02,
+            aging_rate_per_day=0.01)
+        world = build_world(config)
+        world.sim.run(until=horizon_days * DAY)
+        controller = world.controller
+        incidents = (len(controller.closed_incidents)
+                     + len(controller.unresolved_incidents)
+                     + len(controller.open_incidents))
+        availability = world.availability()
+        policy_table.add_row(label, incidents,
+                             len(controller.proactive_outcomes),
+                             f"{availability.mean:.6f}")
+        series.append((len(series), incidents))
+    result.add_table(policy_table)
+    result.add_series("incidents_by_policy", series)
+    result.note("the predictive policy cleans/reseats links whose "
+                "optical margin trends down before telemetry ever "
+                "flags them")
+    return result
+
+
+if __name__ == "__main__":
+    print(run(quick=True).render())

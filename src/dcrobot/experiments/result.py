@@ -1,0 +1,97 @@
+"""Experiment result container, rendering, and export."""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from typing import Dict, List, Sequence, Tuple
+
+from dcrobot.metrics.report import Table
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Output of one paper experiment: tables + named data series."""
+
+    experiment_id: str
+    title: str
+    paper_anchor: str
+    tables: List[Table] = dataclasses.field(default_factory=list)
+    #: Named (x, y) series for the figure-shaped results.
+    series: Dict[str, List[Tuple[float, float]]] = dataclasses.field(
+        default_factory=dict)
+    notes: List[str] = dataclasses.field(default_factory=list)
+
+    def add_table(self, table: Table) -> None:
+        self.tables.append(table)
+
+    def add_series(self, name: str,
+                   points: Sequence[Tuple[float, float]]) -> None:
+        self.series[name] = list(points)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        """The full text report."""
+        parts = [f"== {self.experiment_id.upper()}: {self.title} ==",
+                 f"(paper anchor: {self.paper_anchor})", ""]
+        for table in self.tables:
+            parts.append(table.render())
+            parts.append("")
+        for name, points in self.series.items():
+            parts.append(f"series {name}:")
+            parts.append("  " + "  ".join(
+                f"({x:.4g}, {y:.4g})" for x, y in points))
+            parts.append("")
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts).rstrip() + "\n"
+
+    def __str__(self) -> str:
+        return self.render()
+
+    # -- export ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot of every table and series."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_anchor": self.paper_anchor,
+            "tables": [
+                {"title": table.title, "headers": table.headers,
+                 "rows": table.rows}
+                for table in self.tables],
+            "series": {name: list(points)
+                       for name, points in self.series.items()},
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save_json(self, path: str) -> None:
+        """Write the result as JSON (for plotting pipelines)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    def tables_to_csv(self) -> str:
+        """All tables as CSV blocks separated by blank lines."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        for table in self.tables:
+            if table.title:
+                writer.writerow([f"# {table.title}"])
+            writer.writerow(table.headers)
+            for row in table.rows:
+                writer.writerow(row)
+            writer.writerow([])
+        return buffer.getvalue()
+
+    def save_csv(self, path: str) -> None:
+        """Write the tables as CSV."""
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            handle.write(self.tables_to_csv())

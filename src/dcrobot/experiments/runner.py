@@ -1,0 +1,284 @@
+"""The shared experiment engine: build a world, run it, measure it.
+
+Every closed-loop experiment (E1, E4–E7, E11, E12) assembles the same
+stack — topology, environment, health, dust, injector, telemetry,
+executors, controller — varying only the configuration.  This module
+owns that assembly so experiments stay declarative.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from dcrobot.core.actions import RepairAction
+from dcrobot.core.automation import AutomationLevel, spec_for
+from dcrobot.core.controller import ControllerConfig, MaintenanceController
+from dcrobot.core.escalation import EscalationConfig, EscalationLadder
+from dcrobot.core.policy import (
+    NullPolicy,
+    ProactivePolicy,
+    ReactivePolicy,
+)
+from dcrobot.core.repairs import (
+    ASSISTED_TECHNICIAN_SKILL,
+    RepairPhysics,
+)
+from dcrobot.core.scheduler import ImpactAwareScheduler, SchedulerConfig
+from dcrobot.failures.cascade import CascadeModel
+from dcrobot.failures.aging import OxidationAging
+from dcrobot.failures.dust import DustProcess
+from dcrobot.failures.environment import Environment
+from dcrobot.failures.health import HealthModel, HealthParams
+from dcrobot.failures.injector import FailureRates, FaultInjector
+from dcrobot.humans.workforce import TechnicianParams, TechnicianPool
+from dcrobot.metrics.amplification import (
+    AmplificationStats,
+    amplification_from_outcomes,
+)
+from dcrobot.metrics.availability import (
+    AvailabilitySummary,
+    link_availability,
+)
+from dcrobot.metrics.cost import CostBreakdown, CostModel
+from dcrobot.metrics.mttr import RepairTimeStats, repair_time_stats
+from dcrobot.network.enums import FormFactor
+from dcrobot.robots.fleet import FleetConfig, RobotFleet
+from dcrobot.sim.engine import Simulation
+from dcrobot.telemetry.detectors import DetectorParams
+from dcrobot.telemetry.monitor import TelemetryMonitor
+from dcrobot.topology.base import Topology
+from dcrobot.topology.fattree import build_fattree
+
+DAY = 86400.0
+
+
+@dataclasses.dataclass
+class WorldConfig:
+    """Everything that defines one experiment run."""
+
+    #: Builds the topology; receives an rng.
+    topology_builder: Callable[..., Topology] = build_fattree
+    topology_kwargs: Dict = dataclasses.field(
+        default_factory=lambda: {"k": 4})
+    horizon_days: float = 30.0
+    seed: int = 0
+    #: Fault-rate multiplier over FailureRates defaults.
+    failure_scale: float = 1.0
+    rates: Optional[FailureRates] = None
+    #: Replay this exact fault campaign instead of live injection
+    #: (fabric link ids must match, i.e. same topology seed).
+    fault_trace: Optional[object] = None
+    dust_rate_per_day: float = 0.004
+    aging_rate_per_day: float = 0.002
+    level: AutomationLevel = AutomationLevel.L0_NO_AUTOMATION
+    technicians: int = 4
+    fleet_config: Optional[FleetConfig] = None
+    #: "reactive" | "proactive" | "none", or a policy factory.
+    policy: object = "reactive"
+    proactive_trigger: int = 2
+    health_tick_seconds: float = 300.0
+    monitor_poll_seconds: float = 300.0
+    detector_params: Optional[DetectorParams] = None
+    escalation: Optional[EscalationConfig] = None
+    controller_config: Optional[ControllerConfig] = None
+    scheduler_config: Optional[SchedulerConfig] = None
+    spare_transceivers: int = 500
+    spare_cables: int = 200
+
+    @property
+    def horizon_seconds(self) -> float:
+        return self.horizon_days * DAY
+
+
+@dataclasses.dataclass
+class RunResult:
+    """The fully-run world plus measurement helpers."""
+
+    config: WorldConfig
+    topology: Topology
+    sim: Simulation
+    environment: Environment
+    health: HealthModel
+    cascade: CascadeModel
+    injector: FaultInjector
+    monitor: TelemetryMonitor
+    controller: MaintenanceController
+    humans: Optional[TechnicianPool]
+    fleet: Optional[RobotFleet]
+    spares_consumed_transceivers: int = 0
+    spares_consumed_cables: int = 0
+
+    @property
+    def fabric(self):
+        return self.topology.fabric
+
+    @property
+    def horizon_seconds(self) -> float:
+        return self.config.horizon_seconds
+
+    # -- measurements ---------------------------------------------------------
+
+    def availability(self) -> AvailabilitySummary:
+        return link_availability(self.fabric, 0.0, self.horizon_seconds)
+
+    def repair_stats(self) -> Optional[RepairTimeStats]:
+        times = self.controller.repair_times()
+        return repair_time_stats(times) if times else None
+
+    def amplification(self) -> AmplificationStats:
+        outcomes = []
+        if self.humans is not None:
+            outcomes.extend(self.humans.outcomes)
+        if self.fleet is not None:
+            outcomes.extend(self.fleet.outcomes)
+        return amplification_from_outcomes(outcomes)
+
+    def attribution(self):
+        """Root-cause attribution of all incidents (see
+        :mod:`dcrobot.metrics.attribution`)."""
+        from dcrobot.metrics.attribution import (
+            attribute_incidents,
+            disturbed_links_from_cascade,
+        )
+
+        incidents = (self.controller.closed_incidents
+                     + self.controller.unresolved_incidents
+                     + list(self.controller.open_incidents.values()))
+        return attribute_incidents(
+            incidents, self.injector.log,
+            disturbed_links_from_cascade(self.cascade.reports))
+
+    def robot_busy_seconds(self) -> float:
+        if self.fleet is None:
+            return 0.0
+        units = self.fleet.manipulators + self.fleet.cleaners
+        return sum(unit.busy_seconds for unit in units)
+
+    def robot_count(self) -> int:
+        if self.fleet is None:
+            return 0
+        return len(self.fleet.manipulators) + len(self.fleet.cleaners)
+
+    def cost(self, model: Optional[CostModel] = None) -> CostBreakdown:
+        model = model or CostModel()
+        return model.compute(
+            horizon_seconds=self.horizon_seconds,
+            technician_labor_seconds=(
+                self.humans.labor_seconds if self.humans else 0.0),
+            supervision_seconds=self.controller.supervision_seconds,
+            robot_count=self.robot_count(),
+            robot_busy_seconds=self.robot_busy_seconds(),
+            transceivers_consumed=self.spares_consumed_transceivers,
+            cables_consumed=self.spares_consumed_cables)
+
+
+def _make_policy(config: WorldConfig, topology: Topology):
+    if callable(config.policy):
+        return config.policy(topology.fabric)
+    if config.policy == "none":
+        return NullPolicy(topology.fabric)
+    if config.policy == "reactive":
+        return ReactivePolicy(topology.fabric)
+    if config.policy == "proactive":
+        return ProactivePolicy(topology.fabric,
+                               trigger_count=config.proactive_trigger)
+    raise ValueError(f"unknown policy {config.policy!r}")
+
+
+def build_world(config: WorldConfig) -> RunResult:
+    """Assemble (but do not run) the full experiment stack."""
+    rng = np.random.default_rng(config.seed)
+    topology = config.topology_builder(
+        rng=np.random.default_rng(config.seed + 1),
+        **config.topology_kwargs)
+    fabric = topology.fabric
+    fabric.stock_spares(
+        {factor: config.spare_transceivers for factor in FormFactor},
+        cables=config.spare_cables)
+
+    sim = Simulation()
+    environment = Environment()
+    health = HealthModel(
+        fabric, environment,
+        params=HealthParams(tick_seconds=config.health_tick_seconds),
+        rng=np.random.default_rng(config.seed + 2))
+    cascade = CascadeModel(fabric, health, environment,
+                           rng=np.random.default_rng(config.seed + 3))
+    physics = RepairPhysics(fabric, health, cascade,
+                            rng=np.random.default_rng(config.seed + 4))
+    rates = (config.rates or FailureRates()).scaled(config.failure_scale)
+    injector = FaultInjector(fabric, health, rates=rates,
+                             rng=np.random.default_rng(config.seed + 5))
+    dust = DustProcess(fabric, health,
+                       mean_rate_per_day=config.dust_rate_per_day,
+                       rng=np.random.default_rng(config.seed + 6))
+    aging = OxidationAging(fabric, health,
+                           mean_rate_per_day=config.aging_rate_per_day,
+                           rng=np.random.default_rng(config.seed + 9))
+    monitor = TelemetryMonitor(fabric, params=config.detector_params,
+                               poll_seconds=config.monitor_poll_seconds)
+
+    spec = spec_for(config.level)
+    humans = None
+    if config.level is not AutomationLevel.L4_FULL_AUTOMATION:
+        params = TechnicianParams()
+        if spec.operator_assist_devices:
+            params = TechnicianParams(
+                skill=ASSISTED_TECHNICIAN_SKILL,
+                work_seconds={**params.work_seconds,
+                              RepairAction.CLEAN: 15.0 * 60})
+        humans = TechnicianPool(
+            sim, fabric, health, physics, count=config.technicians,
+            params=params, rng=np.random.default_rng(config.seed + 7))
+
+    fleet = None
+    if spec.robot_actions:
+        fleet_config = config.fleet_config or FleetConfig()
+        if config.level is AutomationLevel.L4_FULL_AUTOMATION:
+            fleet_config = dataclasses.replace(
+                fleet_config, advanced_capabilities=True)
+        fleet = RobotFleet(sim, fabric, health, physics,
+                           config=fleet_config,
+                           rng=np.random.default_rng(config.seed + 8))
+
+    controller = MaintenanceController(
+        sim, fabric, health, monitor,
+        policy=_make_policy(config, topology),
+        ladder=EscalationLadder(config.escalation),
+        scheduler=ImpactAwareScheduler(config=config.scheduler_config),
+        level=config.level, humans=humans, fleet=fleet,
+        config=config.controller_config or ControllerConfig())
+
+    sim.process(health.run(sim))
+    sim.process(monitor.run(sim))
+    sim.process(dust.run(sim))
+    sim.process(aging.run(sim))
+    if config.fault_trace is not None:
+        sim.process(config.fault_trace.replay(sim, injector))
+    else:
+        injector.start(sim)
+    controller.start()
+
+    return RunResult(config=config, topology=topology, sim=sim,
+                     environment=environment, health=health,
+                     cascade=cascade, injector=injector,
+                     monitor=monitor, controller=controller,
+                     humans=humans, fleet=fleet)
+
+
+def run_world(config: WorldConfig) -> RunResult:
+    """Build the stack and run it to the horizon."""
+    result = build_world(config)
+    initial_transceivers = sum(
+        result.fabric.spare_transceivers.values())
+    initial_cables = result.fabric.spare_cables
+    result.sim.run(until=config.horizon_seconds)
+    result.spares_consumed_transceivers = (
+        initial_transceivers
+        - sum(result.fabric.spare_transceivers.values()))
+    result.spares_consumed_cables = (initial_cables
+                                     - result.fabric.spare_cables)
+    return result

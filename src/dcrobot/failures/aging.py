@@ -1,0 +1,64 @@
+"""Gradual contact oxidation of seated transceivers.
+
+"Gold is not immune from oxidation and corrosion" (§3.2): contacts
+corrode slowly while a transceiver sits in its cage, at unit-specific
+rates (plating quality, micro-environment).  This is the slow process
+that proactive reseat sweeps pre-empt: reseating wipes the contacts and
+resets the clock *before* the link ever misbehaves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from dcrobot.failures.health import HealthModel
+from dcrobot.network.inventory import Fabric
+from dcrobot.sim.engine import Simulation
+
+
+class OxidationAging:
+    """Per-transceiver heterogeneous oxidation growth."""
+
+    def __init__(self, fabric: Fabric, health: HealthModel,
+                 mean_rate_per_day: float = 0.002,
+                 unit_sigma: float = 1.0,
+                 tick_seconds: float = 6 * 3600.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if mean_rate_per_day < 0:
+            raise ValueError("mean_rate_per_day must be >= 0")
+        if tick_seconds <= 0:
+            raise ValueError("tick_seconds must be > 0")
+        self.fabric = fabric
+        self.health = health
+        self.mean_rate_per_day = mean_rate_per_day
+        self.unit_sigma = unit_sigma
+        self.tick_seconds = tick_seconds
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._rate: Dict[str, float] = {}
+
+    def rate_for(self, unit_id: str) -> float:
+        """The unit's (lazily sampled) oxidation rate per day."""
+        rate = self._rate.get(unit_id)
+        if rate is None:
+            rate = self.mean_rate_per_day * float(
+                self.rng.lognormal(0.0, self.unit_sigma))
+            self._rate[unit_id] = rate
+        return rate
+
+    def tick(self, now: float) -> None:
+        """Advance corrosion on every seated transceiver."""
+        fraction_of_day = self.tick_seconds / 86400.0
+        for link in self.fabric.links.values():
+            for unit in link.transceivers():
+                if not unit.seated:
+                    continue
+                growth = self.rate_for(unit.id) * fraction_of_day
+                unit.oxidation = min(1.0, unit.oxidation + growth)
+
+    def run(self, sim: Simulation):
+        """Generator process: corrode on a fixed cadence."""
+        while True:
+            yield sim.timeout(self.tick_seconds)
+            self.tick(sim.now)

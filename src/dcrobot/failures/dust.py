@@ -1,0 +1,72 @@
+"""Slow environmental contamination (dust) of fiber end-faces.
+
+Unlike the injector's discrete dirt events (a contaminated mating, a
+technician's fingerprint), dust accumulates *gradually* — and unevenly:
+cables routed near floor vents or high-traffic aisles collect dust much
+faster.  This heterogeneous slow process is what makes failures
+*predictable*: a link's optical margin trends down for days before the
+flapping starts, exactly the signal §4's predictive maintenance exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from dcrobot.failures.health import HealthModel
+from dcrobot.network.inventory import Fabric
+from dcrobot.sim.engine import Simulation
+
+
+class DustProcess:
+    """Per-cable heterogeneous dust accumulation."""
+
+    def __init__(self, fabric: Fabric, health: HealthModel,
+                 mean_rate_per_day: float = 0.004,
+                 hotspot_sigma: float = 1.2,
+                 tick_seconds: float = 6 * 3600.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if mean_rate_per_day < 0:
+            raise ValueError("mean_rate_per_day must be >= 0")
+        if tick_seconds <= 0:
+            raise ValueError("tick_seconds must be > 0")
+        self.fabric = fabric
+        self.health = health
+        self.mean_rate_per_day = mean_rate_per_day
+        self.hotspot_sigma = hotspot_sigma
+        self.tick_seconds = tick_seconds
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        #: Per-cable dustiness multiplier (lognormal: most cables are
+        #: clean-ish, a tail of hotspot cables collect dust fast).
+        self._factor: Dict[str, float] = {}
+
+    def factor_for(self, cable_id: str) -> float:
+        """The cable's (lazily sampled) dust-exposure multiplier."""
+        factor = self._factor.get(cable_id)
+        if factor is None:
+            factor = float(self.rng.lognormal(0.0, self.hotspot_sigma))
+            self._factor[cable_id] = factor
+        return factor
+
+    def tick(self, now: float) -> None:
+        """Deposit one tick's dust on every separable end-face."""
+        fraction_of_day = self.tick_seconds / 86400.0
+        for link in self.fabric.links.values():
+            cable = link.cable
+            if not cable.cleanable:
+                continue
+            amount = (self.mean_rate_per_day
+                      * self.factor_for(cable.id) * fraction_of_day
+                      * float(self.rng.uniform(0.5, 1.5)))
+            if amount <= 0:
+                continue
+            for end in (cable.end_a, cable.end_b):
+                core = int(self.rng.integers(end.core_count))
+                end.add_contamination(amount, cores=[core])
+
+    def run(self, sim: Simulation):
+        """Generator process: deposit dust on a fixed cadence."""
+        while True:
+            yield sim.timeout(self.tick_seconds)
+            self.tick(sim.now)

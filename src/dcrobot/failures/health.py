@@ -1,0 +1,204 @@
+"""Link health: physical condition → operational state and loss rate.
+
+This is where gray failures live.  Each link's *impairment score* in
+[0, 1] is derived from component physics (oxidation, end-face dirt,
+hardware faults, physical disturbance) and the environment.  The score
+maps to behaviour:
+
+* below ``marginal_threshold`` — clean UP, negligible loss;
+* the marginal band — a Gilbert–Elliott chain oscillates the link
+  between UP (elevated loss) and short DOWN episodes: a *flapping* link
+  whose tail-latency poison §1 describes;
+* above ``hard_down_threshold`` — persistent DOWN.
+
+The :class:`HealthModel` owns a periodic process that re-evaluates every
+link; maintenance executors consult it after repairs, and the cascade
+model injects disturbances through it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from dcrobot.failures.environment import Environment
+from dcrobot.network.endface import IMPAIRMENT_THRESHOLD
+from dcrobot.network.enums import LinkState
+from dcrobot.network.inventory import Fabric
+from dcrobot.network.link import Link
+from dcrobot.sim.engine import Simulation
+
+
+@dataclasses.dataclass
+class HealthParams:
+    """Tunables of the impairment → behaviour mapping."""
+
+    tick_seconds: float = 60.0
+    marginal_threshold: float = 0.18
+    hard_down_threshold: float = 0.75
+    base_loss: float = 1e-9
+    #: P(good→bad) per tick at unit severity and unit stress.
+    flap_g2b_per_tick: float = 0.12
+    #: P(bad→good) per tick: bad episodes last ~2 ticks.
+    flap_b2g_per_tick: float = 0.5
+    oxidation_onset: float = 0.15
+    disturbance_score: float = 0.35
+    max_marginal_loss: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not 0 < self.marginal_threshold < self.hard_down_threshold <= 1:
+            raise ValueError("thresholds must satisfy 0 < marginal < hard <= 1")
+        if self.tick_seconds <= 0:
+            raise ValueError("tick_seconds must be > 0")
+
+
+class HealthModel:
+    """Evaluates and drives the operational state of every link."""
+
+    def __init__(self, fabric: Fabric, environment: Environment,
+                 params: Optional[HealthParams] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.fabric = fabric
+        self.environment = environment
+        self.params = params or HealthParams()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._bad_state: Dict[str, bool] = {}
+        self._disturbed_until: Dict[str, float] = {}
+
+    # -- disturbance (cascade hook) ------------------------------------------
+
+    def disturb(self, link_id: str, until: float) -> None:
+        """Mark a link physically disturbed until the given time."""
+        current = self._disturbed_until.get(link_id, 0.0)
+        self._disturbed_until[link_id] = max(current, until)
+
+    def is_disturbed(self, link_id: str, now: float) -> bool:
+        return self._disturbed_until.get(link_id, 0.0) > now
+
+    # -- scoring -----------------------------------------------------------------
+
+    def impairment_score(self, link: Link, now: float) -> float:
+        """Physical impairment in [0, 1]; 1.0 means hard-down faults."""
+        if self._has_hard_fault(link):
+            return 1.0
+        if not self._physically_connected(link):
+            return 1.0
+
+        score = 0.0
+        oxidation = max(link.transceiver_a.oxidation,
+                        link.transceiver_b.oxidation)
+        score += max(0.0, oxidation - self.params.oxidation_onset)
+
+        dirt = link.cable.worst_contamination
+        for unit in link.transceivers():
+            if unit.receptacle is not None:
+                dirt = max(dirt, unit.receptacle.worst_contamination)
+        stress = self.environment.stress_multiplier(now)
+        score += max(0.0, dirt - IMPAIRMENT_THRESHOLD) * stress
+
+        if self.is_disturbed(link.id, now):
+            score += self.params.disturbance_score
+        return float(min(score, 1.0))
+
+    def _has_hard_fault(self, link: Link) -> bool:
+        if link.cable.damaged:
+            return True
+        for unit in link.transceivers():
+            if unit.hw_fault or unit.firmware_stuck:
+                return True
+        for port in link.ports():
+            if port.hw_fault:
+                return True
+        for end in (link.cable.end_a, link.cable.end_b):
+            if end is not None and end.scratched.any():
+                return True
+        return False
+
+    def _physically_connected(self, link: Link) -> bool:
+        if not (link.transceiver_a.seated and link.transceiver_b.seated):
+            return False
+        return link.cable.attached_a and link.cable.attached_b
+
+    def marginal_loss(self, score: float) -> float:
+        """Packet-loss probability for a marginal link in its good phase.
+
+        Log-linear in the link's position within the marginal band:
+        barely-marginal links lose ~1e-6, links about to go hard-down
+        lose ~1e-2 (capped) — the measured range for gray optical links.
+        """
+        params = self.params
+        severity = (score - params.marginal_threshold) / (
+            params.hard_down_threshold - params.marginal_threshold)
+        severity = min(max(severity, 0.0), 1.0)
+        loss = 10.0 ** (-6.0 + 4.8 * severity)
+        return float(min(loss, params.max_marginal_loss))
+
+    # -- state machine ---------------------------------------------------------------
+
+    def evaluate_link(self, link: Link, now: float) -> None:
+        """Re-derive one link's state from its physical condition."""
+        if link.state is LinkState.MAINTENANCE:
+            return
+        params = self.params
+        score = self.impairment_score(link, now)
+
+        if score >= params.hard_down_threshold:
+            link.loss_rate = 1.0
+            link.set_state(now, LinkState.DOWN)
+            self._bad_state[link.id] = True
+            return
+
+        if score < params.marginal_threshold:
+            link.loss_rate = params.base_loss
+            link.set_state(now, LinkState.UP)
+            self._bad_state[link.id] = False
+            return
+
+        # Marginal band: Gilbert-Elliott oscillation.
+        severity = ((score - params.marginal_threshold)
+                    / (params.hard_down_threshold
+                       - params.marginal_threshold))
+        stress = self.environment.stress_multiplier(now)
+        in_bad = self._bad_state.get(link.id, False)
+        if in_bad:
+            if self.rng.random() < params.flap_b2g_per_tick:
+                in_bad = False
+        else:
+            p_fail = min(0.95, params.flap_g2b_per_tick
+                         * (0.25 + severity) * stress)
+            if self.rng.random() < p_fail:
+                in_bad = True
+        self._bad_state[link.id] = in_bad
+        if in_bad:
+            link.loss_rate = 1.0
+            link.set_state(now, LinkState.DOWN)
+        else:
+            # Good phase of a marginal link: carries traffic with elevated
+            # loss.  The repeated UP<->DOWN transitions are what the flap
+            # detector in telemetry classifies as "flapping".
+            link.loss_rate = self.marginal_loss(score)
+            link.set_state(now, LinkState.UP)
+
+    def begin_maintenance(self, link: Link, now: float) -> None:
+        """Administratively take a link out of service for repair."""
+        link.set_state(now, LinkState.MAINTENANCE)
+        link.loss_rate = 1.0
+
+    def release_from_maintenance(self, link: Link, now: float) -> None:
+        """Return a link to service and immediately re-derive its state."""
+        link.set_state(now, LinkState.UP)
+        self._bad_state[link.id] = False
+        self.evaluate_link(link, now)
+
+    def tick(self, now: float) -> None:
+        """Re-evaluate every link."""
+        for link in self.fabric.links.values():
+            self.evaluate_link(link, now)
+
+    def run(self, sim: Simulation):
+        """Generator process: evaluate all links every tick."""
+        while True:
+            self.tick(sim.now)
+            yield sim.timeout(self.params.tick_seconds)

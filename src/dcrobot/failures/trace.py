@@ -1,0 +1,124 @@
+"""Fault traces: record, save, load, and replay failure campaigns.
+
+Experiments that compare maintenance modes want *identical* fault
+environments ("the same fault trace replayed across Levels 0–4", E6).
+Seeded injectors achieve that implicitly; traces make it explicit and
+portable: record a campaign once (or synthesize one), save it as JSON,
+and replay it against any world whose fabric has the same link ids.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import List, Optional
+
+import numpy as np
+
+from dcrobot.failures.injector import FaultInjector, InjectedFault
+from dcrobot.network.enums import DegradationKind
+from dcrobot.network.inventory import Fabric
+from dcrobot.sim.engine import Simulation
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEntry:
+    """One scheduled fault."""
+
+    time: float
+    kind: DegradationKind
+    link_id: str
+
+    def to_dict(self) -> dict:
+        return {"time": self.time, "kind": self.kind.value,
+                "link_id": self.link_id}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceEntry":
+        return cls(time=float(data["time"]),
+                   kind=DegradationKind(data["kind"]),
+                   link_id=str(data["link_id"]))
+
+
+class FaultTrace:
+    """An ordered fault campaign."""
+
+    def __init__(self, entries: Optional[List[TraceEntry]] = None) -> None:
+        self.entries = sorted(entries or [], key=lambda e: e.time)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        horizon = self.entries[-1].time if self.entries else 0.0
+        return f"<FaultTrace n={len(self)} horizon={horizon:.0f}s>"
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_injector_log(cls, log: List[InjectedFault]) -> "FaultTrace":
+        """Capture a completed run's ground-truth log as a trace."""
+        return cls([TraceEntry(fault.time, fault.kind, fault.link_id)
+                    for fault in log])
+
+    @classmethod
+    def synthesize(cls, fabric: Fabric, horizon_seconds: float,
+                   rates, rng: Optional[np.random.Generator] = None
+                   ) -> "FaultTrace":
+        """Draw a campaign up-front from per-cause exponential clocks —
+        statistically identical to running the injector live."""
+        from dcrobot.failures.hazards import per_year
+
+        rng = rng if rng is not None else np.random.default_rng(0)
+        link_ids = list(fabric.links)
+        entries: List[TraceEntry] = []
+        for kind in DegradationKind:
+            per_link = per_year(rates.rate_of(kind))
+            aggregate = per_link * len(link_ids)
+            if aggregate <= 0:
+                continue
+            now = 0.0
+            while True:
+                now += float(rng.exponential(1.0 / aggregate))
+                if now >= horizon_seconds:
+                    break
+                victim = link_ids[int(rng.integers(len(link_ids)))]
+                entries.append(TraceEntry(now, kind, victim))
+        return cls(entries)
+
+    # -- persistence ----------------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps([entry.to_dict() for entry in self.entries])
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultTrace":
+        return cls([TraceEntry.from_dict(item)
+                    for item in json.loads(text)])
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "FaultTrace":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    # -- replay ----------------------------------------------------------------------
+
+    def replay(self, sim: Simulation, injector: FaultInjector):
+        """Generator process: inject each entry at its recorded time.
+
+        Entries whose link no longer exists (removed by rewiring) are
+        skipped.  The injector's ground-truth log fills up exactly as
+        it would have live.
+        """
+        for entry in self.entries:
+            delay = entry.time - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            link = injector.fabric.links.get(entry.link_id)
+            if link is None:
+                continue
+            injector.inject(entry.kind, link, sim.now)

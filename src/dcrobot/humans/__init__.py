@@ -1,0 +1,5 @@
+"""Human maintenance workforce (S8) — today's baseline executor."""
+
+from dcrobot.humans.workforce import TechnicianParams, TechnicianPool
+
+__all__ = ["TechnicianPool", "TechnicianParams"]

@@ -1,0 +1,186 @@
+"""The human maintenance baseline: tickets, dispatch, technicians.
+
+Today's process (§1): a service files a ticket, a skilled technician is
+assigned, and the physical repair lands "on a timescale of days, with a
+fraction of repairs being high priority and done in hours".  The pool
+models exactly that: an administrative dispatch delay drawn from a
+priority-dependent lognormal, contention for a finite technician pool,
+aisle travel, and manual work with human contact physics (cable-touch
+cascades) and human skill (inspection misses, occasional botches).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from dcrobot.core.actions import Priority, RepairAction, RepairOutcome, WorkOrder
+from dcrobot.core.repairs import TECHNICIAN_SKILL, RepairPhysics, SkillProfile
+from dcrobot.failures.cascade import HUMAN_HANDS, ContactProfile
+from dcrobot.failures.health import HealthModel
+from dcrobot.network.inventory import Fabric
+from dcrobot.sim.engine import Simulation
+from dcrobot.sim.events import Event
+from dcrobot.sim.resources import PriorityResource
+
+HOUR = 3600.0
+
+
+@dataclasses.dataclass
+class TechnicianParams:
+    """Timing and quality parameters of the human workforce."""
+
+    #: Median administrative delay from ticket to work start, by priority.
+    dispatch_median_seconds: Dict[Priority, float] = dataclasses.field(
+        default_factory=lambda: {
+            Priority.HIGH: 4.0 * HOUR,          # "done in hours"
+            Priority.NORMAL: 36.0 * HOUR,       # "timescale of days"
+        })
+    dispatch_sigma: float = 0.5
+    walking_speed_m_s: float = 1.2
+    #: Hands-on work time per action (seconds, scaled by noise).
+    work_seconds: Dict[RepairAction, float] = dataclasses.field(
+        default_factory=lambda: {
+            RepairAction.RESEAT: 10.0 * 60,
+            RepairAction.CLEAN: 25.0 * 60,
+            RepairAction.REPLACE_TRANSCEIVER: 20.0 * 60,
+            RepairAction.REPLACE_CABLE: 4.0 * HOUR,
+            RepairAction.REPLACE_SWITCHGEAR: 3.0 * HOUR,
+        })
+    work_noise_low: float = 0.8
+    work_noise_high: float = 1.5
+    contact: ContactProfile = HUMAN_HANDS
+    skill: SkillProfile = TECHNICIAN_SKILL
+    #: When True, NORMAL-priority work only starts during the day
+    #: shift; HIGH-priority pages someone around the clock.  (Robots
+    #: have no such constraint — one more §2 asymmetry.)
+    day_shift_only_for_normal: bool = False
+    day_start_hour: float = 8.0
+    day_end_hour: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.walking_speed_m_s <= 0:
+            raise ValueError("walking_speed_m_s must be > 0")
+        if not 0 < self.work_noise_low <= self.work_noise_high:
+            raise ValueError("work noise bounds invalid")
+        if not 0 <= self.day_start_hour < self.day_end_hour <= 24:
+            raise ValueError("invalid day shift window")
+
+
+class TechnicianPool:
+    """A maintenance executor backed by ``count`` human technicians."""
+
+    #: Humans can perform every action in the ladder.
+    CAPABILITIES = frozenset(RepairAction)
+
+    def __init__(self, sim: Simulation, fabric: Fabric,
+                 health: HealthModel, physics: RepairPhysics,
+                 count: int = 2,
+                 params: Optional[TechnicianParams] = None,
+                 rng: Optional[np.random.Generator] = None,
+                 executor_id: str = "technicians") -> None:
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self.sim = sim
+        self.fabric = fabric
+        self.health = health
+        self.physics = physics
+        self.count = count
+        self.params = params or TechnicianParams()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.executor_id = executor_id
+        self._pool = PriorityResource(sim, capacity=count)
+        #: Completed outcomes, oldest first.
+        self.outcomes: List[RepairOutcome] = []
+        #: Total hands-on person-seconds (travel + work) for costing.
+        self.labor_seconds = 0.0
+
+    def __repr__(self) -> str:
+        return (f"<TechnicianPool n={self.count} "
+                f"done={len(self.outcomes)}>")
+
+    def can_execute(self, action: RepairAction) -> bool:
+        return action in self.CAPABILITIES
+
+    # -- submission -------------------------------------------------------------
+
+    def submit(self, order: WorkOrder) -> Event:
+        """Queue a work order; the returned event fires with the
+        :class:`RepairOutcome` when the repair attempt completes."""
+        done = self.sim.event()
+        self.sim.process(self._execute(order, done))
+        return done
+
+    def announce_touches(self, order: WorkOrder) -> List[str]:
+        """Predicted contacted neighbour links for this order (§2)."""
+        link = self.fabric.links[order.link_id]
+        return self.physics.cascade.predict_touched(
+            link, self.params.contact)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _dispatch_delay(self, priority: Priority) -> float:
+        median = self.params.dispatch_median_seconds[priority]
+        return float(self.rng.lognormal(np.log(median),
+                                        self.params.dispatch_sigma))
+
+    def _travel_seconds(self, link) -> float:
+        node_id = link.port_a.parent_id
+        position = self.fabric.position_of(node_id)
+        depot = self.fabric.layout.rack_at(0, 0).position
+        distance = self.fabric.layout.travel_distance(depot, position)
+        return distance / self.params.walking_speed_m_s + 60.0
+
+    def _work_seconds(self, action: RepairAction) -> float:
+        base = self.params.work_seconds[action]
+        noise = self.rng.uniform(self.params.work_noise_low,
+                                 self.params.work_noise_high)
+        return base * noise
+
+    def _seconds_until_day_shift(self, now: float) -> float:
+        """Delay until the day shift opens (0 while it is open)."""
+        params = self.params
+        day_seconds = now % 86400.0
+        start = params.day_start_hour * 3600.0
+        end = params.day_end_hour * 3600.0
+        if start <= day_seconds < end:
+            return 0.0
+        if day_seconds < start:
+            return start - day_seconds
+        return 86400.0 - day_seconds + start
+
+    def _execute(self, order: WorkOrder, done: Event):
+        sim = self.sim
+        link = self.fabric.links[order.link_id]
+        yield sim.timeout(self._dispatch_delay(order.priority))
+        if (self.params.day_shift_only_for_normal
+                and order.priority is Priority.NORMAL):
+            yield sim.timeout(self._seconds_until_day_shift(sim.now))
+        with self._pool.request(priority=order.priority.value) as grab:
+            yield grab
+            started = sim.now
+            travel = self._travel_seconds(link)
+            yield sim.timeout(travel)
+            self.health.begin_maintenance(link, sim.now)
+            touch = self.physics.reach_in(link, self.params.contact,
+                                          sim.now)
+            work = self._work_seconds(order.action)
+            yield sim.timeout(work)
+            completed, notes = self.physics.perform(
+                order.action, link, sim.now, self.params.skill)
+            self.health.release_from_maintenance(link, sim.now)
+            self.labor_seconds += travel + work
+            outcome = RepairOutcome(
+                order=order,
+                executor_id=self.executor_id,
+                started_at=started,
+                finished_at=sim.now,
+                completed=completed,
+                notes=notes,
+                secondary_disturbed=len(touch.disturbed_links),
+                secondary_damaged=len(touch.damaged_links),
+            )
+            self.outcomes.append(outcome)
+            done.succeed(outcome)

@@ -1,0 +1,65 @@
+"""Measurement & economics (S11)."""
+
+from dcrobot.metrics.amplification import (
+    AmplificationStats,
+    amplification_from_outcomes,
+)
+from dcrobot.metrics.attribution import (
+    AttributionSummary,
+    attribute_incidents,
+    disturbed_links_from_cascade,
+)
+from dcrobot.metrics.availability import (
+    AvailabilitySummary,
+    availability_from_incidents,
+    downtime_seconds,
+    link_availability,
+)
+from dcrobot.metrics.cost import CostBreakdown, CostModel, CostParams
+from dcrobot.metrics.energy import (
+    TRANSCEIVER_WATTS,
+    EnergyModel,
+    EnergyParams,
+    EnergyReport,
+)
+from dcrobot.metrics.mttr import (
+    RepairTimeStats,
+    format_duration,
+    mtbf_seconds,
+    repair_time_stats,
+)
+from dcrobot.metrics.report import Table
+from dcrobot.metrics.viz import (
+    availability_bar,
+    hall_map,
+    link_state_strip,
+    sparkline,
+)
+
+__all__ = [
+    "link_availability",
+    "downtime_seconds",
+    "availability_from_incidents",
+    "AvailabilitySummary",
+    "repair_time_stats",
+    "RepairTimeStats",
+    "format_duration",
+    "mtbf_seconds",
+    "amplification_from_outcomes",
+    "AmplificationStats",
+    "CostModel",
+    "CostParams",
+    "CostBreakdown",
+    "Table",
+    "EnergyModel",
+    "EnergyParams",
+    "EnergyReport",
+    "TRANSCEIVER_WATTS",
+    "sparkline",
+    "link_state_strip",
+    "hall_map",
+    "availability_bar",
+    "AttributionSummary",
+    "attribute_incidents",
+    "disturbed_links_from_cascade",
+]

@@ -1,0 +1,52 @@
+"""Repair amplification: collateral damage per repair (§2).
+
+"Tight coupling and control will help minimize repair amplification
+caused by cascading failures."  Amplification is the expected number of
+secondary events (transient disturbances + permanent damage) each
+physical repair inflicts on neighbouring links.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from dcrobot.core.actions import RepairOutcome
+
+
+@dataclasses.dataclass(frozen=True)
+class AmplificationStats:
+    """Secondary-failure accounting over a set of repairs."""
+
+    repairs: int
+    disturbed: int
+    damaged: int
+
+    @property
+    def secondary_total(self) -> int:
+        return self.disturbed + self.damaged
+
+    @property
+    def amplification_factor(self) -> float:
+        """Total work events per intended repair: 1 + secondaries/repair.
+
+        1.0 means repairs are perfectly contained; 1.5 means every two
+        repairs spawn one extra incident.
+        """
+        if self.repairs == 0:
+            return 1.0
+        return 1.0 + self.secondary_total / self.repairs
+
+    def __repr__(self) -> str:
+        return (f"<AmplificationStats repairs={self.repairs} "
+                f"factor={self.amplification_factor:.3f}>")
+
+
+def amplification_from_outcomes(
+        outcomes: Sequence[RepairOutcome]) -> AmplificationStats:
+    """Aggregate secondary failures over executor outcomes."""
+    return AmplificationStats(
+        repairs=len(outcomes),
+        disturbed=sum(outcome.secondary_disturbed
+                      for outcome in outcomes),
+        damaged=sum(outcome.secondary_damaged for outcome in outcomes))

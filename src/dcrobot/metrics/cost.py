@@ -1,0 +1,85 @@
+"""The maintenance cost model.
+
+Aggregates the three spend categories the paper's economics hinge on:
+human labor (including robot supervision at L2/L3), robot fleet capex
+and opex, and consumed spares.  Everything is denominated in dollars
+over a simulated horizon so automation levels can be compared on one
+axis.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+HOUR = 3600.0
+YEAR = 365.25 * 86400.0
+
+
+@dataclasses.dataclass(frozen=True)
+class CostParams:
+    """Unit economics (defaults are representative, not authoritative)."""
+
+    technician_hourly_usd: float = 85.0
+    robot_unit_capex_usd: float = 60_000.0
+    robot_amortization_years: float = 5.0
+    robot_opex_hourly_usd: float = 1.5
+    spare_transceiver_usd: float = 450.0
+    spare_cable_usd: float = 320.0
+
+    def __post_init__(self) -> None:
+        if self.robot_amortization_years <= 0:
+            raise ValueError("amortization must be > 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class CostBreakdown:
+    """Dollars spent over the horizon, by category."""
+
+    labor_usd: float
+    supervision_usd: float
+    robot_capex_usd: float
+    robot_opex_usd: float
+    spares_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        return (self.labor_usd + self.supervision_usd
+                + self.robot_capex_usd + self.robot_opex_usd
+                + self.spares_usd)
+
+    def __repr__(self) -> str:
+        return (f"<CostBreakdown total=${self.total_usd:,.0f} "
+                f"labor=${self.labor_usd:,.0f} "
+                f"robots=${self.robot_capex_usd + self.robot_opex_usd:,.0f}>")
+
+
+class CostModel:
+    """Computes a run's cost breakdown from executor accounting."""
+
+    def __init__(self, params: CostParams = CostParams()) -> None:
+        self.params = params
+
+    def compute(self, horizon_seconds: float,
+                technician_labor_seconds: float = 0.0,
+                supervision_seconds: float = 0.0,
+                robot_count: int = 0,
+                robot_busy_seconds: float = 0.0,
+                transceivers_consumed: int = 0,
+                cables_consumed: int = 0) -> CostBreakdown:
+        """Dollars for one simulated run."""
+        if horizon_seconds <= 0:
+            raise ValueError("horizon must be > 0")
+        params = self.params
+        hourly = params.technician_hourly_usd / HOUR
+        capex_per_robot = (params.robot_unit_capex_usd
+                           * horizon_seconds
+                           / (params.robot_amortization_years * YEAR))
+        return CostBreakdown(
+            labor_usd=technician_labor_seconds * hourly,
+            supervision_usd=supervision_seconds * hourly,
+            robot_capex_usd=robot_count * capex_per_robot,
+            robot_opex_usd=(robot_busy_seconds
+                            * params.robot_opex_hourly_usd / HOUR),
+            spares_usd=(transceivers_consumed
+                        * params.spare_transceiver_usd
+                        + cables_consumed * params.spare_cable_usd))

@@ -1,0 +1,65 @@
+"""Repair-time (service-window) statistics."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+HOUR = 3600.0
+DAY = 86400.0
+
+
+@dataclasses.dataclass(frozen=True)
+class RepairTimeStats:
+    """Summary of a set of detection-to-verified-fix durations."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    def __repr__(self) -> str:
+        return (f"<RepairTimeStats n={self.count} "
+                f"p50={format_duration(self.p50)} "
+                f"p95={format_duration(self.p95)}>")
+
+
+def repair_time_stats(repair_times: Sequence[float]) -> RepairTimeStats:
+    """Percentile summary of repair durations (seconds)."""
+    if not repair_times:
+        raise ValueError("no repair times")
+    values = np.asarray(repair_times, dtype=float)
+    return RepairTimeStats(
+        count=len(values),
+        mean=float(values.mean()),
+        p50=float(np.percentile(values, 50)),
+        p95=float(np.percentile(values, 95)),
+        p99=float(np.percentile(values, 99)),
+        max=float(values.max()))
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration: '42s', '12.5m', '3.2h', '1.8d'."""
+    if seconds < 0:
+        raise ValueError(f"negative duration {seconds}")
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < HOUR:
+        return f"{seconds / 60:.1f}m"
+    if seconds < DAY:
+        return f"{seconds / HOUR:.1f}h"
+    return f"{seconds / DAY:.1f}d"
+
+
+def mtbf_seconds(fault_count: int, link_count: int,
+                 horizon_seconds: float) -> float:
+    """Mean time between failures per link."""
+    if fault_count <= 0:
+        return float("inf")
+    if link_count <= 0 or horizon_seconds <= 0:
+        raise ValueError("need positive link_count and horizon")
+    return link_count * horizon_seconds / fault_count

@@ -1,0 +1,59 @@
+"""Plain-text result tables — the benches print these to mirror how the
+paper's evaluation rows would read."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class Table:
+    """A minimal fixed-width table renderer."""
+
+    def __init__(self, headers: Sequence[str],
+                 title: Optional[str] = None) -> None:
+        if not headers:
+            raise ValueError("need at least one column")
+        self.title = title
+        self.headers = [str(header) for header in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; cells are str()-ed, floats get 4 significant
+        digits unless already strings.  Control characters (including
+        newlines) are replaced with spaces so a cell can never break
+        the table's line structure."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}")
+        rendered = []
+        for cell in cells:
+            if isinstance(cell, float):
+                text = f"{cell:.4g}"
+            else:
+                text = str(cell)
+            rendered.append("".join(
+                char if char.isprintable() else " " for char in text))
+        self.rows.append(rendered)
+
+    def render(self) -> str:
+        """The table as a string."""
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells):
+            return "  ".join(cell.ljust(width)
+                             for cell, width in zip(cells, widths))
+
+        parts = []
+        if self.title:
+            parts.append(self.title)
+        parts.append(line(self.headers))
+        parts.append(line(["-" * width for width in widths]))
+        for row in self.rows:
+            parts.append(line(row))
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,125 @@
+"""Terminal visualization helpers.
+
+Everything in ``dcrobot`` reports through plain text; these helpers make
+the reports legible at a glance: sparklines for time series, a hall map
+showing racks/switches/robots, and link-state strip charts.  No plotting
+dependencies — they render to strings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from dcrobot.network.enums import LinkState
+from dcrobot.network.inventory import Fabric
+from dcrobot.network.link import Link
+
+_SPARK_GLYPHS = " ._-=+*#"
+
+
+def sparkline(values: Sequence[float], width: int = 60,
+              low: Optional[float] = None,
+              high: Optional[float] = None) -> str:
+    """Render a numeric series as a fixed-width glyph strip.
+
+    ``low``/``high`` pin the scale (default: the series' own range);
+    values are bucket-averaged down to ``width`` glyphs.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if not values:
+        return ""
+    data = np.asarray(values, dtype=float)
+    floor = low if low is not None else float(data.min())
+    ceil = high if high is not None else float(data.max())
+    span = max(ceil - floor, 1e-12)
+    step = max(1, int(np.ceil(len(data) / width)))
+    glyphs = []
+    for start in range(0, len(data), step):
+        window = float(data[start:start + step].mean())
+        level = min(max((window - floor) / span, 0.0), 1.0)
+        glyphs.append(_SPARK_GLYPHS[int(level * (len(_SPARK_GLYPHS) - 1))])
+    return "".join(glyphs)
+
+
+_STATE_GLYPHS = {
+    LinkState.UP: "#",
+    LinkState.FLAPPING: "~",
+    LinkState.DOWN: ".",
+    LinkState.MAINTENANCE: "m",
+}
+
+
+def link_state_strip(link: Link, start: float, end: float,
+                     width: int = 60) -> str:
+    """The link's state over [start, end) as one glyph per time bucket.
+
+    ``#`` up, ``.`` down, ``m`` maintenance, ``~`` flapping-labelled.
+    """
+    if end <= start:
+        raise ValueError("empty interval")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    bucket = (end - start) / width
+    # Build the state at each bucket midpoint by walking the history.
+    glyphs = []
+    history = list(link.history)
+    for index in range(width):
+        moment = start + (index + 0.5) * bucket
+        state = LinkState.UP
+        for when, new_state in history:
+            if when <= moment:
+                state = new_state
+            else:
+                break
+        glyphs.append(_STATE_GLYPHS[state])
+    return "".join(glyphs)
+
+
+def hall_map(fabric: Fabric, robot_racks: Sequence[str] = (),
+             max_columns: int = 40) -> str:
+    """An ASCII floor plan: one character per rack.
+
+    ``.`` empty rack, ``S`` rack with switchgear, ``H`` rack with
+    hosts, ``B`` both, ``R`` a robot is currently there (overrides).
+    Wide halls are truncated on the right with a ``>`` marker.
+    """
+    layout = fabric.layout
+    switch_racks = {switch.rack_id
+                    for switch in fabric.switches.values()
+                    if switch.rack_id}
+    host_racks = {host.rack_id for host in fabric.hosts.values()
+                  if host.rack_id}
+    robots = set(robot_racks)
+    lines = []
+    truncated = layout.racks_per_row > max_columns
+    for row in range(layout.rows):
+        chars = []
+        for column in range(min(layout.racks_per_row, max_columns)):
+            rack_id = layout.rack_at(row, column).id
+            if rack_id in robots:
+                chars.append("R")
+            elif rack_id in switch_racks and rack_id in host_racks:
+                chars.append("B")
+            elif rack_id in switch_racks:
+                chars.append("S")
+            elif rack_id in host_racks:
+                chars.append("H")
+            else:
+                chars.append(".")
+        line = "".join(chars) + (">" if truncated else "")
+        lines.append(f"row {row:>3} |{line}|")
+    return "\n".join(lines)
+
+
+def availability_bar(fraction: float, width: int = 30) -> str:
+    """A labelled progress bar, e.g. ``[#####....] 99.93%``."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction outside [0, 1]")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    filled = int(round(fraction * width))
+    return (f"[{'#' * filled}{'.' * (width - filled)}] "
+            f"{100 * fraction:.2f}%")

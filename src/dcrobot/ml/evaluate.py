@@ -1,0 +1,100 @@
+"""Classifier evaluation: precision/recall/F1/AUC, splits."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassificationReport:
+    """Threshold metrics plus ranking quality."""
+
+    precision: float
+    recall: float
+    f1: float
+    accuracy: float
+    auc: float
+    positives: int
+    negatives: int
+
+    def __repr__(self) -> str:
+        return (f"<ClassificationReport P={self.precision:.2f} "
+                f"R={self.recall:.2f} F1={self.f1:.2f} "
+                f"AUC={self.auc:.2f}>")
+
+
+def train_test_split(features: np.ndarray, labels: np.ndarray,
+                     test_fraction: float = 0.3,
+                     rng: Optional[np.random.Generator] = None
+                     ) -> Tuple[np.ndarray, np.ndarray,
+                                np.ndarray, np.ndarray]:
+    """Shuffled split into (train_x, train_y, test_x, test_y)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    count = features.shape[0]
+    if count < 2:
+        raise ValueError("need at least two samples")
+    order = rng.permutation(count)
+    cut = max(1, int(round(count * (1.0 - test_fraction))))
+    cut = min(cut, count - 1)
+    train, test = order[:cut], order[cut:]
+    return (features[train], labels[train],
+            features[test], labels[test])
+
+
+def roc_auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the rank-sum formulation."""
+    labels = np.asarray(labels, dtype=float)
+    scores = np.asarray(scores, dtype=float)
+    positives = scores[labels == 1]
+    negatives = scores[labels == 0]
+    if len(positives) == 0 or len(negatives) == 0:
+        return 0.5
+    # Mann-Whitney U with tie correction via average ranks.
+    combined = np.concatenate([positives, negatives])
+    order = combined.argsort()
+    ranks = np.empty_like(order, dtype=float)
+    ranks[order] = np.arange(1, len(combined) + 1)
+    # Average ranks for ties.
+    sorted_scores = combined[order]
+    start = 0
+    for index in range(1, len(combined) + 1):
+        if index == len(combined) \
+                or sorted_scores[index] != sorted_scores[start]:
+            mean_rank = (start + 1 + index) / 2.0
+            ranks[order[start:index]] = mean_rank
+            start = index
+    positive_rank_sum = ranks[:len(positives)].sum()
+    u_statistic = positive_rank_sum \
+        - len(positives) * (len(positives) + 1) / 2.0
+    return float(u_statistic / (len(positives) * len(negatives)))
+
+
+def evaluate(labels: np.ndarray, scores: np.ndarray,
+             threshold: float = 0.5) -> ClassificationReport:
+    """Full report at a decision threshold."""
+    labels = np.asarray(labels, dtype=int)
+    scores = np.asarray(scores, dtype=float)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores disagree on shape")
+    predictions = (scores >= threshold).astype(int)
+    true_positive = int(((predictions == 1) & (labels == 1)).sum())
+    false_positive = int(((predictions == 1) & (labels == 0)).sum())
+    false_negative = int(((predictions == 0) & (labels == 1)).sum())
+    true_negative = int(((predictions == 0) & (labels == 0)).sum())
+    precision = (true_positive / (true_positive + false_positive)
+                 if true_positive + false_positive else 0.0)
+    recall = (true_positive / (true_positive + false_negative)
+              if true_positive + false_negative else 0.0)
+    f1 = (2 * precision * recall / (precision + recall)
+          if precision + recall else 0.0)
+    accuracy = (true_positive + true_negative) / max(1, len(labels))
+    return ClassificationReport(
+        precision=precision, recall=recall, f1=f1, accuracy=accuracy,
+        auc=roc_auc(labels, scores),
+        positives=int((labels == 1).sum()),
+        negatives=int((labels == 0).sum()))

@@ -1,0 +1,95 @@
+"""Logistic regression from scratch (numpy only).
+
+Full-batch gradient descent with L2 regularization and internal feature
+standardization.  Deliberately simple: the point of E10 is the *policy*
+value of prediction, not squeezing AUC.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Clipping keeps exp() finite for extreme logits.
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+
+class LogisticRegression:
+    """Binary classifier: P(y=1 | x) = sigmoid(w.x + b)."""
+
+    def __init__(self, learning_rate: float = 0.1,
+                 l2: float = 1e-3, epochs: int = 500) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be > 0")
+        if l2 < 0:
+            raise ValueError("l2 must be >= 0")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.epochs = epochs
+        self.weights: Optional[np.ndarray] = None
+        self.bias = 0.0
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    @property
+    def fitted(self) -> bool:
+        return self.weights is not None
+
+    def _standardize(self, features: np.ndarray) -> np.ndarray:
+        return (features - self._mean) / self._std
+
+    def fit(self, features: np.ndarray,
+            labels: np.ndarray) -> "LogisticRegression":
+        """Train on rows ``features`` with binary ``labels``."""
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=float)
+        if features.ndim != 2:
+            raise ValueError("features must be 2-D")
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("features and labels disagree on rows")
+        if not np.isin(labels, (0.0, 1.0)).all():
+            raise ValueError("labels must be 0/1")
+        count, dims = features.shape
+        if count == 0:
+            raise ValueError("empty training set")
+
+        self._mean = features.mean(axis=0)
+        self._std = features.std(axis=0)
+        self._std[self._std < 1e-9] = 1.0
+        standardized = self._standardize(features)
+
+        weights = np.zeros(dims)
+        bias = 0.0
+        for _epoch in range(self.epochs):
+            probabilities = _sigmoid(standardized @ weights + bias)
+            error = probabilities - labels
+            gradient_w = standardized.T @ error / count \
+                + self.l2 * weights
+            gradient_b = float(error.mean())
+            weights -= self.learning_rate * gradient_w
+            bias -= self.learning_rate * gradient_b
+        self.weights = weights
+        self.bias = bias
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """P(y=1) for each feature row."""
+        if not self.fitted:
+            raise RuntimeError("model not fitted")
+        features = np.asarray(features, dtype=float)
+        single = features.ndim == 1
+        if single:
+            features = features[None, :]
+        probabilities = _sigmoid(
+            self._standardize(features) @ self.weights + self.bias)
+        return probabilities[0] if single else probabilities
+
+    def predict(self, features: np.ndarray,
+                threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 predictions at the given probability threshold."""
+        return (self.predict_proba(features) >= threshold).astype(int)

@@ -1,0 +1,122 @@
+"""Gradient-boosted decision stumps (numpy only).
+
+A stronger non-linear baseline than logistic regression for E10's model
+comparison: LogitBoost-style stages, each a single-feature threshold
+split fit to the current gradient.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class Stump:
+    """One threshold split: value = left if x[f] < t else right."""
+
+    feature: int
+    threshold: float
+    left_value: float
+    right_value: float
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        column = features[:, self.feature]
+        return np.where(column < self.threshold,
+                        self.left_value, self.right_value)
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+
+class GradientBoostedStumps:
+    """Binary classifier: additive logit model of ``rounds`` stumps."""
+
+    def __init__(self, rounds: int = 40, learning_rate: float = 0.3,
+                 candidate_thresholds: int = 16) -> None:
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be > 0")
+        if candidate_thresholds < 2:
+            raise ValueError("candidate_thresholds must be >= 2")
+        self.rounds = rounds
+        self.learning_rate = learning_rate
+        self.candidate_thresholds = candidate_thresholds
+        self.stumps: List[Stump] = []
+        self.base_logit = 0.0
+
+    @property
+    def fitted(self) -> bool:
+        return bool(self.stumps) or self.base_logit != 0.0
+
+    def _best_stump(self, features: np.ndarray,
+                    residuals: np.ndarray) -> Stump:
+        """Least-squares stump on the residuals."""
+        best = None
+        best_loss = np.inf
+        count, dims = features.shape
+        for feature in range(dims):
+            column = features[:, feature]
+            quantiles = np.linspace(0.05, 0.95,
+                                    self.candidate_thresholds)
+            for threshold in np.quantile(column, quantiles):
+                mask = column < threshold
+                if mask.all() or not mask.any():
+                    continue
+                left = residuals[mask].mean()
+                right = residuals[~mask].mean()
+                prediction = np.where(mask, left, right)
+                loss = float(((residuals - prediction) ** 2).sum())
+                if loss < best_loss:
+                    best_loss = loss
+                    best = Stump(feature, float(threshold),
+                                 float(left), float(right))
+        if best is None:  # degenerate: all features constant
+            mean = float(residuals.mean())
+            best = Stump(0, np.inf, mean, mean)
+        return best
+
+    def fit(self, features: np.ndarray,
+            labels: np.ndarray) -> "GradientBoostedStumps":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=float)
+        if features.ndim != 2 or features.shape[0] != labels.shape[0]:
+            raise ValueError("bad shapes")
+        if features.shape[0] == 0:
+            raise ValueError("empty training set")
+        positive = float(labels.mean())
+        positive = min(max(positive, 1e-4), 1 - 1e-4)
+        self.base_logit = float(np.log(positive / (1 - positive)))
+        logits = np.full(labels.shape[0], self.base_logit)
+        self.stumps = []
+        for _round in range(self.rounds):
+            residuals = labels - _sigmoid(logits)
+            stump = self._best_stump(features, residuals)
+            self.stumps.append(stump)
+            logits = logits + self.learning_rate \
+                * stump.predict(features)
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=float)
+        single = features.ndim == 1
+        if single:
+            features = features[None, :]
+        logits = np.full(features.shape[0], self.base_logit)
+        for stump in self.stumps:
+            logits = logits + self.learning_rate \
+                * stump.predict(features)
+        return logits[0] if single else logits
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if not self.fitted:
+            raise RuntimeError("model not fitted")
+        return _sigmoid(self.decision_function(features))
+
+    def predict(self, features: np.ndarray,
+                threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(features) >= threshold).astype(int)

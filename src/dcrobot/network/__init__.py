@@ -1,0 +1,86 @@
+"""Physical network inventory (substrate S2).
+
+Everything the paper's §3.1 enumerates — switches, line cards, ports,
+transceivers, fiber/copper cables with per-core end-faces — plus the
+physical geometry (racks, rows, halls, cable bundles) that robot
+mobility and cascading failures depend on.
+"""
+
+from dcrobot.network.bundles import BundleRegistry, CableBundle
+from dcrobot.network.cable import (
+    AOC_MAX_LENGTH_M,
+    DAC_MAX_LENGTH_M,
+    Cable,
+    cores_for,
+    kind_for_length,
+)
+from dcrobot.network.endface import (
+    IMPAIRMENT_THRESHOLD,
+    INSPECTION_PASS_THRESHOLD,
+    EndFace,
+)
+from dcrobot.network.enums import (
+    CableKind,
+    ComponentState,
+    DegradationKind,
+    EndFacePolish,
+    FormFactor,
+    LinkState,
+)
+from dcrobot.network.ids import IdFactory
+from dcrobot.network.inventory import Fabric
+from dcrobot.network.layout import (
+    AISLE_WIDTH_M,
+    RACK_DEPTH_M,
+    RACK_UNIT_HEIGHT_M,
+    RACK_WIDTH_M,
+    HallLayout,
+    Position,
+    Rack,
+)
+from dcrobot.network.link import Link
+from dcrobot.network.switchgear import Host, LineCard, Port, Switch, SwitchRole
+from dcrobot.network.transceiver import (
+    PullTabKind,
+    Transceiver,
+    TransceiverModel,
+    generate_model_catalog,
+)
+
+__all__ = [
+    "Fabric",
+    "Link",
+    "Switch",
+    "SwitchRole",
+    "Host",
+    "LineCard",
+    "Port",
+    "Transceiver",
+    "TransceiverModel",
+    "PullTabKind",
+    "generate_model_catalog",
+    "Cable",
+    "CableKind",
+    "kind_for_length",
+    "cores_for",
+    "EndFace",
+    "EndFacePolish",
+    "ComponentState",
+    "DegradationKind",
+    "FormFactor",
+    "LinkState",
+    "HallLayout",
+    "Position",
+    "Rack",
+    "CableBundle",
+    "BundleRegistry",
+    "IdFactory",
+    "INSPECTION_PASS_THRESHOLD",
+    "IMPAIRMENT_THRESHOLD",
+    "DAC_MAX_LENGTH_M",
+    "AOC_MAX_LENGTH_M",
+    "RACK_WIDTH_M",
+    "RACK_DEPTH_M",
+    "AISLE_WIDTH_M",
+    "RACK_UNIT_HEIGHT_M",
+]

@@ -1,0 +1,28 @@
+"""Human-readable, per-type sequential identifiers.
+
+Every physical object in the inventory gets an id like ``xcvr-00042`` or
+``link-00007``.  Ids are unique per :class:`IdFactory` (i.e. per fabric),
+stable across runs, and sortable.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+
+class IdFactory:
+    """Issues ids of the form ``<prefix>-<5 digit counter>``."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = defaultdict(int)
+
+    def make(self, prefix: str) -> str:
+        """Next id for ``prefix`` (counting from 0)."""
+        value = self._counters[prefix]
+        self._counters[prefix] = value + 1
+        return f"{prefix}-{value:05d}"
+
+    def issued(self, prefix: str) -> int:
+        """How many ids have been issued for ``prefix``."""
+        return self._counters[prefix]

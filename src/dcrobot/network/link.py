@@ -1,0 +1,162 @@
+"""Network links: two ports, two transceivers, one cable, one state.
+
+A :class:`Link` is the unit of failure and repair throughout the library.
+Its operational state is *derived* from the physical condition of its
+constituent components by the health model in
+:mod:`dcrobot.failures.health`; the link itself records the resulting
+state timeline, which is what telemetry, availability accounting, and
+flap detection consume.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from dcrobot.network.cable import Cable
+from dcrobot.network.enums import LinkState
+from dcrobot.network.switchgear import Port
+from dcrobot.network.transceiver import Transceiver
+
+
+class Link:
+    """One point-to-point link in the fabric."""
+
+    def __init__(self, link_id: str, port_a: Port, port_b: Port,
+                 transceiver_a: Transceiver, transceiver_b: Transceiver,
+                 cable: Cable, capacity_gbps: float,
+                 bundle_id: Optional[str] = None) -> None:
+        self.id = link_id
+        self.port_a = port_a
+        self.port_b = port_b
+        self.transceiver_a = transceiver_a
+        self.transceiver_b = transceiver_b
+        self.cable = cable
+        self.capacity_gbps = float(capacity_gbps)
+        self.bundle_id = bundle_id
+        self.state = LinkState.UP
+        #: Timeline of (time, new_state) transitions, starting implicit UP.
+        self.history: List[Tuple[float, LinkState]] = []
+        #: Current packet-loss probability (set by the health model).
+        self.loss_rate = 0.0
+        #: Cumulative count of UP<->non-UP transitions (flap counter).
+        self.transition_count = 0
+
+    def __repr__(self) -> str:
+        return (f"<Link {self.id} {self.port_a.parent_id}<->"
+                f"{self.port_b.parent_id} {self.state.value}>")
+
+    # -- identity helpers ------------------------------------------------------
+
+    @property
+    def endpoint_ids(self) -> Tuple[str, str]:
+        """(switch/host id, switch/host id) of the two ends."""
+        return (self.port_a.parent_id, self.port_b.parent_id)
+
+    def ports(self) -> Tuple[Port, Port]:
+        return (self.port_a, self.port_b)
+
+    def transceivers(self) -> Tuple[Transceiver, Transceiver]:
+        return (self.transceiver_a, self.transceiver_b)
+
+    def side_of_port(self, port_id: str) -> str:
+        """'a' or 'b' for the given port id."""
+        if port_id == self.port_a.id:
+            return "a"
+        if port_id == self.port_b.id:
+            return "b"
+        raise ValueError(f"port {port_id} not on link {self.id}")
+
+    def transceiver_at(self, side: str) -> Transceiver:
+        return {"a": self.transceiver_a, "b": self.transceiver_b}[side]
+
+    def replace_transceiver(self, side: str, new_unit: Transceiver) -> Transceiver:
+        """Swap in a spare; returns the removed unit."""
+        if side == "a":
+            old, self.transceiver_a = self.transceiver_a, new_unit
+            self.port_a.transceiver_id = new_unit.id
+        elif side == "b":
+            old, self.transceiver_b = self.transceiver_b, new_unit
+            self.port_b.transceiver_id = new_unit.id
+        else:
+            raise ValueError(f"side must be 'a' or 'b', got {side!r}")
+        return old
+
+    def replace_cable(self, new_cable: Cable) -> Cable:
+        """Swap in a new cable; returns the removed one."""
+        old, self.cable = self.cable, new_cable
+        return old
+
+    # -- state timeline -------------------------------------------------------
+
+    @property
+    def operational(self) -> bool:
+        """True while the link can carry traffic (possibly degraded)."""
+        return self.state.carries_traffic
+
+    def set_state(self, now: float, new_state: LinkState) -> bool:
+        """Record a state transition; returns True if the state changed.
+
+        Administrative MAINTENANCE transitions do not count as flaps:
+        a repair taking a link out of service is not the gray failure the
+        flap counter exists to catch.
+        """
+        if new_state is self.state:
+            return False
+        administrative = (LinkState.MAINTENANCE in (self.state, new_state))
+        was_up = self.state is LinkState.UP
+        is_up = new_state is LinkState.UP
+        if was_up != is_up and not administrative:
+            self.transition_count += 1
+        self.state = new_state
+        self.history.append((now, new_state))
+        return True
+
+    def uptime_fraction(self, start: float, end: float) -> float:
+        """Fraction of [start, end) the link spent carrying traffic.
+
+        Walks the recorded transition timeline; the state before the
+        first recorded transition is assumed UP (links start healthy).
+        """
+        if end <= start:
+            raise ValueError(f"empty interval [{start}, {end})")
+        total = end - start
+        up_time = 0.0
+        current_state = LinkState.UP
+        cursor = start
+        for when, new_state in self.history:
+            if when <= start:
+                current_state = new_state
+                continue
+            if when >= end:
+                break
+            if current_state.carries_traffic:
+                up_time += when - cursor
+            cursor = when
+            current_state = new_state
+        if current_state.carries_traffic:
+            up_time += end - cursor
+        return up_time / total
+
+    def transitions_in_window(self, start: float, end: float) -> int:
+        """UP<->non-UP flap transitions recorded within [start, end).
+
+        Transitions into or out of MAINTENANCE are administrative and
+        excluded (see :meth:`set_state`).
+        """
+        count = 0
+        previous_state = LinkState.UP
+        # Determine state entering the window.
+        for when, new_state in self.history:
+            if when <= start:
+                previous_state = new_state
+                continue
+            if when >= end:
+                break
+            administrative = (LinkState.MAINTENANCE
+                              in (previous_state, new_state))
+            now_up = new_state is LinkState.UP
+            previous_up = previous_state is LinkState.UP
+            if now_up != previous_up and not administrative:
+                count += 1
+            previous_state = new_state
+        return count

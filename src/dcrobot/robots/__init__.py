@@ -1,0 +1,29 @@
+"""Robotics substrate (S7): modular maintenance robot units and fleet."""
+
+from dcrobot.robots.base import RobotUnit
+from dcrobot.robots.cleaner import CleanerParams, CleaningRobot
+from dcrobot.robots.fleet import (
+    ADVANCED_CAPABILITIES,
+    BASIC_CAPABILITIES,
+    FleetConfig,
+    RobotFleet,
+)
+from dcrobot.robots.manipulator import ManipulatorParams, ManipulatorRobot
+from dcrobot.robots.mobility import MobilityModel, MobilityScope
+from dcrobot.robots.perception import PerceptionModel, PerceptionParams
+
+__all__ = [
+    "RobotUnit",
+    "ManipulatorRobot",
+    "ManipulatorParams",
+    "CleaningRobot",
+    "CleanerParams",
+    "RobotFleet",
+    "FleetConfig",
+    "BASIC_CAPABILITIES",
+    "ADVANCED_CAPABILITIES",
+    "MobilityModel",
+    "MobilityScope",
+    "PerceptionModel",
+    "PerceptionParams",
+]

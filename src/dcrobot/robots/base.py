@@ -1,0 +1,75 @@
+"""Base robot unit: identity, mobility, busy-state, utilization."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from dcrobot.network.inventory import Fabric
+from dcrobot.robots.mobility import MobilityModel, MobilityScope
+from dcrobot.sim.engine import Simulation
+
+
+class RobotUnit:
+    """One modular robot: a mobility platform plus task-specific tooling.
+
+    Subclasses implement the actual operations as generator methods that
+    yield simulation timeouts; the base class tracks movement and the
+    busy/utilization accounting that experiments report.
+    """
+
+    KIND = "robot"
+
+    def __init__(self, sim: Simulation, fabric: Fabric, unit_id: str,
+                 home_rack_id: str,
+                 scope: MobilityScope = MobilityScope.HALL,
+                 speed_m_s: float = 0.5,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.id = unit_id
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.mobility = MobilityModel(fabric, home_rack_id, scope,
+                                      speed_m_s)
+        self.busy_seconds = 0.0
+        self.operations_done = 0
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} {self.id} "
+                f"at={self.mobility.current_rack_id}>")
+
+    @property
+    def scope(self) -> MobilityScope:
+        return self.mobility.scope
+
+    def can_reach(self, rack_id: str) -> bool:
+        return self.mobility.can_reach(rack_id)
+
+    def rack_of_link(self, link) -> str:
+        """The rack a robot stands at to service a link (A-end parent)."""
+        node = self.fabric.node(link.port_a.parent_id)
+        if node.rack_id is None:
+            raise ValueError(
+                f"link {link.id} endpoint {node.id} is unplaced")
+        return node.rack_id
+
+    def travel_to(self, rack_id: str):
+        """Generator: move to a rack, consuming simulated time."""
+        seconds = self.mobility.move_to(rack_id)
+        if seconds > 0:
+            self.busy_seconds += seconds
+            yield self.sim.timeout(seconds)
+
+    def work(self, seconds: float):
+        """Generator: spend ``seconds`` of tracked busy time."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self.busy_seconds += seconds
+        yield self.sim.timeout(seconds)
+
+    def utilization(self, horizon_seconds: float) -> float:
+        """Busy fraction over a horizon starting at t=0."""
+        if horizon_seconds <= 0:
+            raise ValueError("horizon must be > 0")
+        return min(1.0, self.busy_seconds / horizon_seconds)

@@ -1,0 +1,322 @@
+"""The robot fleet: a maintenance executor built from modular units.
+
+"Rather than a small number of large robots ... there will be many small
+robotic units that will need to collaborate to achieve network repair
+and maintenance tasks" (§1).  A fleet pairs manipulator robots
+(Figure 1) with cleaning robots (Figure 2): the manipulator unplugs the
+transceiver and feeds the cleaning unit, then reverses the process
+(§3.3.2).
+
+Capabilities follow the prototypes: reseat, clean, and spare-transceiver
+swap.  Cable laying and switchgear replacement stay human ("Currently,
+we are not focusing on the replacement of fibers", §3.3) unless
+``advanced_capabilities`` is enabled — the Level-4 future the paper
+sketches in §4.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from dcrobot.core.actions import RepairAction, RepairOutcome, WorkOrder
+from dcrobot.core.repairs import ROBOT_SKILL, RepairPhysics
+from dcrobot.failures.cascade import ROBOT_GRIPPER, ContactProfile
+from dcrobot.failures.health import HealthModel
+from dcrobot.network.inventory import Fabric
+from dcrobot.robots.cleaner import CleaningRobot
+from dcrobot.robots.manipulator import ManipulatorRobot
+from dcrobot.robots.mobility import MobilityScope
+from dcrobot.sim.engine import Simulation
+from dcrobot.sim.events import Event
+from dcrobot.sim.resources import Store
+
+BASIC_CAPABILITIES = frozenset({
+    RepairAction.RESEAT,
+    RepairAction.CLEAN,
+    RepairAction.REPLACE_TRANSCEIVER,
+})
+
+ADVANCED_CAPABILITIES = frozenset(RepairAction)
+
+
+@dataclasses.dataclass
+class FleetConfig:
+    """Fleet composition and policy."""
+
+    manipulators: int = 2
+    cleaners: int = 1
+    scope: MobilityScope = MobilityScope.HALL
+    manipulator_speed_m_s: float = 0.5
+    cleaner_speed_m_s: float = 0.4
+    #: "nearest" picks the closest idle unit; "fifo" the longest-idle.
+    allocation: str = "nearest"
+    #: Level-4 future: robots lay cables and swap switchgear too.
+    advanced_capabilities: bool = False
+    replace_cable_seconds: float = 2.0 * 3600
+    replace_switchgear_seconds: float = 1.5 * 3600
+    #: Home racks for units, round-robin; defaults to spreading across
+    #: the hall's rows.
+    home_racks: Optional[List[str]] = None
+
+    def __post_init__(self) -> None:
+        if self.manipulators < 1:
+            raise ValueError("need at least one manipulator")
+        if self.cleaners < 0:
+            raise ValueError("cleaners must be >= 0")
+        if self.allocation not in ("nearest", "fifo"):
+            raise ValueError(
+                f"allocation must be 'nearest' or 'fifo', "
+                f"got {self.allocation!r}")
+
+
+class RobotFleet:
+    """Maintenance executor backed by collaborating robot units."""
+
+    def __init__(self, sim: Simulation, fabric: Fabric,
+                 health: HealthModel, physics: RepairPhysics,
+                 config: Optional[FleetConfig] = None,
+                 rng: Optional[np.random.Generator] = None,
+                 executor_id: str = "robots") -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.health = health
+        self.physics = physics
+        self.config = config or FleetConfig()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.executor_id = executor_id
+        self.contact: ContactProfile = ROBOT_GRIPPER
+
+        self.manipulators: List[ManipulatorRobot] = []
+        self.cleaners: List[CleaningRobot] = []
+        self._idle_manipulators = Store(sim)
+        self._idle_cleaners = Store(sim)
+        self._build_units()
+
+        self.outcomes: List[RepairOutcome] = []
+        #: Orders rejected because no unit's scope covers the target.
+        self.unreachable_orders: List[WorkOrder] = []
+
+    def _default_homes(self, count: int) -> List[str]:
+        """Spread units across rows (one per row, round-robin)."""
+        layout = self.fabric.layout
+        homes = []
+        for index in range(count):
+            row = index % layout.rows
+            homes.append(layout.rack_at(row, 0).id)
+        return homes
+
+    def _build_units(self) -> None:
+        config = self.config
+        homes = config.home_racks or self._default_homes(
+            config.manipulators + config.cleaners)
+        cursor = 0
+        for index in range(config.manipulators):
+            robot = ManipulatorRobot(
+                self.sim, self.fabric, f"{self.executor_id}-manip-{index}",
+                homes[cursor % len(homes)], scope=config.scope,
+                speed_m_s=config.manipulator_speed_m_s,
+                rng=np.random.default_rng(self.rng.integers(2 ** 31)))
+            cursor += 1
+            self.manipulators.append(robot)
+            self._idle_manipulators.put(robot)
+        for index in range(config.cleaners):
+            robot = CleaningRobot(
+                self.sim, self.fabric, f"{self.executor_id}-clean-{index}",
+                homes[cursor % len(homes)], scope=config.scope,
+                speed_m_s=config.cleaner_speed_m_s,
+                rng=np.random.default_rng(self.rng.integers(2 ** 31)))
+            cursor += 1
+            self.cleaners.append(robot)
+            self._idle_cleaners.put(robot)
+
+    def __repr__(self) -> str:
+        return (f"<RobotFleet manipulators={len(self.manipulators)} "
+                f"cleaners={len(self.cleaners)} "
+                f"done={len(self.outcomes)}>")
+
+    # -- executor interface -----------------------------------------------------
+
+    @property
+    def capabilities(self) -> frozenset:
+        if self.config.advanced_capabilities:
+            return ADVANCED_CAPABILITIES
+        caps = set(BASIC_CAPABILITIES)
+        if not self.cleaners:
+            caps.discard(RepairAction.CLEAN)
+        return frozenset(caps)
+
+    def can_execute(self, action: RepairAction) -> bool:
+        return action in self.capabilities
+
+    def covers(self, rack_id: str) -> bool:
+        """Whether any manipulator's scope includes the rack."""
+        return any(robot.can_reach(rack_id)
+                   for robot in self.manipulators)
+
+    def coverage_fraction(self) -> float:
+        """Fraction of hall racks inside some manipulator's scope."""
+        racks = list(self.fabric.layout.racks)
+        covered = sum(1 for rack in racks if self.covers(rack))
+        return covered / len(racks) if racks else 1.0
+
+    def announce_touches(self, order: WorkOrder) -> List[str]:
+        """Pre-maintenance contact announcement (§2)."""
+        link = self.fabric.links[order.link_id]
+        return self.physics.cascade.predict_touched(link, self.contact)
+
+    def submit(self, order: WorkOrder) -> Event:
+        """Queue an order; event fires with the RepairOutcome."""
+        done = self.sim.event()
+        self.sim.process(self._execute(order, done))
+        return done
+
+    def _depot_rack_id(self) -> str:
+        """The spares depot: the hall's first rack by convention."""
+        return self.fabric.layout.rack_at(0, 0).id
+
+    def acquire_manipulator(self, rack_id: str):
+        """Generator: claim an idle manipulator that can reach the rack.
+
+        Public hook for non-repair choreographies (e.g. robotic
+        rewiring); pair with :meth:`release_manipulator`.
+        """
+        robot = yield from self._acquire(self._idle_manipulators,
+                                         rack_id)
+        return robot
+
+    def release_manipulator(self, robot) -> None:
+        """Return a manipulator claimed via acquire_manipulator."""
+        self._idle_manipulators.put(robot)
+
+    # -- fleet internals -----------------------------------------------------------
+
+    def _acquire(self, store: Store, rack_id: str):
+        """Generator: claim an idle unit able to reach ``rack_id``."""
+        if self.config.allocation == "nearest":
+            layout = self.fabric.layout
+            target = layout.racks[rack_id].position
+            candidates = [robot for robot in store.items
+                          if robot.can_reach(rack_id)]
+            if candidates:
+                best = min(candidates, key=lambda robot:
+                           layout.travel_distance(
+                               layout.racks[robot.mobility.current_rack_id]
+                               .position, target))
+                robot = yield store.get(lambda item: item is best)
+                return robot
+        robot = yield store.get(lambda item: item.can_reach(rack_id))
+        return robot
+
+    def _fail(self, order: WorkOrder, done: Event, note: str,
+              needs_human: bool = True) -> None:
+        outcome = RepairOutcome(
+            order=order, executor_id=self.executor_id,
+            started_at=self.sim.now, finished_at=self.sim.now,
+            completed=False, needs_human=needs_human, notes=note)
+        self.outcomes.append(outcome)
+        done.succeed(outcome)
+
+    def _execute(self, order: WorkOrder, done: Event):
+        sim = self.sim
+        link = self.fabric.links[order.link_id]
+        if not self.can_execute(order.action):
+            self._fail(order, done,
+                       f"fleet cannot perform {order.action.value}")
+            return
+        rack_id = self.manipulators[0].rack_of_link(link)
+        if not self.covers(rack_id):
+            self.unreachable_orders.append(order)
+            self._fail(order, done, f"no unit covers rack {rack_id}")
+            return
+
+        manipulator = yield from self._acquire(
+            self._idle_manipulators, rack_id)
+        cleaner = None
+        if order.action is RepairAction.CLEAN:
+            cleaner = yield from self._acquire(self._idle_cleaners,
+                                               rack_id)
+        try:
+            started = sim.now
+            travels = [sim.process(manipulator.travel_to(rack_id))]
+            if cleaner is not None:
+                travels.append(sim.process(cleaner.travel_to(rack_id)))
+            yield sim.all_of(travels)
+
+            self.health.begin_maintenance(link, sim.now)
+            touch = self.physics.reach_in(link, self.contact, sim.now)
+            completed, needs_human, notes = yield from self._perform(
+                order, link, manipulator, cleaner)
+            self.health.release_from_maintenance(link, sim.now)
+
+            outcome = RepairOutcome(
+                order=order, executor_id=self.executor_id,
+                started_at=started, finished_at=sim.now,
+                completed=completed, needs_human=needs_human,
+                notes=notes,
+                secondary_disturbed=len(touch.disturbed_links),
+                secondary_damaged=len(touch.damaged_links))
+            self.outcomes.append(outcome)
+            done.succeed(outcome)
+        finally:
+            self._idle_manipulators.put(manipulator)
+            if cleaner is not None:
+                self._idle_cleaners.put(cleaner)
+
+    def _perform(self, order: WorkOrder, link, manipulator, cleaner):
+        """Generator: run the action's robot choreography.
+
+        Returns (completed, needs_human, notes).
+        """
+        action = order.action
+        if action is RepairAction.RESEAT:
+            ok, note = yield from manipulator.reseat(link)
+            return ok, not ok, note
+
+        if action is RepairAction.CLEAN:
+            notes = []
+            for side in ("a", "b"):
+                extracted = yield from manipulator.extract(link, side)
+                if not extracted:
+                    notes.append(f"extraction failed on side {side}")
+                    return False, True, "; ".join(notes)
+                verified, note = yield from cleaner.clean_cycle(link, side)
+                yield from manipulator.reinsert(link, side)
+                notes.append(note)
+                if not verified:
+                    # §3.3.2: the robot requests human support.
+                    return False, True, "; ".join(notes)
+            return True, False, "; ".join(notes)
+
+        if action is RepairAction.REPLACE_TRANSCEIVER:
+            # Spares ride in the manipulator's magazine; an empty one
+            # costs a depot round trip before the swap can happen.
+            yield from manipulator.ensure_spare(self._depot_rack_id())
+            side = self.physics.pick_suspect_side(link)
+            extracted = yield from manipulator.extract(link, side)
+            if not extracted:
+                return False, True, f"extraction failed on side {side}"
+            ok, note = self.physics.do_replace_transceiver(
+                link, self.sim.now)
+            if ok:
+                manipulator.consume_spare()
+            yield from manipulator.work(
+                manipulator.params.swap_spare_seconds)
+            # On success the spare goes in; with no spare in stock the
+            # old unit is put back so the link is not left disconnected.
+            yield from manipulator.reinsert(link, side)
+            if not ok:
+                return False, False, note  # out of spares, not a skill gap
+            return True, False, note
+
+        # Advanced (Level 4) actions run through shared physics with
+        # fleet-level durations.
+        seconds = (self.config.replace_cable_seconds
+                   if action is RepairAction.REPLACE_CABLE
+                   else self.config.replace_switchgear_seconds)
+        yield from manipulator.work(seconds)
+        ok, note = self.physics.perform(action, link, self.sim.now,
+                                        ROBOT_SKILL)
+        return ok, False, note

@@ -1,0 +1,183 @@
+"""The transceiver manipulation robot (Figure 1).
+
+"A manipulator arm and gripper that allows automated transceiver
+manipulation ... designed to grip and manipulate a single transceiver
+while minimizing accidental interaction with physically close cables"
+(§3.3.1).  Operations are generator methods; each returns
+``(success, note)`` after consuming the modeled time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from dcrobot.network.inventory import Fabric
+from dcrobot.network.link import Link
+from dcrobot.robots.base import RobotUnit
+from dcrobot.robots.mobility import MobilityScope
+from dcrobot.robots.perception import PerceptionModel, PerceptionParams
+from dcrobot.sim.engine import Simulation
+
+
+@dataclasses.dataclass
+class ManipulatorParams:
+    """Arm/gripper operation timings and grip reliability."""
+
+    grip_attempt_seconds: float = 8.0
+    unplug_seconds: float = 6.0
+    #: §3.2: reseating involves "waiting a few seconds" before re-insert.
+    reseat_pause_seconds: float = 5.0
+    insert_seconds: float = 8.0
+    swap_spare_seconds: float = 25.0
+    max_grip_attempts: int = 4
+    #: Grip failure scales with the backend's mechanical unusualness.
+    grip_difficulty_weight: float = 0.5
+    #: Onboard spare-transceiver magazine (§3.3.2: "the robots can
+    #: carry spares"); empty magazines force a depot round trip.
+    spare_capacity: int = 4
+    depot_restock_seconds: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.max_grip_attempts < 1:
+            raise ValueError("max_grip_attempts must be >= 1")
+        if self.spare_capacity < 0:
+            raise ValueError("spare_capacity must be >= 0")
+
+
+class ManipulatorRobot(RobotUnit):
+    """Grips, unplugs, re-seats, and swaps transceivers."""
+
+    KIND = "manipulator"
+
+    def __init__(self, sim: Simulation, fabric: Fabric, unit_id: str,
+                 home_rack_id: str,
+                 scope: MobilityScope = MobilityScope.HALL,
+                 speed_m_s: float = 0.5,
+                 params: Optional[ManipulatorParams] = None,
+                 perception: Optional[PerceptionParams] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(sim, fabric, unit_id, home_rack_id, scope,
+                         speed_m_s, rng)
+        self.params = params or ManipulatorParams()
+        self.perception = PerceptionModel(perception, rng=self.rng)
+        #: Remaining onboard spare transceivers (form-factor-agnostic
+        #: magazine; the catalog's standardized front-ends make slots
+        #: interchangeable).
+        self.onboard_spares = self.params.spare_capacity
+        self.depot_trips = 0
+
+    # -- primitive steps -----------------------------------------------------
+
+    def _bundle_density(self, link: Link) -> int:
+        bundle = self.fabric.bundles.bundle_of(link.cable.id)
+        return bundle.density if bundle else 1
+
+    def locate(self, link: Link, side: str):
+        """Generator: vision scan to find the target port/transceiver."""
+        unit = link.transceiver_at(side)
+        found, seconds = self.perception.recognize(
+            unit.model, self._bundle_density(link))
+        yield from self.work(seconds)
+        return found
+
+    def grip(self, link: Link, side: str):
+        """Generator: attempt to grip the pull tab, with retries."""
+        params = self.params
+        unit = link.transceiver_at(side)
+        p_fail = min(0.9, params.grip_difficulty_weight
+                     * unit.model.grip_difficulty)
+        for _attempt in range(params.max_grip_attempts):
+            yield from self.work(params.grip_attempt_seconds)
+            if self.rng.random() >= p_fail:
+                return True
+        return False
+
+    # -- operations --------------------------------------------------------------
+
+    def reseat_side(self, link: Link, side: str):
+        """Generator: full locate→grip→unplug→pause→insert for one end.
+
+        Returns (success, note).  Physics (oxidation wipe, firmware
+        reboot) is applied via the transceiver's own seat() so the same
+        rules hold for every executor.
+        """
+        params = self.params
+        found = yield from self.locate(link, side)
+        if not found:
+            return False, f"could not identify transceiver on side {side}"
+        gripped = yield from self.grip(link, side)
+        if not gripped:
+            return False, f"could not grip transceiver on side {side}"
+        unit = link.transceiver_at(side)
+        unit.unseat()
+        yield from self.work(params.unplug_seconds
+                             + params.reseat_pause_seconds)
+        unit.seat(self.sim.now, rng=self.rng)
+        yield from self.work(params.insert_seconds)
+        self.operations_done += 1
+        return True, f"reseated side {side}"
+
+    def reseat(self, link: Link):
+        """Generator: reseat both ends (success requires both)."""
+        notes = []
+        for side in ("a", "b"):
+            ok, note = yield from self.reseat_side(link, side)
+            notes.append(note)
+            if not ok:
+                return False, "; ".join(notes)
+        return True, "; ".join(notes)
+
+    def extract(self, link: Link, side: str):
+        """Generator: unplug one transceiver + cable for cleaning.
+
+        Used when collaborating with the cleaning robot (§3.3.2: "the
+        latter handles unplugging the transceiver from the switch and
+        inserting the transceiver into the cleaning device").
+        """
+        found = yield from self.locate(link, side)
+        if not found:
+            return False
+        gripped = yield from self.grip(link, side)
+        if not gripped:
+            return False
+        link.transceiver_at(side).unseat()
+        yield from self.work(self.params.unplug_seconds)
+        return True
+
+    def reinsert(self, link: Link, side: str):
+        """Generator: return a transceiver to its port after cleaning."""
+        link.transceiver_at(side).seat(self.sim.now, rng=self.rng)
+        yield from self.work(self.params.insert_seconds)
+        self.operations_done += 1
+
+    def ensure_spare(self, depot_rack_id: str):
+        """Generator: guarantee a spare is in the magazine.
+
+        An empty magazine costs a depot round trip (travel + restock +
+        travel back), which is the real latency price of carrying a
+        finite spares magazine.  Robots whose scope cannot reach the
+        depot are assumed to have an in-rack spares cache (no time
+        cost).  Returns the extra seconds spent.
+        """
+        if self.onboard_spares > 0:
+            return 0.0
+        if not self.can_reach(depot_rack_id):
+            self.onboard_spares = self.params.spare_capacity
+            return 0.0
+        origin = self.mobility.current_rack_id
+        started = self.sim.now
+        self.depot_trips += 1
+        yield from self.travel_to(depot_rack_id)
+        yield from self.work(self.params.depot_restock_seconds)
+        self.onboard_spares = self.params.spare_capacity
+        yield from self.travel_to(origin)
+        return self.sim.now - started
+
+    def consume_spare(self) -> None:
+        """Take one spare from the magazine (after ensure_spare)."""
+        if self.onboard_spares <= 0:
+            raise ValueError(f"{self.id} has no onboard spares")
+        self.onboard_spares -= 1

@@ -1,0 +1,79 @@
+"""Robot mobility: deployment scopes and travel (§3.4).
+
+"There are several potential deployment scopes for robotics:
+device-level within the rack, rack-level, row-level, hall level, and
+full datacenter level. The chosen scope significantly influences the
+mobility model required."  A robot's scope bounds which racks it can
+service from its home position; travel follows the aisles (Manhattan
+geometry), plus a fixed alignment overhead on arrival.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from dcrobot.network.inventory import Fabric
+
+
+class MobilityScope(enum.Enum):
+    """How far from home a robot unit can operate."""
+
+    DEVICE = "device"  #: fixed installation serving a single rack
+    RACK = "rack"      #: in-rack unit, single rack
+    ROW = "row"        #: moves along the XY plane of one row (§3.4)
+    HALL = "hall"      #: free-roaming across the hall
+
+
+class MobilityModel:
+    """Reachability and travel times for one robot."""
+
+    def __init__(self, fabric: Fabric, home_rack_id: str,
+                 scope: MobilityScope, speed_m_s: float = 0.5,
+                 alignment_seconds: float = 30.0) -> None:
+        if speed_m_s <= 0:
+            raise ValueError(f"speed must be > 0, got {speed_m_s}")
+        if alignment_seconds < 0:
+            raise ValueError("alignment_seconds must be >= 0")
+        if home_rack_id not in fabric.layout.racks:
+            raise ValueError(f"unknown rack {home_rack_id}")
+        self.fabric = fabric
+        self.home_rack_id = home_rack_id
+        self.scope = scope
+        self.speed_m_s = speed_m_s
+        self.alignment_seconds = alignment_seconds
+        self.current_rack_id = home_rack_id
+
+    def __repr__(self) -> str:
+        return (f"<MobilityModel {self.scope.value} "
+                f"home={self.home_rack_id} at={self.current_rack_id}>")
+
+    def can_reach(self, rack_id: str) -> bool:
+        """Whether the robot's scope covers the target rack."""
+        if rack_id not in self.fabric.layout.racks:
+            return False
+        if self.scope in (MobilityScope.DEVICE, MobilityScope.RACK):
+            return rack_id == self.home_rack_id
+        if self.scope is MobilityScope.ROW:
+            home_row = self.fabric.layout.racks[self.home_rack_id].row
+            return self.fabric.layout.racks[rack_id].row == home_row
+        return True  # HALL
+
+    def travel_seconds(self, rack_id: str) -> float:
+        """Aisle travel time from the current rack to the target."""
+        if not self.can_reach(rack_id):
+            raise ValueError(
+                f"rack {rack_id} outside {self.scope.value} scope "
+                f"of {self.home_rack_id}")
+        if rack_id == self.current_rack_id:
+            return 0.0
+        layout = self.fabric.layout
+        origin = layout.racks[self.current_rack_id].position
+        target = layout.racks[rack_id].position
+        distance = layout.travel_distance(origin, target)
+        return distance / self.speed_m_s + self.alignment_seconds
+
+    def move_to(self, rack_id: str) -> float:
+        """Travel and update position; returns the travel time."""
+        seconds = self.travel_seconds(rack_id)
+        self.current_rack_id = rack_id
+        return seconds

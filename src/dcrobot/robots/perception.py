@@ -1,0 +1,72 @@
+"""Robot perception: recognizing components in cluttered cabling.
+
+§3.3.3: "The largest challenges have been the diversity of components
+and high cabling density, which complicate perception and planning."
+Recognition time and success depend on (i) how cluttered the bundle
+around the target is and (ii) how unusual the transceiver's mechanical
+backend is.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from dcrobot.network.transceiver import TransceiverModel
+
+
+@dataclasses.dataclass
+class PerceptionParams:
+    """Vision-system timing/quality constants."""
+
+    base_scan_seconds: float = 12.0
+    #: Extra scan time per neighbouring cable in the bundle.
+    per_neighbor_seconds: float = 0.8
+    #: Baseline misrecognition probability for a catalog-known design.
+    base_misrecognition: float = 0.01
+    #: Extra misrecognition per unit of mechanical unusualness.
+    difficulty_misrecognition: float = 0.05
+    #: Re-scan time after a misrecognition.
+    rescan_seconds: float = 8.0
+    max_rescans: int = 3
+
+    def __post_init__(self) -> None:
+        if self.base_scan_seconds <= 0:
+            raise ValueError("base_scan_seconds must be > 0")
+        if self.max_rescans < 0:
+            raise ValueError("max_rescans must be >= 0")
+
+
+class PerceptionModel:
+    """Samples recognition attempts for a target transceiver."""
+
+    def __init__(self, params: Optional[PerceptionParams] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.params = params or PerceptionParams()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def occlusion(self, bundle_density: int) -> float:
+        """Clutter multiplier >= 1 from the surrounding bundle."""
+        return 1.0 + max(0, bundle_density - 1) / 20.0
+
+    def recognize(self, model: TransceiverModel,
+                  bundle_density: int) -> Tuple[bool, float]:
+        """Attempt to identify the target; returns (success, seconds).
+
+        Misrecognitions trigger up to ``max_rescans`` re-scans; if all
+        fail the operation needs human support.
+        """
+        params = self.params
+        occlusion = self.occlusion(bundle_density)
+        seconds = (params.base_scan_seconds
+                   + params.per_neighbor_seconds
+                   * max(0, bundle_density - 1)) * occlusion
+        miss = (params.base_misrecognition
+                + params.difficulty_misrecognition * model.grip_difficulty)
+        for _attempt in range(1 + params.max_rescans):
+            if self.rng.random() >= miss:
+                return True, seconds
+            seconds += params.rescan_seconds * occlusion
+        return False, seconds

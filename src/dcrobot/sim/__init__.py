@@ -1,0 +1,55 @@
+"""Discrete-event simulation kernel (substrate S1).
+
+A minimal, dependency-free engine in the style of SimPy: generator
+processes, an event heap, shared resources, and deterministic random
+streams.  Everything else in ``dcrobot`` runs on top of this.
+"""
+
+from dcrobot.sim.engine import Simulation
+from dcrobot.sim.errors import (
+    EventAlreadyTriggered,
+    Interrupt,
+    SimulationError,
+)
+from dcrobot.sim.events import (
+    NORMAL,
+    URGENT,
+    Condition,
+    ConditionValue,
+    Event,
+    Timeout,
+    all_of,
+    any_of,
+)
+from dcrobot.sim.process import Process
+from dcrobot.sim.resources import (
+    Container,
+    PriorityResource,
+    Request,
+    Resource,
+    Store,
+)
+from dcrobot.sim.rng import RandomStreams, make_rng
+
+__all__ = [
+    "Simulation",
+    "Event",
+    "Timeout",
+    "Condition",
+    "ConditionValue",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "EventAlreadyTriggered",
+    "Resource",
+    "PriorityResource",
+    "Request",
+    "Store",
+    "Container",
+    "RandomStreams",
+    "make_rng",
+    "all_of",
+    "any_of",
+    "NORMAL",
+    "URGENT",
+]

@@ -1,0 +1,157 @@
+"""The simulation engine: event heap, clock, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Generator, List, Optional, Tuple, Union
+
+from dcrobot.sim.errors import SimulationError, StopSimulation
+from dcrobot.sim.events import NORMAL, Condition, Event, Timeout, all_of, any_of
+from dcrobot.sim.process import Process
+
+
+class Simulation:
+    """A discrete-event simulation.
+
+    Time is a float in user-chosen units; throughout ``dcrobot`` the
+    convention is **seconds**.  Typical usage::
+
+        sim = Simulation()
+
+        def worker(sim):
+            yield sim.timeout(5.0)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert sim.now == 5.0 and proc.value == "done"
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now: float = float(start_time)
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._counter = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    def __repr__(self) -> str:
+        return f"<Simulation now={self.now} pending={len(self._heap)}>"
+
+    # -- factories ----------------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh pending event, triggered manually via succeed()/fail()."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """An event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, object, object]) -> Process:
+        """Register ``generator`` as a process starting at the current time."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> Condition:
+        """Composite event firing when every event in ``events`` succeeds."""
+        return all_of(self, events)
+
+    def any_of(self, events) -> Condition:
+        """Composite event firing when any event in ``events`` succeeds."""
+        return any_of(self, events)
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float = 0.0,
+                 priority: int = NORMAL) -> None:
+        """Put a triggered event on the heap ``delay`` from now."""
+        heapq.heappush(
+            self._heap,
+            (self.now + delay, priority, next(self._counter), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        when, _priority, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError(
+                f"time went backwards: {when} < {self.now}")
+        self.now = when
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        for callback in callbacks:
+            callback(event)
+        if not callbacks and event.triggered and not event.ok \
+                and not getattr(event, "defused", False):
+            # A failure nobody is waiting on would otherwise vanish
+            # silently; crash loudly instead (set event.defused = True
+            # to opt out for expected failures).
+            raise event.value  # type: ignore[misc]
+
+    # -- run loop --------------------------------------------------------------
+
+    def run(self, until: Union[None, float, int, Event] = None) -> object:
+        """Run the simulation.
+
+        * ``until=None`` — run until no events remain.
+        * ``until=<number>`` — run until simulated time reaches the given
+          value.  Events scheduled exactly at ``until`` are *not* processed
+          (matching SimPy semantics); ``now`` equals ``until`` afterwards.
+        * ``until=<Event>`` — run until the event is processed and return its
+          value; raises if the event failed, or :class:`SimulationError` if
+          the schedule empties first.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+
+        horizon = float(until)
+        if horizon < self.now:
+            raise ValueError(
+                f"until={horizon} lies in the past (now={self.now})")
+        while self._heap and self._heap[0][0] < horizon:
+            self.step()
+        self.now = horizon
+        return None
+
+    def _run_until_event(self, until: Event) -> object:
+        if until.sim is not self:
+            raise SimulationError("event belongs to a different simulation")
+        if until.processed:
+            if until.ok:
+                return until.value
+            raise until.value  # type: ignore[misc]
+        marker = _StopMarker(self)
+        until.callbacks.append(marker._stop)
+        try:
+            while self._heap:
+                self.step()
+        except StopSimulation:
+            if until.ok:
+                return until.value
+            raise until.value  # type: ignore[misc]
+        raise SimulationError(
+            "schedule ran dry before the awaited event triggered")
+
+
+class _StopMarker:
+    """Stops the run loop when a watched event is processed."""
+
+    def __init__(self, sim: Simulation) -> None:
+        self.sim = sim
+
+    def _stop(self, event: Event) -> None:
+        raise StopSimulation(event)

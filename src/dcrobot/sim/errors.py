@@ -1,0 +1,39 @@
+"""Exception types used by the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class EventAlreadyTriggered(SimulationError):
+    """Raised when ``succeed``/``fail`` is called on a triggered event."""
+
+
+class StopSimulation(Exception):
+    """Internal control-flow exception used by ``Simulation.run(until=event)``.
+
+    Not a :class:`SimulationError`: user code should never catch it.
+    """
+
+    def __init__(self, value: object = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator when it is interrupted.
+
+    The interrupting party supplies ``cause`` which the interrupted process
+    can inspect to decide how to react (e.g. a technician preempted by a
+    higher-priority ticket, or a robot recalled mid-travel).
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> object:
+        """The value passed to :meth:`Process.interrupt`."""
+        return self.args[0]

@@ -1,0 +1,180 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a one-shot occurrence in simulated time.  Events move
+through three states:
+
+* *pending* — created but not yet triggered,
+* *triggered* — a value (or exception) has been set and the event is queued
+  on the simulation heap,
+* *processed* — the simulation has reached the event's time and run its
+  callbacks.
+
+Processes (see :mod:`dcrobot.sim.process`) suspend by yielding events and are
+resumed when the yielded event is processed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+
+from dcrobot.sim.errors import EventAlreadyTriggered, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from dcrobot.sim.engine import Simulation
+
+#: Scheduling priorities.  Lower sorts first at equal timestamps.
+URGENT = 0
+NORMAL = 1
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that callbacks (and processes) can wait on."""
+
+    def __init__(self, sim: "Simulation") -> None:
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: object = _PENDING
+        self._ok: Optional[bool] = None
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once a value or exception has been set."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (callbacks list is consumed)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> object:
+        """The event's value (or the exception instance if it failed)."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: object = None, priority: int = NORMAL) -> "Event":
+        """Set the event's value and schedule it at the current time."""
+        if self.triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(self, delay=0.0, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Set the event to failed; waiting processes receive ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(self, delay=0.0, priority=priority)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` units of simulated time after creation."""
+
+    def __init__(self, sim: "Simulation", delay: float, value: object = None,
+                 priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(sim)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        sim._enqueue(self, delay=self.delay, priority=priority)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay} at {id(self):#x}>"
+
+
+class ConditionValue:
+    """Mapping of events to values for fired :class:`Condition` events."""
+
+    def __init__(self, events: Sequence[Event]) -> None:
+        self.events = list(events)
+
+    def __getitem__(self, event: Event) -> object:
+        if event not in self.events:
+            raise KeyError(event)
+        return event.value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def todict(self) -> dict:
+        return {event: event.value for event in self.events}
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Composite event over a set of child events.
+
+    ``evaluate`` receives (events, triggered_count) and returns True when the
+    condition is satisfied.  Child failures propagate immediately.
+    """
+
+    def __init__(self, sim: "Simulation", events: Sequence[Event],
+                 evaluate: Callable[[Sequence[Event], int], bool]) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._count = 0
+        for event in self._events:
+            if event.sim is not sim:
+                raise SimulationError("events belong to different simulations")
+        if not self._events:
+            self.succeed(ConditionValue([]))
+            return
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)  # type: ignore[arg-type]
+            return
+        self._count += 1
+        if self._evaluate(self._events, self._count):
+            done = [e for e in self._events if e.processed and e.ok]
+            self.succeed(ConditionValue(done))
+
+
+def all_of(sim: "Simulation", events: Sequence[Event]) -> Condition:
+    """Event that fires once *all* ``events`` have succeeded."""
+    return Condition(sim, events, lambda evs, count: count == len(evs))
+
+
+def any_of(sim: "Simulation", events: Sequence[Event]) -> Condition:
+    """Event that fires once *any* of ``events`` has succeeded."""
+    return Condition(sim, events, lambda evs, count: count >= 1)

@@ -1,0 +1,128 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that yields :class:`~dcrobot.sim.events.Event`
+instances.  Each yield suspends the process until the yielded event is
+processed; the event's value is sent back into the generator (or its
+exception thrown in, if the event failed).
+
+A :class:`Process` is itself an event: it fires with the generator's return
+value when the generator finishes, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from dcrobot.sim.errors import Interrupt, SimulationError
+from dcrobot.sim.events import NORMAL, URGENT, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from dcrobot.sim.engine import Simulation
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    def __init__(self, sim: "Simulation", process: "Process") -> None:
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._enqueue(self, delay=0.0, priority=URGENT)
+
+
+class _InterruptTrigger(Event):
+    """Internal event that throws an Interrupt into a process generator."""
+
+    def __init__(self, sim: "Simulation", process: "Process",
+                 cause: object) -> None:
+        super().__init__(sim)
+        self._ok = False
+        self._value = Interrupt(cause)
+        self.callbacks.append(process._resume)
+        sim._enqueue(self, delay=0.0, priority=URGENT)
+
+
+class Process(Event):
+    """Wraps a generator and drives it through the simulation."""
+
+    def __init__(self, sim: "Simulation",
+                 generator: Generator[Event, object, object]) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(sim, self)
+
+    def __repr__(self) -> str:
+        name = getattr(self._generator, "__name__", str(self._generator))
+        return f"<Process {name} at {id(self):#x}>"
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process currently waits on (None if finished)."""
+        return self._target
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process stops waiting on its current target (the target still
+        fires, but no longer resumes this process) and instead receives the
+        interrupt.  Interrupting a finished process is an error.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} has terminated; cannot interrupt")
+        if self._target is not None and not self._target.processed:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        _InterruptTrigger(self.sim, self, cause)
+
+    # -- internal ----------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        self.sim._active_process = self
+        try:
+            if event.ok:
+                result = self._generator.send(event.value)
+            else:
+                # The event's exception is thrown inside the generator.  If
+                # the generator does not catch it, it propagates out of
+                # ``throw`` and fails this process below.
+                result = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self._target = None
+            self.succeed(stop.value, priority=NORMAL)
+            return
+        except BaseException as exc:
+            self._target = None
+            self.fail(exc, priority=NORMAL)
+            return
+        finally:
+            self.sim._active_process = None
+
+        if not isinstance(result, Event):
+            raise SimulationError(
+                f"process {self!r} yielded non-event {result!r}")
+        if result.sim is not self.sim:
+            raise SimulationError(
+                f"process {self!r} yielded event from another simulation")
+        self._target = result
+        if result.processed:
+            # Already-fired event: resume again at the current instant.
+            redo = Event(self.sim)
+            redo._ok = result._ok
+            redo._value = result._value
+            redo.callbacks.append(self._resume)
+            self.sim._enqueue(redo, delay=0.0, priority=URGENT)
+            self._target = redo
+        else:
+            result.callbacks.append(self._resume)

@@ -1,0 +1,260 @@
+"""Shared-resource primitives: resources, stores, and containers.
+
+These model contention: a pool of technicians is a :class:`PriorityResource`,
+a robot's cleaning-tape reservoir is a :class:`Container`, a queue of repair
+tasks is a :class:`Store`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
+
+from dcrobot.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from dcrobot.sim.engine import Simulation
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Usable as a context manager so the slot is always released::
+
+        with resource.request() as req:
+            yield req
+            ... hold the resource ...
+    """
+
+    def __init__(self, resource: "Resource", priority: float = 0.0) -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+        resource._add_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release the slot if held, or withdraw from the wait queue."""
+        self.resource._remove_request(self)
+
+
+class Resource:
+    """A pool of ``capacity`` identical slots with a FIFO wait queue."""
+
+    def __init__(self, sim: "Simulation", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.users: List[Request] = []
+        self._queue: List[Tuple[float, int, Request]] = []
+        self._counter = itertools.count()
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} capacity={self.capacity} "
+                f"in_use={len(self.users)} queued={len(self._queue)}>")
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self, priority: float = 0.0) -> Request:
+        """Claim a slot.  The returned event fires when the slot is granted.
+
+        ``priority`` only matters for :class:`PriorityResource`; the base
+        class serves strictly FIFO.
+        """
+        return Request(self, priority)
+
+    def release(self, request: Request) -> None:
+        """Release a previously granted slot."""
+        self._remove_request(request)
+
+    # -- internal --------------------------------------------------------
+
+    def _sort_key(self, request: Request) -> float:
+        return 0.0  # FIFO: heap orders by insertion sequence only
+
+    def _add_request(self, request: Request) -> None:
+        heapq.heappush(
+            self._queue,
+            (self._sort_key(request), next(self._counter), request))
+        self._dispatch()
+
+    def _remove_request(self, request: Request) -> None:
+        if request in self.users:
+            self.users.remove(request)
+            self._dispatch()
+        else:
+            # Lazy removal from the wait queue.
+            self._queue = [entry for entry in self._queue
+                           if entry[2] is not request]
+            heapq.heapify(self._queue)
+
+    def _dispatch(self) -> None:
+        while self._queue and len(self.users) < self.capacity:
+            _key, _seq, request = heapq.heappop(self._queue)
+            self.users.append(request)
+            request.succeed(request)
+
+
+class PriorityResource(Resource):
+    """Resource whose queue is served lowest-``priority``-value first."""
+
+    def _sort_key(self, request: Request) -> float:
+        return request.priority
+
+
+class StorePut(Event):
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.sim)
+        self.item = item
+        store._puts.append(self)
+        store._dispatch()
+
+
+class StoreGet(Event):
+    def __init__(self, store: "Store",
+                 predicate: Optional[Callable[[Any], bool]] = None) -> None:
+        super().__init__(store.sim)
+        self.predicate = predicate
+        store._gets.append(self)
+        store._dispatch()
+
+
+class Store:
+    """An unbounded-or-bounded buffer of arbitrary items.
+
+    ``get`` accepts an optional predicate: the request is fulfilled by the
+    oldest stored item matching it (a lightweight filter-store).
+    """
+
+    def __init__(self, sim: "Simulation",
+                 capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._puts: List[StorePut] = []
+        self._gets: List[StoreGet] = []
+
+    def __repr__(self) -> str:
+        return (f"<Store items={len(self.items)} "
+                f"waiting_get={len(self._gets)}>")
+
+    def put(self, item: Any) -> StorePut:
+        """Deposit ``item``.  Fires immediately unless the store is full."""
+        return StorePut(self, item)
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None
+            ) -> StoreGet:
+        """Withdraw the oldest (matching) item; waits until one exists."""
+        return StoreGet(self, predicate)
+
+    def cancel_get(self, request: StoreGet) -> None:
+        """Withdraw an unfulfilled get request from the wait list."""
+        if request in self._gets:
+            self._gets.remove(request)
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Admit pending puts while there is room.
+            while self._puts and len(self.items) < self.capacity:
+                put = self._puts.pop(0)
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            # Serve waiting gets.
+            for get in list(self._gets):
+                index = self._match(get)
+                if index is None:
+                    continue
+                item = self.items.pop(index)
+                self._gets.remove(get)
+                get.succeed(item)
+                progress = True
+
+    def _match(self, get: StoreGet) -> Optional[int]:
+        for index, item in enumerate(self.items):
+            if get.predicate is None or get.predicate(item):
+                return index
+        return None
+
+
+class ContainerPut(Event):
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError(f"amount must be > 0, got {amount}")
+        super().__init__(container.sim)
+        self.amount = amount
+        container._puts.append(self)
+        container._dispatch()
+
+
+class ContainerGet(Event):
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError(f"amount must be > 0, got {amount}")
+        super().__init__(container.sim)
+        self.amount = amount
+        container._gets.append(self)
+        container._dispatch()
+
+
+class Container:
+    """A continuous quantity (fuel, cleaning consumables, spare stock)."""
+
+    def __init__(self, sim: "Simulation", capacity: float = float("inf"),
+                 init: float = 0.0) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init {init} outside [0, {capacity}]")
+        self.sim = sim
+        self.capacity = capacity
+        self.level = float(init)
+        self._puts: List[ContainerPut] = []
+        self._gets: List[ContainerGet] = []
+
+    def __repr__(self) -> str:
+        return f"<Container level={self.level}/{self.capacity}>"
+
+    def put(self, amount: float) -> ContainerPut:
+        """Add ``amount``; waits while it would overflow capacity."""
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        """Remove ``amount``; waits until that much is available."""
+        return ContainerGet(self, amount)
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for put in list(self._puts):
+                if self.level + put.amount <= self.capacity:
+                    self.level += put.amount
+                    self._puts.remove(put)
+                    put.succeed()
+                    progress = True
+            for get in list(self._gets):
+                if get.amount <= self.level:
+                    self.level -= get.amount
+                    self._gets.remove(get)
+                    get.succeed()
+                    progress = True

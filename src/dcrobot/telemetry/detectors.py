@@ -1,0 +1,121 @@
+"""Symptom detectors over the link state timeline.
+
+Production services "are already good at detecting hardware failures"
+(§2); these detectors reproduce the standard signals: hard-down beyond a
+grace period, flap counting in a sliding window, and loss-rate
+thresholds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from dcrobot.network.enums import LinkState
+from dcrobot.network.link import Link
+from dcrobot.telemetry.events import Symptom, TelemetryEvent
+
+
+@dataclasses.dataclass
+class DetectorParams:
+    """Detection thresholds.
+
+    Grace/persistence values debounce *transient* disturbances (a
+    technician brushing the bundle disturbs a link for minutes, §1);
+    ticketing every such blip would storm the maintenance plane.
+    """
+
+    #: Seconds a link must be continuously down before LINK_DOWN fires.
+    down_grace_seconds: float = 900.0
+    #: Transitions within the window that classify a link as flapping.
+    flap_transitions: int = 4
+    #: Sliding window for flap counting (seconds).
+    flap_window_seconds: float = 3600.0
+    #: Loss rate above which HIGH_LOSS fires for a carrying link.
+    loss_threshold: float = 1e-5
+    #: Seconds the loss must persist before HIGH_LOSS fires.
+    loss_persistence_seconds: float = 1800.0
+
+    def __post_init__(self) -> None:
+        if self.down_grace_seconds < 0:
+            raise ValueError("down_grace_seconds must be >= 0")
+        if self.flap_transitions < 2:
+            raise ValueError("flap_transitions must be >= 2")
+        if self.flap_window_seconds <= 0:
+            raise ValueError("flap_window_seconds must be > 0")
+        if self.loss_persistence_seconds < 0:
+            raise ValueError("loss_persistence_seconds must be >= 0")
+
+
+class LinkDetector:
+    """Evaluates one link against all symptom rules.
+
+    Stateful: tracks when each link first showed elevated loss so the
+    HIGH_LOSS symptom only fires for *persistent* lossiness.
+    """
+
+    def __init__(self, params: Optional[DetectorParams] = None) -> None:
+        self.params = params or DetectorParams()
+        self._lossy_since: dict = {}
+
+    def _down_since(self, link: Link) -> Optional[float]:
+        """Time the link entered its current DOWN stretch, if down."""
+        if link.state is not LinkState.DOWN:
+            return None
+        down_since = None
+        for when, state in reversed(link.history):
+            if state is LinkState.DOWN:
+                down_since = when
+            else:
+                break
+        return down_since
+
+    def check(self, link: Link, now: float) -> Optional[TelemetryEvent]:
+        """The most severe symptom currently presented, if any.
+
+        Severity order: hard down > flapping > high loss.  Flapping is
+        checked before high loss because it subsumes it operationally:
+        a flapping link is already ticket-worthy regardless of its
+        instantaneous loss.
+        """
+        params = self.params
+        if link.state is LinkState.MAINTENANCE:
+            return None
+
+        down_since = self._down_since(link)
+        if (down_since is not None
+                and now - down_since >= params.down_grace_seconds):
+            # A down link that has been bouncing recently is a flapping
+            # link currently in a bad phase — report the flap, which is
+            # the more actionable diagnosis.
+            transitions = link.transitions_in_window(
+                now - params.flap_window_seconds, now)
+            if transitions >= params.flap_transitions:
+                return TelemetryEvent(
+                    now, link.id, Symptom.LINK_FLAPPING,
+                    detail=f"{transitions} transitions/"
+                           f"{params.flap_window_seconds:.0f}s (now down)")
+            return TelemetryEvent(
+                now, link.id, Symptom.LINK_DOWN,
+                detail=f"down for {now - down_since:.0f}s")
+
+        transitions = link.transitions_in_window(
+            now - params.flap_window_seconds, now)
+        if transitions >= params.flap_transitions:
+            return TelemetryEvent(
+                now, link.id, Symptom.LINK_FLAPPING,
+                detail=f"{transitions} transitions/"
+                       f"{params.flap_window_seconds:.0f}s")
+
+        lossy = (link.state.carries_traffic
+                 and link.loss_rate > params.loss_threshold)
+        if not lossy:
+            self._lossy_since.pop(link.id, None)
+            return None
+        since = self._lossy_since.setdefault(link.id, now)
+        if now - since >= params.loss_persistence_seconds:
+            return TelemetryEvent(
+                now, link.id, Symptom.HIGH_LOSS,
+                detail=f"loss={link.loss_rate:.2e} "
+                       f"for {now - since:.0f}s")
+        return None

@@ -1,0 +1,33 @@
+"""Telemetry event types: what the monitoring plane reports upward."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class Symptom(enum.Enum):
+    """Observable link misbehaviour classes.
+
+    These are *symptoms*, not root causes — the control plane must
+    discover the cause by attempting repairs (the §3.2 escalation
+    ladder).
+    """
+
+    LINK_DOWN = "link-down"          #: hard down beyond the grace period
+    LINK_FLAPPING = "link-flapping"  #: repeated transitions in a window
+    HIGH_LOSS = "high-loss"          #: carrying traffic with elevated loss
+
+
+@dataclasses.dataclass(frozen=True)
+class TelemetryEvent:
+    """One detector firing for one link."""
+
+    time: float
+    link_id: str
+    symptom: Symptom
+    detail: str = ""
+
+    def __repr__(self) -> str:
+        return (f"<TelemetryEvent t={self.time:.0f} {self.link_id} "
+                f"{self.symptom.value}>")

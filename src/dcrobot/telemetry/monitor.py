@@ -1,0 +1,76 @@
+"""The telemetry monitor: periodic fleet scan feeding subscribers.
+
+Subscribers are callables (typically the maintenance controller's
+``on_event``) invoked with each new :class:`TelemetryEvent`.  Per-link
+cooldown suppresses re-reporting the same symptom while it is being
+handled; the controller re-arms the link when a repair attempt
+completes, so persistent problems re-fire and escalate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from dcrobot.network.inventory import Fabric
+from dcrobot.sim.engine import Simulation
+from dcrobot.telemetry.detectors import DetectorParams, LinkDetector
+from dcrobot.telemetry.events import TelemetryEvent
+
+Subscriber = Callable[[TelemetryEvent], None]
+
+
+class TelemetryMonitor:
+    """Scans every link each poll interval and dispatches new symptoms."""
+
+    def __init__(self, fabric: Fabric,
+                 params: Optional[DetectorParams] = None,
+                 poll_seconds: float = 60.0) -> None:
+        if poll_seconds <= 0:
+            raise ValueError(f"poll_seconds must be > 0, got {poll_seconds}")
+        self.fabric = fabric
+        self.detector = LinkDetector(params)
+        self.poll_seconds = poll_seconds
+        self.subscribers: List[Subscriber] = []
+        self.events: List[TelemetryEvent] = []
+        self._muted: Dict[str, bool] = {}
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        """Register a callback for every newly detected symptom."""
+        self.subscribers.append(subscriber)
+
+    # -- muting (handled-symptom suppression) --------------------------------
+
+    def mute(self, link_id: str) -> None:
+        """Stop reporting a link (a repair is in flight)."""
+        self._muted[link_id] = True
+
+    def unmute(self, link_id: str) -> None:
+        """Re-arm detection for a link (repair attempt finished)."""
+        self._muted.pop(link_id, None)
+
+    def is_muted(self, link_id: str) -> bool:
+        return self._muted.get(link_id, False)
+
+    # -- scanning -------------------------------------------------------------
+
+    def scan(self, now: float) -> List[TelemetryEvent]:
+        """One full-fleet pass; returns (and dispatches) new events."""
+        new_events = []
+        for link in self.fabric.links.values():
+            if self.is_muted(link.id):
+                continue
+            event = self.detector.check(link, now)
+            if event is None:
+                continue
+            self.mute(link.id)  # one report per incident until re-armed
+            self.events.append(event)
+            new_events.append(event)
+            for subscriber in self.subscribers:
+                subscriber(event)
+        return new_events
+
+    def run(self, sim: Simulation):
+        """Generator process: scan forever at the poll interval."""
+        while True:
+            yield sim.timeout(self.poll_seconds)
+            self.scan(sim.now)

@@ -1,0 +1,119 @@
+"""k-ary fat-tree builder (Al-Fares et al. style).
+
+A k-ary fat-tree has k pods; each pod has k/2 edge and k/2 aggregation
+switches of radix k; (k/2)^2 core switches connect the pods.  Optionally
+each edge switch attaches k/2 hosts.
+
+Physical placement: core switches occupy row 0; each pod occupies its own
+rack in a subsequent row (edge and agg switches stacked in the rack),
+giving the realistic pattern of short intra-pod DAC/AOC runs and long
+pod-to-core fiber runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from dcrobot.network.enums import FormFactor
+from dcrobot.network.inventory import Fabric
+from dcrobot.network.layout import HallLayout
+from dcrobot.network.switchgear import SwitchRole
+from dcrobot.topology.base import Topology
+
+
+def build_fattree(k: int = 4, with_hosts: bool = False,
+                  form_factor: FormFactor = FormFactor.QSFP_DD,
+                  rng: Optional[np.random.Generator] = None,
+                  racks_per_row: Optional[int] = None,
+                  row_spread: int = 8,
+                  model_catalog: Optional[list] = None) -> Topology:
+    """Build a k-ary fat-tree (k even, k >= 2).
+
+    Returns 5k^2/4 switches and k^3/4 switch-to-switch links
+    (+ k^3/4 host links when ``with_hosts``).
+
+    ``row_spread`` sets how many hall rows apart consecutive pods sit
+    (core row 0, pod p at row ``1 + p * row_spread``).  Real pods are
+    rack groups spread across a hall, which is what makes agg-to-core
+    trunks long enough to need separate transceivers and MPO fiber
+    (§3.1) while intra-pod links stay on DAC.
+
+    ``model_catalog`` overrides the transceiver vendor catalog — pass a
+    single-model catalog to study the §4 hardware-standardization
+    agenda.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ValueError(f"fat-tree k must be even and >= 2, got {k}")
+    if row_spread < 1:
+        raise ValueError(f"row_spread must be >= 1, got {row_spread}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    half = k // 2
+    core_count = half * half
+
+    core_racks = max(1, core_count // 8)
+    rows = 1 + k * row_spread
+    layout = HallLayout(rows=rows,
+                        racks_per_row=max(racks_per_row or 4, core_racks),
+                        height_u=48)
+    fabric = Fabric(layout=layout, rng=rng,
+                    model_catalog=model_catalog)
+
+    # Core layer in row 0, 8 chassis per rack.
+    cores = []
+    for index in range(core_count):
+        rack = layout.rack_at(0, index // 8)
+        switch = fabric.add_switch(
+            SwitchRole.CORE, radix=k, form_factor=form_factor,
+            rack_id=rack.id, u_position=4 + (index % 8) * 4,
+            ports_per_line_card=max(2, k // 2))
+        cores.append(switch)
+
+    # Pods: one rack per pod, aggs above edges.
+    edges, aggs, hosts = [], [], []
+    for pod in range(k):
+        row = 1 + pod * row_spread
+        rack = layout.rack_at(row, 0)
+        pod_aggs, pod_edges = [], []
+        for index in range(half):
+            agg = fabric.add_switch(
+                SwitchRole.AGG, radix=k, form_factor=form_factor,
+                rack_id=rack.id, u_position=30 + index * 2)
+            pod_aggs.append(agg)
+        for index in range(half):
+            edge = fabric.add_switch(
+                SwitchRole.TOR, radix=k, form_factor=form_factor,
+                rack_id=rack.id, u_position=20 + index * 2)
+            pod_edges.append(edge)
+        # Full bipartite edge<->agg inside the pod.
+        for edge in pod_edges:
+            for agg in pod_aggs:
+                fabric.connect(edge.id, agg.id)
+        # Agg i connects to core switches [i*half, (i+1)*half).
+        for agg_index, agg in enumerate(pod_aggs):
+            for offset in range(half):
+                core = cores[agg_index * half + offset]
+                fabric.connect(agg.id, core.id)
+        if with_hosts:
+            for edge in pod_edges:
+                for slot in range(half):
+                    host = fabric.add_host(
+                        rack_id=rack.id, u_position=2 + slot,
+                        form_factor=form_factor)
+                    fabric.connect(host.id, edge.id)
+                    hosts.append(host)
+        edges.extend(pod_edges)
+        aggs.extend(pod_aggs)
+
+    return Topology(
+        name=f"fattree-k{k}",
+        fabric=fabric,
+        params={"k": k, "with_hosts": with_hosts, "row_spread": row_spread},
+        switches_by_role={
+            SwitchRole.CORE: [s.id for s in cores],
+            SwitchRole.AGG: [s.id for s in aggs],
+            SwitchRole.TOR: [s.id for s in edges],
+        },
+        host_ids=[h.id for h in hosts],
+    )

@@ -1,0 +1,104 @@
+"""Rail-optimized GPU training cluster (§1's motivating AI workload).
+
+``gpus_per_server`` GPUs each own a NIC; NIC *i* of every server connects
+to rail switch *i*.  Collectives run per-rail, so a single failed rail
+link removes that server from full-bandwidth participation — the paper's
+"single network link failing ... potentially causing significant fraction
+of the GPU-cluster to go offline" dilemma.  There is deliberately no
+per-link redundancy: that is the cost the paper says operators cannot
+afford, and what self-maintenance compensates for.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from dcrobot.network.enums import FormFactor
+from dcrobot.network.inventory import Fabric
+from dcrobot.network.layout import HallLayout
+from dcrobot.network.switchgear import SwitchRole
+from dcrobot.topology.base import Topology
+
+
+def build_gpu_cluster(servers: int = 16, gpus_per_server: int = 8,
+                      form_factor: FormFactor = FormFactor.OSFP,
+                      rng: Optional[np.random.Generator] = None,
+                      servers_per_rack: int = 4,
+                      spare_rails: int = 0) -> Topology:
+    """Build a rail-optimized cluster of ``servers`` x ``gpus_per_server``
+    GPUs with one rail switch per GPU index.
+
+    ``spare_rails`` adds that many redundant rails (extra switch + one
+    extra NIC/link per server each) — the overprovisioning §1 calls
+    "simply impractical in terms of cost and energy"; E12 prices it
+    against robotic maintenance.
+    """
+    if servers < 1:
+        raise ValueError(f"servers must be >= 1, got {servers}")
+    if gpus_per_server < 1:
+        raise ValueError(
+            f"gpus_per_server must be >= 1, got {gpus_per_server}")
+    if spare_rails < 0:
+        raise ValueError(f"spare_rails must be >= 0, got {spare_rails}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    total_rails = gpus_per_server + spare_rails
+
+    racks_needed = int(np.ceil(servers / servers_per_rack)) + 1
+    racks_per_row = max(4, int(np.ceil(np.sqrt(racks_needed))))
+    rows = max(1, int(np.ceil(racks_needed / racks_per_row)))
+    layout = HallLayout(rows=rows, racks_per_row=racks_per_row, height_u=48)
+    fabric = Fabric(layout=layout, rng=rng)
+
+    # Rail switches live together in the first rack(s).
+    rails = []
+    for rail in range(total_rails):
+        rack = layout.rack_at(0, rail % racks_per_row)
+        rails.append(fabric.add_switch(
+            SwitchRole.SPINE, radix=max(servers, 2),
+            form_factor=form_factor, rack_id=rack.id,
+            u_position=30 + 2 * (rail // racks_per_row)))
+
+    hosts: List[str] = []
+    for server in range(servers):
+        rack_index = 1 + server // servers_per_rack
+        rack = layout.rack_at(rack_index // racks_per_row,
+                              rack_index % racks_per_row)
+        host = fabric.add_host(port_count=total_rails,
+                               form_factor=form_factor, rack_id=rack.id,
+                               u_position=4 + (server % servers_per_rack) * 8)
+        hosts.append(host.id)
+        for rail in range(total_rails):
+            fabric.connect(host.id, rails[rail].id,
+                           port_a=host.ports[rail])
+
+    return Topology(
+        name=f"gpu-{servers}x{gpus_per_server}",
+        fabric=fabric,
+        params={"servers": servers, "gpus_per_server": gpus_per_server,
+                "spare_rails": spare_rails},
+        switches_by_role={SwitchRole.SPINE: [s.id for s in rails]},
+        host_ids=hosts,
+    )
+
+
+def healthy_server_fraction(topology: Topology) -> float:
+    """Fraction of servers with *all* rail links operational.
+
+    Rail-parallel collectives need every rail; a server missing any rail
+    runs degraded and is excluded from full-speed jobs.
+    """
+    hosts = topology.host_ids
+    if not hosts:
+        return 1.0
+    # Spare rails mean a server tolerates that many down links before
+    # it loses full-bandwidth participation.
+    expected = int(topology.params["gpus_per_server"])
+    healthy = 0
+    for host_id in hosts:
+        links = topology.fabric.links_of(host_id)
+        up = sum(1 for link in links if link.operational)
+        if up >= expected:
+            healthy += 1
+    return healthy / len(hosts)

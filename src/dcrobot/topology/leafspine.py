@@ -1,0 +1,95 @@
+"""Leaf–spine (2-tier Clos) builder with configurable redundancy.
+
+The ``uplinks_per_pair`` parameter is the right-provisioning knob of
+experiment E4: each leaf connects to each spine with that many parallel
+links, so losing one still leaves capacity — at a hardware cost the paper
+argues self-maintenance can reduce (§2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from dcrobot.network.enums import FormFactor
+from dcrobot.network.inventory import Fabric
+from dcrobot.network.layout import HallLayout
+from dcrobot.network.switchgear import SwitchRole
+from dcrobot.topology.base import Topology
+
+
+def build_leafspine(leaves: int = 8, spines: int = 4,
+                    uplinks_per_pair: int = 1,
+                    hosts_per_leaf: int = 0,
+                    form_factor: FormFactor = FormFactor.QSFP_DD,
+                    rng: Optional[np.random.Generator] = None,
+                    row_spread: int = 4,
+                    spare_leaf_ports: int = 0) -> Topology:
+    """Build a leaf–spine fabric.
+
+    Every leaf connects to every spine ``uplinks_per_pair`` times.
+    Radix is sized automatically from the connectivity requirements.
+    ``row_spread`` places leaf *i* at hall row ``1 + i * row_spread``
+    (spines in row 0), giving the realistic mix of shorter and longer
+    uplink runs across the hall.  ``spare_leaf_ports`` leaves growth
+    headroom on every leaf (needed for robotic fabric expansion).
+    """
+    if leaves < 1 or spines < 1:
+        raise ValueError("leaves and spines must be >= 1")
+    if uplinks_per_pair < 1:
+        raise ValueError(
+            f"uplinks_per_pair must be >= 1, got {uplinks_per_pair}")
+    if row_spread < 1:
+        raise ValueError(f"row_spread must be >= 1, got {row_spread}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    racks_per_row = max(4, spines)
+    layout = HallLayout(rows=1 + leaves * row_spread,
+                        racks_per_row=racks_per_row)
+    fabric = Fabric(layout=layout, rng=rng)
+
+    spine_radix = leaves * uplinks_per_pair
+    if spare_leaf_ports < 0:
+        raise ValueError("spare_leaf_ports must be >= 0")
+    leaf_radix = (spines * uplinks_per_pair + hosts_per_leaf
+                  + spare_leaf_ports)
+
+    spine_switches = []
+    for index in range(spines):
+        rack = layout.rack_at(0, index % racks_per_row)
+        spine_switches.append(fabric.add_switch(
+            SwitchRole.SPINE, radix=spine_radix, form_factor=form_factor,
+            rack_id=rack.id, u_position=36 + 2 * (index // racks_per_row),
+            ports_per_line_card=max(4, spine_radix // 4)))
+
+    leaf_switches, hosts = [], []
+    for index in range(leaves):
+        row = 1 + index * row_spread
+        rack = layout.rack_at(row, 0)
+        leaf = fabric.add_switch(
+            SwitchRole.LEAF, radix=leaf_radix, form_factor=form_factor,
+            rack_id=rack.id, u_position=40)
+        leaf_switches.append(leaf)
+        for spine in spine_switches:
+            for _ in range(uplinks_per_pair):
+                fabric.connect(leaf.id, spine.id)
+        for slot in range(hosts_per_leaf):
+            host = fabric.add_host(rack_id=rack.id, u_position=2 + slot,
+                                   form_factor=form_factor)
+            fabric.connect(host.id, leaf.id)
+            hosts.append(host)
+
+    return Topology(
+        name=f"leafspine-{leaves}x{spines}r{uplinks_per_pair}",
+        fabric=fabric,
+        params={"leaves": leaves, "spines": spines,
+                "uplinks_per_pair": uplinks_per_pair,
+                "hosts_per_leaf": hosts_per_leaf,
+                "row_spread": row_spread},
+        switches_by_role={
+            SwitchRole.SPINE: [s.id for s in spine_switches],
+            SwitchRole.LEAF: [s.id for s in leaf_switches],
+        },
+        host_ids=[h.id for h in hosts],
+    )

@@ -1,0 +1,84 @@
+"""Xpander: near-optimal expander topology via random lifts
+(Valadarsky et al., CoNEXT '16) — the other "efficient but hard to
+deploy" design the paper's §4 cites.
+
+Construction: start from the complete graph K_{d+1} (the best d-regular
+expander) and apply a random ``lift``: every vertex becomes ``lift``
+copies, and every edge (u, v) becomes a random perfect matching between
+the copies of u and the copies of v.  The result is a d-regular graph on
+(d+1)*lift vertices that retains near-optimal expansion with high
+probability.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from dcrobot.network.enums import FormFactor
+from dcrobot.network.inventory import Fabric
+from dcrobot.network.layout import HallLayout
+from dcrobot.network.switchgear import SwitchRole
+from dcrobot.topology.base import Topology
+
+
+def xpander_edges(degree: int, lift: int,
+                  rng: np.random.Generator) -> Tuple[int, List[Tuple[int, int]]]:
+    """Edge list of a random ``lift``-lift of K_{degree+1}.
+
+    Returns (node_count, edges) where nodes are 0..node_count-1 and node
+    ``meta * lift + copy`` is copy ``copy`` of meta-vertex ``meta``.
+    """
+    if degree < 2:
+        raise ValueError(f"degree must be >= 2, got {degree}")
+    if lift < 1:
+        raise ValueError(f"lift must be >= 1, got {lift}")
+    meta_count = degree + 1
+    node_count = meta_count * lift
+    edges = []
+    for meta_u in range(meta_count):
+        for meta_v in range(meta_u + 1, meta_count):
+            matching = rng.permutation(lift)
+            for copy_u in range(lift):
+                u = meta_u * lift + copy_u
+                v = meta_v * lift + int(matching[copy_u])
+                edges.append((u, v))
+    return node_count, edges
+
+
+def build_xpander(degree: int = 4, lift: int = 4,
+                  form_factor: FormFactor = FormFactor.QSFP_DD,
+                  rng: Optional[np.random.Generator] = None,
+                  switches_per_rack: int = 1,
+                  rack_stride: int = 4) -> Topology:
+    """Build an Xpander fabric of (degree+1)*lift switches, d-regular."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    node_count, edges = xpander_edges(degree, lift, rng)
+
+    racks_needed = int(np.ceil(node_count / switches_per_rack)) * rack_stride
+    racks_per_row = max(4, int(np.ceil(np.sqrt(racks_needed))))
+    rows = max(1, int(np.ceil(racks_needed / racks_per_row)))
+    layout = HallLayout(rows=rows, racks_per_row=racks_per_row)
+    fabric = Fabric(layout=layout, rng=rng)
+
+    nodes = []
+    for index in range(node_count):
+        rack_index = (index // switches_per_rack) * rack_stride
+        rack = layout.rack_at(rack_index // racks_per_row,
+                              rack_index % racks_per_row)
+        nodes.append(fabric.add_switch(
+            SwitchRole.NODE, radix=degree, form_factor=form_factor,
+            rack_id=rack.id,
+            u_position=10 + (index % switches_per_rack) * 4))
+
+    for a, b in edges:
+        fabric.connect(nodes[a].id, nodes[b].id)
+
+    return Topology(
+        name=f"xpander-d{degree}L{lift}",
+        fabric=fabric,
+        params={"degree": degree, "lift": lift},
+        switches_by_role={SwitchRole.NODE: [s.id for s in nodes]},
+        host_ids=[],
+    )

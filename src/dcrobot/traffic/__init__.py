@@ -1,0 +1,23 @@
+"""Traffic substrate (S5): flows, ECMP routing, and FCT/latency model."""
+
+from dcrobot.traffic.flows import Flow, FlowGenerator
+from dcrobot.traffic.latency import (
+    MTU_BYTES,
+    PROPAGATION_S_PER_M,
+    LatencyModel,
+    LatencyParams,
+    percentile,
+)
+from dcrobot.traffic.routing import EcmpRouter, NoRouteError
+
+__all__ = [
+    "Flow",
+    "FlowGenerator",
+    "EcmpRouter",
+    "NoRouteError",
+    "LatencyModel",
+    "LatencyParams",
+    "percentile",
+    "MTU_BYTES",
+    "PROPAGATION_S_PER_M",
+]

@@ -1,0 +1,74 @@
+"""Flow workload model.
+
+Flows are sampled, not individually simulated: experiments periodically
+draw a batch of flows between attachment points and push them through
+the routing + latency models to observe the fabric as applications
+would.  Sizes follow the heavy-tailed mice/elephants mix standard in
+datacenter measurement studies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class Flow:
+    """One application flow between two attachment nodes."""
+
+    flow_id: int
+    src: str
+    dst: str
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError("flow endpoints must differ")
+        if self.size_bytes <= 0:
+            raise ValueError(f"size must be > 0, got {self.size_bytes}")
+
+
+class FlowGenerator:
+    """Draws flows between uniformly chosen distinct endpoints."""
+
+    #: Mice/elephant mixture: (probability, lognormal mean, sigma).
+    SIZE_MIX: Sequence[Tuple[float, float, float]] = (
+        (0.8, np.log(20e3), 1.0),    # mice ~20 KB
+        (0.2, np.log(10e6), 1.2),    # elephants ~10 MB
+    )
+
+    def __init__(self, endpoints: Sequence[str],
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if len(endpoints) < 2:
+            raise ValueError("need at least two endpoints")
+        self.endpoints = list(endpoints)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._counter = itertools.count()
+
+    def sample_flow(self) -> Flow:
+        """One flow with distinct uniform endpoints and mixed size."""
+        src_index = int(self.rng.integers(len(self.endpoints)))
+        dst_index = int(self.rng.integers(len(self.endpoints) - 1))
+        if dst_index >= src_index:
+            dst_index += 1
+        threshold = self.rng.random()
+        cumulative = 0.0
+        mean, sigma = self.SIZE_MIX[-1][1:]
+        for probability, mix_mean, mix_sigma in self.SIZE_MIX:
+            cumulative += probability
+            if threshold < cumulative:
+                mean, sigma = mix_mean, mix_sigma
+                break
+        size = max(64, int(self.rng.lognormal(mean, sigma)))
+        return Flow(next(self._counter), self.endpoints[src_index],
+                    self.endpoints[dst_index], size)
+
+    def sample_batch(self, count: int) -> List[Flow]:
+        """``count`` independent flows."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return [self.sample_flow() for _ in range(count)]

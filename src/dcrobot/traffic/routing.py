@@ -1,0 +1,138 @@
+"""ECMP routing over the operational fabric.
+
+The router computes shortest paths on the *operational* graph (links in
+a traffic-carrying state) and load-balances across equal-cost choices by
+flow hash, as a datacenter ECMP dataplane would.  Paths are cached per
+topology version; maintenance and failures bump the version.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from dcrobot.network.inventory import Fabric
+from dcrobot.network.link import Link
+
+
+class NoRouteError(Exception):
+    """No operational path exists between the endpoints."""
+
+
+class EcmpRouter:
+    """Shortest-path ECMP with per-flow hashing and drain awareness."""
+
+    def __init__(self, fabric: Fabric, max_equal_paths: int = 8) -> None:
+        if max_equal_paths < 1:
+            raise ValueError("max_equal_paths must be >= 1")
+        self.fabric = fabric
+        self.max_equal_paths = max_equal_paths
+        self._version = 0
+        self._cache: Dict[Tuple[str, str], List[List[str]]] = {}
+        #: Links administratively removed from routing (pre-repair drain).
+        self._drained: set = set()
+
+    # -- topology versioning ------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop cached paths (call after any link state change)."""
+        self._version += 1
+        self._cache.clear()
+
+    def drain(self, link_id: str) -> None:
+        """Remove a link from routing ahead of maintenance (§2's
+        impact-aware repairs migrate load *before* touching hardware)."""
+        self._drained.add(link_id)
+        self.invalidate()
+
+    def undrain(self, link_id: str) -> None:
+        """Return a drained link to routing."""
+        self._drained.discard(link_id)
+        self.invalidate()
+
+    @property
+    def drained_links(self) -> set:
+        return set(self._drained)
+
+    # -- path computation -----------------------------------------------------
+
+    def _operational_graph(self) -> nx.MultiGraph:
+        graph = nx.MultiGraph()
+        graph.add_nodes_from(self.fabric.switches)
+        graph.add_nodes_from(self.fabric.hosts)
+        for link in self.fabric.links.values():
+            if not link.operational or link.id in self._drained:
+                continue
+            a, b = link.endpoint_ids
+            graph.add_edge(a, b, key=link.id)
+        return graph
+
+    def equal_cost_paths(self, src: str, dst: str) -> List[List[str]]:
+        """All shortest node-paths (capped at ``max_equal_paths``)."""
+        key = (src, dst)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        graph = self._operational_graph()
+        try:
+            paths = []
+            for path in nx.all_shortest_paths(graph, src, dst):
+                paths.append(path)
+                if len(paths) >= self.max_equal_paths:
+                    break
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            paths = []
+        self._cache[key] = paths
+        return paths
+
+    def links_on_path(self, path: List[str]) -> List[Link]:
+        """Pick one operational link per hop of a node path.
+
+        With parallel links, the least-lossy operational one is chosen
+        (dataplanes hash across members; taking the best member gives
+        the optimistic bound, which is consistent across policies).
+        """
+        hops = []
+        for a, b in zip(path, path[1:]):
+            candidates = [
+                link for link in self.fabric.links_of(a)
+                if set(link.endpoint_ids) == {a, b} and link.operational
+                and link.id not in self._drained]
+            if not candidates:
+                raise NoRouteError(f"no operational link {a}<->{b}")
+            hops.append(min(candidates, key=lambda link: link.loss_rate))
+        return hops
+
+    def route(self, src: str, dst: str,
+              flow_hash: int = 0) -> List[Link]:
+        """The link path a flow with the given hash takes."""
+        paths = self.equal_cost_paths(src, dst)
+        if not paths:
+            raise NoRouteError(f"no path {src} -> {dst}")
+        path = paths[flow_hash % len(paths)]
+        return self.links_on_path(path)
+
+    def has_route(self, src: str, dst: str) -> bool:
+        return bool(self.equal_cost_paths(src, dst))
+
+    # -- fabric-level summaries ---------------------------------------------------
+
+    def connectivity_fraction(self, endpoints: List[str],
+                              rng: Optional[np.random.Generator] = None,
+                              sample_pairs: int = 200) -> float:
+        """Fraction of endpoint pairs with an operational route.
+
+        For large endpoint sets a uniform sample of pairs is used.
+        """
+        pairs = [(a, b) for i, a in enumerate(endpoints)
+                 for b in endpoints[i + 1:]]
+        if not pairs:
+            return 1.0
+        if len(pairs) > sample_pairs and rng is not None:
+            indices = rng.choice(len(pairs), size=sample_pairs,
+                                 replace=False)
+            pairs = [pairs[int(i)] for i in indices]
+        reachable = sum(1 for a, b in pairs if self.has_route(a, b))
+        return reachable / len(pairs)

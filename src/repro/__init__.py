@@ -1,0 +1,23 @@
+"""Compatibility alias: ``repro`` re-exports the :mod:`dcrobot` package.
+
+The reproduction harness expects a package named ``repro``; the
+library's real name is ``dcrobot``.  Importing ``repro`` exposes the
+same subpackages (``repro.sim``, ``repro.core``, ...).
+"""
+
+import dcrobot
+from dcrobot import __version__  # noqa: F401
+from dcrobot import (  # noqa: F401
+    core,
+    experiments,
+    failures,
+    humans,
+    metrics,
+    ml,
+    network,
+    robots,
+    sim,
+    telemetry,
+    topology,
+    traffic,
+)

@@ -1,0 +1,66 @@
+"""Shared test fixtures: a small wired world with full failure physics."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from dcrobot.core.repairs import RepairPhysics
+from dcrobot.failures import CascadeModel, Environment, HealthModel
+from dcrobot.network import (
+    CableKind,
+    Fabric,
+    FormFactor,
+    HallLayout,
+    SwitchRole,
+)
+from dcrobot.sim import Simulation
+
+
+@dataclasses.dataclass
+class World:
+    """Everything a maintenance test needs, wired together."""
+
+    sim: Simulation
+    fabric: Fabric
+    links: list
+    environment: Environment
+    health: HealthModel
+    cascade: CascadeModel
+    physics: RepairPhysics
+    switch_a: object
+    switch_b: object
+
+
+def make_world(links=4, seed=17, kind=CableKind.MPO, rows=1,
+               racks_per_row=2, spare_transceivers=10, spare_cables=5):
+    """A two-switch world with ``links`` parallel MPO links and spares."""
+    rng = np.random.default_rng(seed)
+    fabric = Fabric(layout=HallLayout(rows=rows,
+                                      racks_per_row=racks_per_row),
+                    rng=rng)
+    a = fabric.add_switch(SwitchRole.TOR, radix=max(links, 2),
+                          rack_id=fabric.layout.rack_at(0, 0).id)
+    b = fabric.add_switch(SwitchRole.TOR, radix=max(links, 2),
+                          rack_id=fabric.layout.rack_at(
+                              rows - 1, racks_per_row - 1).id)
+    made = [fabric.connect(a.id, b.id, kind=kind) for _ in range(links)]
+    fabric.stock_spares(
+        {factor: spare_transceivers for factor in FormFactor},
+        cables=spare_cables)
+    sim = Simulation()
+    environment = Environment(diurnal_amplitude_c=0.0)
+    health = HealthModel(fabric, environment,
+                         rng=np.random.default_rng(seed + 1))
+    cascade = CascadeModel(fabric, health, environment,
+                           rng=np.random.default_rng(seed + 2))
+    physics = RepairPhysics(fabric, health, cascade,
+                            rng=np.random.default_rng(seed + 3))
+    return World(sim=sim, fabric=fabric, links=made,
+                 environment=environment, health=health, cascade=cascade,
+                 physics=physics, switch_a=a, switch_b=b)
+
+
+@pytest.fixture
+def world():
+    return make_world()

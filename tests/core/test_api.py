@@ -1,0 +1,89 @@
+"""Unit tests for the service API, including the authorization hook."""
+
+import numpy as np
+import pytest
+
+from dcrobot.core import (
+    AuthorizationError,
+    AutomationLevel,
+    MaintenanceAuthorizer,
+    MaintenanceServiceAPI,
+    ReactivePolicy,
+    RepairAction,
+)
+from dcrobot.experiments import WorldConfig, build_world
+
+DAY = 86400.0
+
+
+@pytest.fixture
+def world():
+    return build_world(WorldConfig(
+        horizon_days=3.0, seed=33, failure_scale=0.0,
+        dust_rate_per_day=0.0, aging_rate_per_day=0.0,
+        level=AutomationLevel.L3_HIGH_AUTOMATION))
+
+
+def test_open_api_accepts_any_principal(world):
+    api = MaintenanceServiceAPI(world.controller)
+    link_id = next(iter(world.fabric.links))
+    assert api.request_maintenance(link_id, urgent=True,
+                                   principal="whoever")
+
+
+def test_authorized_api_enforces_tokens(world):
+    authorizer = MaintenanceAuthorizer()
+    authorizer.issue("storage-service", [RepairAction.RESEAT])
+    api = MaintenanceServiceAPI(world.controller, authorizer=authorizer)
+    link_id = next(iter(world.fabric.links))
+
+    assert api.request_maintenance(link_id,
+                                   action=RepairAction.RESEAT,
+                                   urgent=True,
+                                   principal="storage-service")
+    with pytest.raises(AuthorizationError):
+        api.request_maintenance(link_id,
+                                action=RepairAction.REPLACE_CABLE,
+                                urgent=True,
+                                principal="storage-service")
+    with pytest.raises(AuthorizationError):
+        api.request_maintenance(link_id, urgent=True,
+                                principal="mallory")
+    # Every decision was audited and the chain holds.
+    assert len(authorizer.audit.records) == 3
+    assert authorizer.audit.verify_chain()
+
+
+def test_authorized_request_actually_runs(world):
+    authorizer = MaintenanceAuthorizer()
+    authorizer.issue("ops", [RepairAction.RESEAT])
+    api = MaintenanceServiceAPI(world.controller, authorizer=authorizer)
+    link = next(iter(world.fabric.links.values()))
+    api.request_maintenance(link.id, action=RepairAction.RESEAT,
+                            urgent=True, principal="ops")
+    world.sim.run(until=1.0 * DAY)
+    assert world.controller.proactive_outcomes
+    assert link.transceiver_a.reseat_count >= 1
+
+
+def test_duplicate_request_rejected_while_incident_open(world):
+    api = MaintenanceServiceAPI(world.controller)
+    link = next(iter(world.fabric.links.values()))
+    link.transceiver_a.firmware_stuck = True
+    world.health.evaluate_link(link, 0.0)
+    # Let telemetry open an incident first.
+    world.sim.run(until=3600.0)
+    if link.id in world.controller.open_incidents:
+        assert not api.request_maintenance(link.id)
+
+
+def test_status_reflects_run(world):
+    api = MaintenanceServiceAPI(world.controller)
+    link = next(iter(world.fabric.links.values()))
+    link.transceiver_a.firmware_stuck = True
+    world.health.evaluate_link(link, 0.0)
+    world.sim.run(until=1.0 * DAY)
+    status = api.status()
+    assert status.closed_incidents == 1
+    assert status.mean_time_to_repair_seconds > 0
+    assert status.links_down == 0

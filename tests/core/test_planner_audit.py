@@ -1,0 +1,191 @@
+"""Unit tests for the fleet planner and audit/authorization layer."""
+
+import numpy as np
+import pytest
+
+from dcrobot.core import (
+    AuditLog,
+    AuthorizationError,
+    FleetPlanner,
+    MaintenanceAuthorizer,
+    RepairAction,
+    erlang_c,
+)
+from dcrobot.failures import FailureRates
+from dcrobot.robots import MobilityScope
+from dcrobot.topology import build_fattree
+
+
+@pytest.fixture
+def topo():
+    return build_fattree(k=4, rng=np.random.default_rng(2))
+
+
+# -- erlang C ----------------------------------------------------------------
+
+def test_erlang_c_bounds():
+    assert erlang_c(1, 0.0) == 0.0
+    assert erlang_c(4, 4.0) == 1.0  # saturated
+    assert erlang_c(4, 8.0) == 1.0  # overloaded
+    assert 0.0 < erlang_c(2, 1.0) < 1.0
+
+
+def test_erlang_c_monotone_in_servers():
+    load = 3.0
+    values = [erlang_c(servers, load) for servers in range(4, 10)]
+    assert values == sorted(values, reverse=True)
+
+
+def test_erlang_c_validation():
+    with pytest.raises(ValueError):
+        erlang_c(0, 1.0)
+    with pytest.raises(ValueError):
+        erlang_c(1, -1.0)
+
+
+# -- planner -----------------------------------------------------------------
+
+def test_planner_inputs(topo):
+    planner = FleetPlanner(topo, rates=FailureRates().scaled(4.0))
+    assert planner.incident_rate_per_second() > 0
+    assert planner.mean_travel_seconds() > 0
+    assert planner.service_seconds() > planner.mean_travel_seconds()
+
+
+def test_planner_prediction_improves_with_fleet_size(topo):
+    planner = FleetPlanner(topo, rates=FailureRates().scaled(200.0))
+    small = planner.predict(1)
+    large = planner.predict(8)
+    assert large.predicted_repair_seconds \
+        <= small.predicted_repair_seconds
+    assert large.utilization < small.utilization
+
+
+def test_planner_recommend_meets_target(topo):
+    planner = FleetPlanner(topo, rates=FailureRates().scaled(50.0))
+    plan = planner.recommend(target_repair_seconds=1200.0)
+    assert plan.predicted_repair_seconds <= 1200.0
+    assert plan.manipulators >= 1
+    assert plan.cleaners >= 1
+    config = plan.to_fleet_config()
+    assert config.manipulators == plan.manipulators
+    assert config.scope is MobilityScope.HALL
+
+
+def test_planner_overload_reports_saturation(topo):
+    planner = FleetPlanner(topo, rates=FailureRates().scaled(1e7))
+    plan = planner.predict(2)
+    assert plan.utilization == 1.0
+    assert plan.predicted_repair_seconds == float("inf")
+
+
+def test_planner_validation(topo):
+    with pytest.raises(ValueError):
+        FleetPlanner(topo, mean_operation_seconds=0.0)
+    planner = FleetPlanner(topo)
+    with pytest.raises(ValueError):
+        planner.recommend(target_repair_seconds=0.0)
+
+
+def test_planner_prediction_matches_simulation(topo):
+    """The analytic plan must land in the same regime as a real run:
+    the simulated robot-stage repair time should be within ~3x of the
+    prediction (queueing model vs full physics)."""
+    from dcrobot.core import AutomationLevel
+    from dcrobot.experiments import WorldConfig, run_world
+    from dcrobot.robots import FleetConfig
+
+    rates = FailureRates().scaled(4.0)
+    planner = FleetPlanner(topo, rates=rates)
+    plan = planner.predict(2)
+    result = run_world(WorldConfig(
+        horizon_days=20.0, seed=8, failure_scale=4.0,
+        level=AutomationLevel.L3_HIGH_AUTOMATION,
+        fleet_config=FleetConfig(manipulators=2, cleaners=1)))
+    robot_repairs = [
+        outcome.duration for incident in result.controller.closed_incidents
+        for outcome in incident.attempts
+        if outcome.executor_id == "robots" and outcome.completed]
+    assert robot_repairs, "no robot repairs happened"
+    measured = float(np.mean(robot_repairs))
+    assert measured < 3 * plan.predicted_repair_seconds + 600
+
+
+# -- audit log ------------------------------------------------------------------
+
+def test_audit_chain_verifies():
+    log = AuditLog()
+    log.append(1.0, "svc-a", "reseat", "link-1", True)
+    log.append(2.0, "svc-b", "clean", "link-2", False, detail="denied")
+    assert log.verify_chain()
+    assert len(log.entries_for("link-1")) == 1
+
+
+def test_audit_tamper_detected():
+    import dataclasses
+
+    log = AuditLog()
+    log.append(1.0, "svc-a", "reseat", "link-1", True)
+    log.append(2.0, "svc-a", "reseat", "link-1", True)
+    log.records[0] = dataclasses.replace(log.records[0],
+                                         principal="mallory")
+    assert not log.verify_chain()
+
+
+def test_audit_chain_links_records():
+    log = AuditLog()
+    first = log.append(1.0, "a", "x", "l", True)
+    second = log.append(2.0, "a", "x", "l", True)
+    assert second.previous_hash == first.entry_hash
+    assert first.previous_hash == AuditLog.GENESIS
+
+
+# -- authorization ----------------------------------------------------------------
+
+def test_token_scoping():
+    authorizer = MaintenanceAuthorizer()
+    authorizer.issue("tenant-a", [RepairAction.RESEAT],
+                     link_scope=["link-0"])
+    assert authorizer.check(1.0, "tenant-a", RepairAction.RESEAT,
+                            "link-00001")
+    assert not authorizer.check(1.0, "tenant-a", RepairAction.CLEAN,
+                                "link-00001")
+    assert not authorizer.check(1.0, "tenant-a", RepairAction.RESEAT,
+                                "link-99999")
+    assert not authorizer.check(1.0, "tenant-b", RepairAction.RESEAT,
+                                "link-00001")
+
+
+def test_token_expiry_and_revocation():
+    authorizer = MaintenanceAuthorizer()
+    token = authorizer.issue("ops", list(RepairAction),
+                             expires_at=100.0)
+    assert authorizer.check(50.0, "ops", RepairAction.CLEAN, "link-1")
+    assert not authorizer.check(150.0, "ops", RepairAction.CLEAN,
+                                "link-1")
+    fresh = authorizer.issue("ops", list(RepairAction))
+    assert authorizer.check(200.0, "ops", RepairAction.CLEAN, "link-1")
+    authorizer.revoke(fresh)
+    assert not authorizer.check(201.0, "ops", RepairAction.CLEAN,
+                                "link-1")
+
+
+def test_authorize_raises_and_audits():
+    authorizer = MaintenanceAuthorizer()
+    with pytest.raises(AuthorizationError):
+        authorizer.authorize(1.0, "mallory",
+                             RepairAction.REPLACE_SWITCHGEAR, "link-1")
+    records = authorizer.audit.records
+    assert len(records) == 1
+    assert not records[0].allowed
+    assert authorizer.audit.verify_chain()
+
+
+def test_every_check_is_audited():
+    authorizer = MaintenanceAuthorizer()
+    authorizer.issue("ops", [RepairAction.RESEAT])
+    authorizer.check(1.0, "ops", RepairAction.RESEAT, "link-1")
+    authorizer.check(2.0, "ops", RepairAction.CLEAN, "link-1")
+    assert len(authorizer.audit.records) == 2
+    assert [record.allowed for record in authorizer.audit.records] \
+        == [True, False]

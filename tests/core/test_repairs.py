@@ -1,0 +1,167 @@
+"""Unit tests for shared repair physics and skill profiles."""
+
+import numpy as np
+import pytest
+
+from dcrobot.core.actions import RepairAction
+from dcrobot.core.repairs import (
+    ROBOT_SKILL,
+    TECHNICIAN_SKILL,
+    RepairPhysics,
+    SkillProfile,
+)
+from dcrobot.network import CableKind, LinkState
+
+from tests.conftest import make_world
+
+PERFECT = SkillProfile(
+    inspection_false_negative=0.0,
+    clean_effectiveness=0.95,
+    clean_smear_probability=0.0,
+    max_clean_rounds=5,
+    botch_probability=0.0,
+)
+
+
+def test_skill_profile_validation():
+    with pytest.raises(ValueError):
+        SkillProfile(1.5, 0.5, 0.0, 1, 0.0)
+    with pytest.raises(ValueError):
+        SkillProfile(0.0, 0.5, 0.0, 0, 0.0)
+
+
+def test_robot_skill_beats_technician_skill():
+    assert (ROBOT_SKILL.inspection_false_negative
+            < TECHNICIAN_SKILL.inspection_false_negative)
+    assert ROBOT_SKILL.botch_probability < TECHNICIAN_SKILL.botch_probability
+
+
+def test_reseat_clears_oxidation_and_firmware(world):
+    link = world.links[0]
+    link.transceiver_a.oxidation = 0.8
+    link.transceiver_b.firmware_stuck = True
+    note = world.physics.do_reseat(link, now=100.0, skill=PERFECT)
+    assert "reseated" in note
+    assert link.transceiver_a.oxidation < 0.2
+    assert not link.transceiver_b.firmware_stuck
+
+
+def test_reseat_botch_changes_nothing(world):
+    link = world.links[0]
+    link.transceiver_a.firmware_stuck = True
+    always_botch = SkillProfile(0.0, 0.9, 0.0, 3, 1.0)
+    note = world.physics.do_reseat(link, 0.0, always_botch)
+    assert "botched" in note
+    assert link.transceiver_a.firmware_stuck
+
+
+def test_clean_removes_dirt_and_verifies(world):
+    link = world.links[0]
+    link.cable.end_a.add_contamination(0.7)
+    link.transceiver_a.receptacle.add_contamination(0.5)
+    verified, note = world.physics.do_clean(link, 0.0, PERFECT)
+    assert verified
+    assert link.cable.end_a.passes_inspection()
+    assert link.transceiver_a.receptacle.passes_inspection()
+    assert link.cable.attached_a and link.cable.attached_b
+
+
+def test_clean_rejects_integrated_cable():
+    world = make_world(kind=CableKind.AOC)
+    verified, note = world.physics.do_clean(world.links[0], 0.0, PERFECT)
+    assert not verified
+    assert "not cleanable" in note
+
+
+def test_clean_cannot_fix_scratch(world):
+    link = world.links[0]
+    link.cable.end_a.scratch(0)
+    verified, _note = world.physics.do_clean(link, 0.0, PERFECT)
+    assert not verified
+
+
+def test_pick_suspect_side_prefers_visible_fault(world):
+    link = world.links[0]
+    link.transceiver_b.fail_hardware()
+    assert world.physics.pick_suspect_side(link) == "b"
+    link2 = world.links[1]
+    link2.transceiver_b.oxidation = 0.5
+    assert world.physics.pick_suspect_side(link2) == "b"
+    assert world.physics.pick_suspect_side(world.links[2]) == "a"
+
+
+def test_replace_transceiver_uses_spare(world):
+    link = world.links[0]
+    link.transceiver_a.fail_hardware()
+    old_id = link.transceiver_a.id
+    ok, note = world.physics.do_replace_transceiver(link, now=50.0)
+    assert ok
+    assert link.transceiver_a.id != old_id
+    assert not link.transceiver_a.hw_fault
+    assert old_id in note
+
+
+def test_replace_transceiver_without_spares_fails():
+    world = make_world(spare_transceivers=0)
+    link = world.links[0]
+    link.transceiver_a.fail_hardware()
+    ok, note = world.physics.do_replace_transceiver(link, 0.0)
+    assert not ok
+    assert "no spare" in note
+    assert link.transceiver_a.hw_fault  # unchanged
+
+
+def test_replace_cable_swaps_and_rebundles(world):
+    link = world.links[0]
+    link.cable.damage()
+    old_id = link.cable.id
+    ok, _note = world.physics.do_replace_cable(link, now=10.0)
+    assert ok
+    assert link.cable.id != old_id
+    assert not link.cable.damaged
+    # New cable joins a bundle; old one is unassigned.
+    assert world.fabric.bundles.bundle_of(link.cable.id) is not None
+    assert world.fabric.bundles.bundle_of(old_id) is None
+
+
+def test_replace_cable_without_stock():
+    world = make_world(spare_cables=0)
+    link = world.links[0]
+    ok, note = world.physics.do_replace_cable(link, 0.0)
+    assert not ok
+
+
+def test_replace_switchgear_clears_port_fault(world):
+    link = world.links[0]
+    link.port_a.hw_fault = True
+    ok, note = world.physics.do_replace_switchgear(link, 0.0)
+    assert ok
+    assert not link.port_a.hw_fault
+    assert link.port_a.id in note
+
+
+def test_perform_dispatches_every_action(world):
+    link = world.links[0]
+    for action in RepairAction:
+        completed, note = world.physics.perform(
+            action, link, 0.0, PERFECT)
+        assert isinstance(completed, bool)
+        assert isinstance(note, str)
+
+
+def test_full_repair_cycle_restores_link(world):
+    link = world.links[0]
+    link.transceiver_a.firmware_stuck = True
+    world.health.evaluate_link(link, 0.0)
+    assert link.state is LinkState.DOWN
+    world.health.begin_maintenance(link, 10.0)
+    world.physics.perform(RepairAction.RESEAT, link, 20.0, PERFECT)
+    world.health.release_from_maintenance(link, 30.0)
+    assert link.state is LinkState.UP
+
+
+def test_reach_in_records_cascade(world):
+    from dcrobot.failures import HUMAN_HANDS
+
+    report = world.physics.reach_in(world.links[0], HUMAN_HANDS, now=0.0)
+    assert report is world.cascade.reports[-1]

@@ -1,0 +1,127 @@
+"""Unit tests for fault-trace record / persist / replay."""
+
+import numpy as np
+import pytest
+
+from dcrobot.failures import (
+    FailureRates,
+    FaultInjector,
+    FaultTrace,
+    TraceEntry,
+)
+from dcrobot.network import DegradationKind
+
+from tests.conftest import make_world
+
+DAY = 86400.0
+
+
+def test_entries_sorted_by_time():
+    trace = FaultTrace([
+        TraceEntry(50.0, DegradationKind.OXIDATION, "l1"),
+        TraceEntry(10.0, DegradationKind.CABLE_DAMAGE, "l2"),
+    ])
+    assert [entry.time for entry in trace.entries] == [10.0, 50.0]
+    assert len(trace) == 2
+
+
+def test_json_roundtrip(tmp_path):
+    trace = FaultTrace([
+        TraceEntry(10.0, DegradationKind.CONTAMINATION, "link-00001"),
+        TraceEntry(20.0, DegradationKind.SWITCH_HW, "link-00002"),
+    ])
+    path = tmp_path / "trace.json"
+    trace.save(str(path))
+    loaded = FaultTrace.load(str(path))
+    assert loaded.entries == trace.entries
+
+
+def test_synthesize_volume_matches_rates(world):
+    rates = FailureRates(oxidation=0, firmware_stuck=40.0,
+                         contamination=0, transceiver_hw=0,
+                         cable_damage=0, switch_hw=0)
+    trace = FaultTrace.synthesize(world.fabric, 0.5 * 365.25 * DAY,
+                                  rates, rng=np.random.default_rng(3))
+    # 40/link-year x 4 links x 0.5 years ~ 80 events.
+    assert 40 <= len(trace) <= 130
+    assert all(entry.kind is DegradationKind.FIRMWARE_STUCK
+               for entry in trace.entries)
+
+
+def test_replay_applies_each_entry(world):
+    injector = FaultInjector(world.fabric, world.health,
+                             rng=np.random.default_rng(0))
+    trace = FaultTrace([
+        TraceEntry(100.0, DegradationKind.FIRMWARE_STUCK,
+                   world.links[0].id),
+        TraceEntry(200.0, DegradationKind.CABLE_DAMAGE,
+                   world.links[1].id),
+    ])
+    world.sim.process(trace.replay(world.sim, injector))
+    world.sim.run()
+    assert world.sim.now == 200.0
+    assert (world.links[0].transceiver_a.firmware_stuck
+            or world.links[0].transceiver_b.firmware_stuck)
+    assert world.links[1].cable.damaged
+    assert len(injector.log) == 2
+
+
+def test_replay_skips_removed_links(world):
+    injector = FaultInjector(world.fabric, world.health,
+                             rng=np.random.default_rng(0))
+    trace = FaultTrace([
+        TraceEntry(10.0, DegradationKind.OXIDATION, world.links[0].id),
+    ])
+    world.fabric.disconnect(world.links[0].id)
+    world.sim.process(trace.replay(world.sim, injector))
+    world.sim.run()
+    assert injector.log == []
+
+
+def test_record_then_replay_reproduces_physics():
+    """A live campaign captured as a trace and replayed on a fresh,
+    identically-seeded world yields identical ground truth."""
+    from dcrobot.experiments import WorldConfig, run_world
+
+    live = run_world(WorldConfig(horizon_days=10.0, seed=21,
+                                 failure_scale=4.0, policy="none"))
+    trace = FaultTrace.from_injector_log(live.injector.log)
+    assert len(trace) == len(live.injector.log)
+
+    replayed = run_world(WorldConfig(horizon_days=10.0, seed=21,
+                                     failure_scale=0.0, policy="none",
+                                     fault_trace=trace))
+    assert [f.link_id for f in replayed.injector.log] \
+        == [f.link_id for f in live.injector.log]
+    assert [f.kind for f in replayed.injector.log] \
+        == [f.kind for f in live.injector.log]
+
+
+def test_trace_makes_levels_comparable():
+    """The same trace replayed at L0 and L3 sees identical faults —
+    the E6 methodology, now explicit."""
+    from dcrobot.core import AutomationLevel
+    from dcrobot.experiments import WorldConfig, build_world
+    from dcrobot.failures import FailureRates
+
+    probe = build_world(WorldConfig(horizon_days=5.0, seed=22,
+                                    failure_scale=0.0))
+    trace = FaultTrace.synthesize(probe.fabric, 5.0 * DAY,
+                                  FailureRates().scaled(5.0),
+                                  rng=np.random.default_rng(9))
+    results = {}
+    for level in (AutomationLevel.L0_NO_AUTOMATION,
+                  AutomationLevel.L3_HIGH_AUTOMATION):
+        world = build_world(WorldConfig(horizon_days=5.0, seed=22,
+                                        failure_scale=0.0,
+                                        fault_trace=trace,
+                                        level=level))
+        world.sim.run(until=5.0 * DAY)
+        results[level] = world
+    l0, l3 = results.values()
+    assert [f.link_id for f in l0.injector.log] \
+        == [f.link_id for f in l3.injector.log]
+    # And the robotic world still repairs faster on the common trace.
+    if l0.controller.repair_times() and l3.controller.repair_times():
+        assert (np.median(l3.controller.repair_times())
+                < np.median(l0.controller.repair_times()))

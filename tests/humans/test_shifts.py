@@ -1,0 +1,67 @@
+"""Unit tests for the technician day-shift constraint."""
+
+import numpy as np
+import pytest
+
+from dcrobot.core.actions import Priority, RepairAction, WorkOrder
+from dcrobot.humans import TechnicianParams, TechnicianPool
+
+HOUR = 3600.0
+
+
+def make_pool(world, **params):
+    return TechnicianPool(
+        world.sim, world.fabric, world.health, world.physics, count=2,
+        params=TechnicianParams(
+            dispatch_median_seconds={Priority.HIGH: 60.0,
+                                     Priority.NORMAL: 60.0},
+            dispatch_sigma=0.0, **params),
+        rng=np.random.default_rng(3))
+
+
+def test_shift_window_validation():
+    with pytest.raises(ValueError):
+        TechnicianParams(day_start_hour=20, day_end_hour=8)
+
+
+def test_normal_work_waits_for_day_shift(world):
+    pool = make_pool(world, day_shift_only_for_normal=True,
+                     day_start_hour=8.0, day_end_hour=20.0)
+    # Ticket at midnight: work must not start before 08:00.
+    order = WorkOrder(world.links[0].id, RepairAction.RESEAT,
+                      created_at=0.0, priority=Priority.NORMAL)
+    outcome = world.sim.run(until=pool.submit(order))
+    day_seconds = outcome.started_at % 86400.0
+    assert day_seconds >= 8 * HOUR
+
+
+def test_high_priority_pages_at_night(world):
+    pool = make_pool(world, day_shift_only_for_normal=True)
+    order = WorkOrder(world.links[0].id, RepairAction.RESEAT,
+                      created_at=0.0, priority=Priority.HIGH)
+    outcome = world.sim.run(until=pool.submit(order))
+    assert outcome.started_at < 2 * HOUR  # straight to work
+
+
+def test_shift_disabled_by_default(world):
+    pool = make_pool(world)
+    order = WorkOrder(world.links[0].id, RepairAction.RESEAT,
+                      created_at=0.0, priority=Priority.NORMAL)
+    outcome = world.sim.run(until=pool.submit(order))
+    assert outcome.started_at < 2 * HOUR
+
+
+def test_work_during_day_not_delayed(world):
+    pool = make_pool(world, day_shift_only_for_normal=True)
+
+    def submit_at_noon(sim, pool):
+        yield sim.timeout(12 * HOUR)
+        order = WorkOrder(world.links[0].id, RepairAction.RESEAT,
+                          created_at=sim.now,
+                          priority=Priority.NORMAL)
+        outcome = yield pool.submit(order)
+        return outcome
+
+    process = world.sim.process(submit_at_noon(world.sim, pool))
+    outcome = world.sim.run(until=process)
+    assert outcome.started_at < 13 * HOUR

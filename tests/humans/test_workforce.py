@@ -1,0 +1,162 @@
+"""Unit tests for the technician pool executor."""
+
+import numpy as np
+import pytest
+
+from dcrobot.core.actions import Priority, RepairAction, WorkOrder
+from dcrobot.humans import TechnicianParams, TechnicianPool
+from dcrobot.network import LinkState
+
+from tests.conftest import make_world
+
+HOUR = 3600.0
+
+
+def make_pool(world, count=2, seed=5, **param_overrides):
+    params = TechnicianParams(**param_overrides)
+    return TechnicianPool(world.sim, world.fabric, world.health,
+                          world.physics, count=count, params=params,
+                          rng=np.random.default_rng(seed))
+
+
+def test_pool_validation(world):
+    with pytest.raises(ValueError):
+        make_pool(world, count=0)
+    with pytest.raises(ValueError):
+        TechnicianParams(walking_speed_m_s=0.0)
+
+
+def test_technicians_can_do_everything(world):
+    pool = make_pool(world)
+    for action in RepairAction:
+        assert pool.can_execute(action)
+
+
+def test_reseat_order_repairs_link(world):
+    link = world.links[0]
+    link.transceiver_a.firmware_stuck = True
+    world.health.evaluate_link(link, 0.0)
+    assert link.state is LinkState.DOWN
+
+    pool = make_pool(world)
+    order = WorkOrder(link.id, RepairAction.RESEAT, created_at=0.0,
+                      priority=Priority.HIGH)
+    done = pool.submit(order)
+    outcome = world.sim.run(until=done)
+    assert outcome.completed
+    assert outcome.executor_id == "technicians"
+    assert link.state is LinkState.UP
+    assert pool.outcomes == [outcome]
+    assert pool.labor_seconds > 0
+
+
+def test_dispatch_delay_dominates_service_window(world):
+    # NORMAL priority: "timescale of days" — repair completes well after
+    # the hands-on work time.
+    link = world.links[0]
+    pool = make_pool(world)
+    order = WorkOrder(link.id, RepairAction.RESEAT, created_at=0.0,
+                      priority=Priority.NORMAL)
+    done = pool.submit(order)
+    outcome = world.sim.run(until=done)
+    assert outcome.finished_at > 6 * HOUR
+
+
+def test_high_priority_faster_than_normal(world):
+    pool = make_pool(world, count=2)
+    normal_times, high_times = [], []
+    for index, priority in enumerate(
+            [Priority.NORMAL, Priority.HIGH] * 2):
+        order = WorkOrder(world.links[index % len(world.links)].id,
+                          RepairAction.RESEAT, created_at=0.0,
+                          priority=priority)
+        done = pool.submit(order)
+        (high_times if priority is Priority.HIGH
+         else normal_times).append(done)
+    world.sim.run()
+    high = np.mean([event.value.finished_at for event in high_times])
+    normal = np.mean([event.value.finished_at for event in normal_times])
+    assert high < normal
+
+
+def test_pool_contention_serializes_work(world):
+    # One technician, two orders with zero dispatch delay: the second
+    # must wait for the first.
+    pool = make_pool(
+        world, count=1,
+        dispatch_median_seconds={Priority.HIGH: 1.0,
+                                 Priority.NORMAL: 1.0},
+        dispatch_sigma=0.0)
+    done_events = [
+        pool.submit(WorkOrder(world.links[i].id, RepairAction.RESEAT,
+                              created_at=0.0, priority=Priority.HIGH))
+        for i in range(2)]
+    world.sim.run()
+    first, second = [event.value for event in done_events]
+    starts = sorted([first.started_at, second.started_at])
+    ends = sorted([first.finished_at, second.finished_at])
+    assert starts[1] >= ends[0] - 1e-6
+
+
+def test_clean_order_removes_dirt(world):
+    link = world.links[0]
+    link.cable.end_a.add_contamination(0.6)
+    pool = make_pool(
+        world,
+        dispatch_median_seconds={Priority.HIGH: 60.0,
+                                 Priority.NORMAL: 60.0},
+        dispatch_sigma=0.0)
+    order = WorkOrder(link.id, RepairAction.CLEAN, created_at=0.0,
+                      priority=Priority.HIGH)
+    outcome = world.sim.run(until=pool.submit(order))
+    assert outcome.completed
+    assert link.cable.end_a.worst_contamination < 0.25
+
+
+def test_human_repair_can_cascade(world):
+    # With many neighbours and human hands, repeated repairs disturb
+    # someone eventually.
+    pool = make_pool(
+        world,
+        dispatch_median_seconds={Priority.HIGH: 10.0,
+                                 Priority.NORMAL: 10.0},
+        dispatch_sigma=0.0)
+    total_secondary = 0
+    for _ in range(6):
+        order = WorkOrder(world.links[0].id, RepairAction.RESEAT,
+                          created_at=world.sim.now,
+                          priority=Priority.HIGH)
+        outcome = world.sim.run(until=pool.submit(order))
+        total_secondary += outcome.secondary_failures
+    assert total_secondary >= 1
+
+
+def test_announce_touches_lists_neighbors(world):
+    pool = make_pool(world)
+    order = WorkOrder(world.links[0].id, RepairAction.RESEAT,
+                      created_at=0.0)
+    announced = pool.announce_touches(order)
+    assert isinstance(announced, list)
+    assert world.links[0].id not in announced
+
+
+def test_link_in_maintenance_during_work(world):
+    link = world.links[0]
+    pool = make_pool(
+        world,
+        dispatch_median_seconds={Priority.HIGH: 10.0,
+                                 Priority.NORMAL: 10.0},
+        dispatch_sigma=0.0)
+    order = WorkOrder(link.id, RepairAction.REPLACE_CABLE,
+                      created_at=0.0, priority=Priority.HIGH)
+    done = pool.submit(order)
+    observed = []
+
+    def probe(sim, link):
+        yield sim.timeout(2 * HOUR)
+        observed.append(link.state)
+
+    world.sim.process(probe(world.sim, link))
+    world.sim.run(until=done)
+    assert observed == [LinkState.MAINTENANCE]
+    assert link.state is not LinkState.MAINTENANCE

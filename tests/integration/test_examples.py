@@ -1,0 +1,65 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are part of the public surface — a release with broken
+examples is broken.  Each is executed in-process (runpy) with stdout
+captured; assertions check the story each one is supposed to tell.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / f"{name}.py"
+    assert path.exists(), f"missing example {path}"
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    output = run_example("quickstart", capsys)
+    assert "FAULT" in output
+    assert "repaired via" in output
+    assert "incidents closed:" in output
+
+
+def test_gpu_cluster_goodput(capsys):
+    output = run_example("gpu_cluster_goodput", capsys)
+    assert "L0 human ticketing" in output
+    assert "L3 self-maintaining" in output
+    # The self-maintained mean goodput line must quote a higher number.
+    lines = [line for line in output.splitlines()
+             if "mean goodput" in line]
+    l0 = float(lines[0].split("mean goodput")[1].split()[0])
+    l3 = float(lines[1].split("mean goodput")[1].split()[0])
+    assert l3 > l0
+
+
+def test_topology_maintainability(capsys):
+    output = run_example("topology_maintainability", capsys)
+    assert "Self-Maintainability Index" in output
+    assert "standardization" in output
+
+
+def test_robotic_rewiring(capsys):
+    output = run_example("robotic_rewiring", capsys)
+    assert "plan: +4 links" in output
+    assert "fabric stayed connected" in output
+
+
+def test_fleet_planning(capsys):
+    output = run_example("fleet_planning", capsys)
+    assert "recommendation:" in output
+    assert "simulated:" in output
+
+
+@pytest.mark.slow
+def test_predictive_maintenance(capsys):
+    output = run_example("predictive_maintenance", capsys)
+    assert "AUC" in output
+    assert "avoided" in output

@@ -1,0 +1,32 @@
+"""Scale soak: a production-shaped fabric runs end to end."""
+
+import pytest
+
+from dcrobot.core import AutomationLevel
+from dcrobot.experiments import WorldConfig, run_world
+from dcrobot.robots import FleetConfig
+
+
+@pytest.mark.slow
+def test_k8_fattree_month_under_robots():
+    """256 links, two weeks, full stack: must stay healthy and finish
+    in bounded wall time (the suite's canary for quadratic slips)."""
+    result = run_world(WorldConfig(
+        topology_kwargs={"k": 8}, horizon_days=14.0, seed=61,
+        failure_scale=2.0,
+        level=AutomationLevel.L3_HIGH_AUTOMATION,
+        fleet_config=FleetConfig(manipulators=4, cleaners=2)))
+    assert len(result.fabric.links) == 256
+    assert result.availability().mean > 0.995
+    assert result.controller.closed_incidents
+    # Ticket volume is sane: no storms (bounded by faults + modest
+    # collateral).
+    injected = len(result.injector.log)
+    incidents = (len(result.controller.closed_incidents)
+                 + len(result.controller.unresolved_incidents)
+                 + len(result.controller.open_incidents))
+    assert incidents <= 3 * injected + 10
+    # Attribution partitions cleanly at scale too.
+    summary = result.attribution()
+    assert (summary.injected + summary.collateral
+            + summary.environmental) == summary.total

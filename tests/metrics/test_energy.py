@@ -1,0 +1,69 @@
+"""Unit tests for the energy/carbon model."""
+
+import pytest
+
+from dcrobot.metrics import (
+    TRANSCEIVER_WATTS,
+    EnergyModel,
+    EnergyParams,
+)
+from dcrobot.network import FormFactor
+
+DAY = 86400.0
+
+
+def test_all_form_factors_have_power():
+    for factor in FormFactor:
+        assert TRANSCEIVER_WATTS[factor] > 0
+
+
+def test_link_watts_counts_both_ends(world):
+    model = EnergyModel()
+    watts = model.link_watts(world.fabric)
+    expected = sum(
+        TRANSCEIVER_WATTS[unit.form_factor]
+        for link in world.fabric.links.values()
+        for unit in link.transceivers())
+    assert watts == pytest.approx(expected)
+    assert watts > 0
+
+
+def test_compute_includes_pue(world):
+    params = EnergyParams(pue=1.5)
+    report = EnergyModel(params).compute(world.fabric, DAY)
+    base = EnergyModel(EnergyParams(pue=1.0)).compute(world.fabric, DAY)
+    assert report.link_kwh == pytest.approx(1.5 * base.link_kwh)
+
+
+def test_robot_energy_split(world):
+    model = EnergyModel(EnergyParams(pue=1.0,
+                                     robot_active_watts=100.0,
+                                     robot_idle_watts=10.0))
+    report = model.compute(world.fabric, horizon_seconds=3600.0,
+                           robot_count=2, robot_busy_seconds=1800.0)
+    # 1800s active @100W + 5400s idle @10W = 180000 + 54000 J.
+    expected_kwh = (1800 * 100 + 5400 * 10) / 3.6e6
+    assert report.robot_kwh == pytest.approx(expected_kwh)
+    assert report.total_kwh == report.link_kwh + report.robot_kwh
+
+
+def test_co2(world):
+    report = EnergyModel().compute(world.fabric, DAY)
+    assert report.co2_kg(0.5) == pytest.approx(report.total_kwh * 0.5)
+
+
+def test_redundancy_power_saved(world):
+    model = EnergyModel()
+    per_link = model.link_watts(world.fabric) / len(world.fabric.links)
+    saved = model.redundancy_power_saved(world.fabric, links_removed=3)
+    assert saved == pytest.approx(3 * per_link)
+    assert model.redundancy_power_saved(world.fabric, 0) == 0.0
+    with pytest.raises(ValueError):
+        model.redundancy_power_saved(world.fabric, -1)
+
+
+def test_validation(world):
+    with pytest.raises(ValueError):
+        EnergyParams(pue=0.9)
+    with pytest.raises(ValueError):
+        EnergyModel().compute(world.fabric, horizon_seconds=0.0)

@@ -1,0 +1,125 @@
+"""Unit tests for terminal visualization helpers."""
+
+import pytest
+
+from dcrobot.metrics import (
+    availability_bar,
+    hall_map,
+    link_state_strip,
+    sparkline,
+)
+from dcrobot.network import LinkState
+
+from tests.conftest import make_world
+
+
+# -- sparkline -----------------------------------------------------------
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+
+
+def test_sparkline_constant_series():
+    strip = sparkline([5.0] * 10, width=10)
+    assert len(strip) == 10
+    assert len(set(strip)) == 1
+
+
+def test_sparkline_monotone_series_monotone_glyphs():
+    strip = sparkline(list(range(8)), width=8)
+    order = " ._-=+*#"
+    levels = [order.index(char) for char in strip]
+    assert levels == sorted(levels)
+    assert levels[0] == 0 and levels[-1] == len(order) - 1
+
+
+def test_sparkline_buckets_long_series():
+    strip = sparkline(list(range(1000)), width=50)
+    assert len(strip) == 50
+
+
+def test_sparkline_pinned_scale():
+    strip = sparkline([0.5] * 4, width=4, low=0.0, high=1.0)
+    # Mid-scale glyph, not the max.
+    assert strip[0] not in (" ", "#")
+
+
+def test_sparkline_validation():
+    with pytest.raises(ValueError):
+        sparkline([1.0], width=0)
+
+
+# -- link state strip -----------------------------------------------------------
+
+def test_link_state_strip_renders_transitions(world):
+    link = world.links[0]
+    link.set_state(25.0, LinkState.DOWN)
+    link.set_state(75.0, LinkState.UP)
+    strip = link_state_strip(link, 0.0, 100.0, width=20)
+    assert len(strip) == 20
+    assert strip.startswith("#")
+    assert "." in strip
+    assert strip.endswith("#")
+
+
+def test_link_state_strip_maintenance(world):
+    link = world.links[0]
+    link.set_state(0.0, LinkState.MAINTENANCE)
+    strip = link_state_strip(link, 0.0, 10.0, width=5)
+    assert strip == "mmmmm"
+
+
+def test_link_state_strip_validation(world):
+    with pytest.raises(ValueError):
+        link_state_strip(world.links[0], 10.0, 10.0)
+    with pytest.raises(ValueError):
+        link_state_strip(world.links[0], 0.0, 10.0, width=0)
+
+
+# -- hall map ----------------------------------------------------------------------
+
+def test_hall_map_marks_switch_racks(world):
+    rendered = hall_map(world.fabric)
+    assert "S" in rendered
+    assert rendered.count("row") == world.fabric.layout.rows
+
+
+def test_hall_map_marks_robots(world):
+    rack = world.fabric.layout.rack_at(0, 0).id
+    rendered = hall_map(world.fabric, robot_racks=[rack])
+    assert "R" in rendered
+
+
+def test_hall_map_truncates_wide_halls():
+    world = make_world(rows=1, racks_per_row=60)
+    rendered = hall_map(world.fabric, max_columns=10)
+    assert ">" in rendered
+
+
+def test_hall_map_hosts():
+    import numpy as np
+
+    from dcrobot.topology import build_gpu_cluster
+
+    topo = build_gpu_cluster(servers=8, gpus_per_server=2,
+                             rng=np.random.default_rng(1))
+    rendered = hall_map(topo.fabric)
+    # Host racks render H (or B where they share a rack with a rail
+    # switch).
+    assert "H" in rendered or "B" in rendered
+
+
+# -- availability bar ----------------------------------------------------------------
+
+def test_availability_bar():
+    bar = availability_bar(0.5, width=10)
+    assert bar.count("#") == 5
+    assert "50.00%" in bar
+    assert availability_bar(1.0, width=4).startswith("[####]")
+
+
+def test_availability_bar_validation():
+    with pytest.raises(ValueError):
+        availability_bar(1.5)
+    with pytest.raises(ValueError):
+        availability_bar(0.5, width=0)

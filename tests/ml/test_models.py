@@ -1,0 +1,171 @@
+"""Unit tests for the from-scratch classifiers and evaluation code."""
+
+import numpy as np
+import pytest
+
+from dcrobot.ml import (
+    GradientBoostedStumps,
+    LogisticRegression,
+    evaluate,
+    roc_auc,
+    train_test_split,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def linearly_separable(rng, count=400):
+    features = rng.normal(size=(count, 3))
+    labels = (features @ np.array([2.0, -1.0, 0.5]) + 0.3 > 0).astype(int)
+    return features, labels
+
+
+def band_target(rng, count=600):
+    """Non-monotone in x0: positive iff |x0| < 0.5.
+
+    A linear model cannot express this; an additive stump ensemble can
+    (two opposing splits on the same feature).
+    """
+    features = rng.uniform(-1, 1, size=(count, 2))
+    labels = (np.abs(features[:, 0]) < 0.5).astype(int)
+    return features, labels
+
+
+# -- logistic regression ---------------------------------------------------
+
+def test_logreg_validation():
+    with pytest.raises(ValueError):
+        LogisticRegression(learning_rate=0.0)
+    with pytest.raises(ValueError):
+        LogisticRegression(l2=-1.0)
+    with pytest.raises(ValueError):
+        LogisticRegression(epochs=0)
+
+
+def test_logreg_fit_input_validation(rng):
+    model = LogisticRegression()
+    with pytest.raises(ValueError):
+        model.fit(np.zeros((3,)), np.zeros(3))
+    with pytest.raises(ValueError):
+        model.fit(np.zeros((3, 2)), np.zeros(2))
+    with pytest.raises(ValueError):
+        model.fit(np.zeros((2, 2)), np.array([0, 2]))
+    with pytest.raises(RuntimeError):
+        model.predict_proba(np.zeros(2))
+
+
+def test_logreg_learns_separable_data(rng):
+    features, labels = linearly_separable(rng)
+    model = LogisticRegression(epochs=800).fit(features, labels)
+    accuracy = (model.predict(features) == labels).mean()
+    assert accuracy > 0.95
+
+
+def test_logreg_probabilities_in_range(rng):
+    features, labels = linearly_separable(rng)
+    model = LogisticRegression().fit(features, labels)
+    probabilities = model.predict_proba(features)
+    assert np.all((probabilities >= 0) & (probabilities <= 1))
+
+
+def test_logreg_single_row_prediction(rng):
+    features, labels = linearly_separable(rng)
+    model = LogisticRegression().fit(features, labels)
+    single = model.predict_proba(features[0])
+    assert np.isscalar(single) or single.ndim == 0
+
+
+def test_logreg_handles_constant_feature(rng):
+    features, labels = linearly_separable(rng)
+    features = np.hstack([features, np.ones((features.shape[0], 1))])
+    model = LogisticRegression().fit(features, labels)
+    assert np.isfinite(model.predict_proba(features)).all()
+
+
+# -- boosted stumps ----------------------------------------------------------
+
+def test_stumps_validation():
+    with pytest.raises(ValueError):
+        GradientBoostedStumps(rounds=0)
+    with pytest.raises(ValueError):
+        GradientBoostedStumps(learning_rate=0)
+    with pytest.raises(ValueError):
+        GradientBoostedStumps(candidate_thresholds=1)
+
+
+def test_stumps_learn_nonlinear_boundary(rng):
+    # Logistic regression cannot express a band; boosted stumps can.
+    features, labels = band_target(rng)
+    linear = LogisticRegression(epochs=500).fit(features, labels)
+    boosted = GradientBoostedStumps(rounds=80).fit(features, labels)
+    linear_acc = (linear.predict(features) == labels).mean()
+    boosted_acc = (boosted.predict(features) == labels).mean()
+    assert boosted_acc > 0.9
+    assert boosted_acc > linear_acc + 0.15
+
+
+def test_stumps_unfitted_raises(rng):
+    with pytest.raises(RuntimeError):
+        GradientBoostedStumps().predict_proba(np.zeros((1, 2)))
+
+
+def test_stumps_probabilities_in_range(rng):
+    features, labels = linearly_separable(rng)
+    model = GradientBoostedStumps(rounds=20).fit(features, labels)
+    probabilities = model.predict_proba(features)
+    assert np.all((probabilities >= 0) & (probabilities <= 1))
+
+
+# -- evaluation ---------------------------------------------------------------
+
+def test_roc_auc_perfect_and_random():
+    labels = np.array([0, 0, 1, 1])
+    assert roc_auc(labels, np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+    assert roc_auc(labels, np.array([0.9, 0.8, 0.2, 0.1])) == 0.0
+    assert roc_auc(np.array([1, 1]), np.array([0.5, 0.5])) == 0.5
+
+
+def test_roc_auc_handles_ties():
+    labels = np.array([0, 1, 0, 1])
+    scores = np.array([0.5, 0.5, 0.5, 0.5])
+    assert roc_auc(labels, scores) == pytest.approx(0.5)
+
+
+def test_evaluate_report_counts():
+    labels = np.array([1, 1, 0, 0, 1])
+    scores = np.array([0.9, 0.4, 0.8, 0.1, 0.7])
+    report = evaluate(labels, scores, threshold=0.5)
+    # predictions: 1,0,1,0,1 -> TP=2 FP=1 FN=1 TN=1
+    assert report.precision == pytest.approx(2 / 3)
+    assert report.recall == pytest.approx(2 / 3)
+    assert report.accuracy == pytest.approx(3 / 5)
+    assert report.positives == 3
+    assert report.negatives == 2
+
+
+def test_evaluate_shape_mismatch():
+    with pytest.raises(ValueError):
+        evaluate(np.array([1, 0]), np.array([0.5]))
+
+
+def test_train_test_split_partitions(rng):
+    features = np.arange(40).reshape(20, 2).astype(float)
+    labels = (np.arange(20) % 2).astype(int)
+    train_x, train_y, test_x, test_y = train_test_split(
+        features, labels, test_fraction=0.25, rng=rng)
+    assert train_x.shape[0] + test_x.shape[0] == 20
+    assert test_x.shape[0] == 5
+    combined = np.vstack([train_x, test_x])
+    assert sorted(map(tuple, combined)) == sorted(map(tuple, features))
+
+
+def test_train_test_split_validation(rng):
+    features = np.zeros((1, 2))
+    with pytest.raises(ValueError):
+        train_test_split(features, np.zeros(1), rng=rng)
+    with pytest.raises(ValueError):
+        train_test_split(np.zeros((10, 2)), np.zeros(10),
+                         test_fraction=1.5, rng=rng)

@@ -1,0 +1,194 @@
+"""Property-based tests for domain invariants: physics, ladders,
+topologies, metrics, ML."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from dcrobot.core import EscalationConfig, EscalationLadder, RepairAction
+from dcrobot.metrics import Table, format_duration
+from dcrobot.ml import LogisticRegression, roc_auc
+from dcrobot.network import EndFace, LinkState
+from dcrobot.topology.xpander import xpander_edges
+from dcrobot.traffic import percentile
+
+
+# -- end-face physics -----------------------------------------------------
+
+@given(cores=st.integers(min_value=1, max_value=16),
+       amount=st.floats(min_value=0.0, max_value=2.0,
+                        allow_nan=False),
+       seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=80, deadline=None)
+def test_contamination_always_in_unit_interval(cores, amount, seed):
+    face = EndFace(core_count=cores)
+    face.add_contamination(amount)
+    assert 0.0 <= face.worst_contamination <= 1.0
+    face.clean(np.random.default_rng(seed))
+    assert 0.0 <= face.worst_contamination <= 1.0
+
+
+@given(cores=st.integers(min_value=1, max_value=16),
+       amount=st.floats(min_value=0.0, max_value=1.0,
+                        allow_nan=False),
+       seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=80, deadline=None)
+def test_cleaning_never_creates_dirt(cores, amount, seed):
+    face = EndFace(core_count=cores)
+    face.add_contamination(amount)
+    before = face.contamination.sum()
+    face.clean(np.random.default_rng(seed))
+    assert face.contamination.sum() <= before + 1e-9
+
+
+@given(cores=st.integers(min_value=1, max_value=16),
+       rounds=st.integers(min_value=4, max_value=8),
+       seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=40, deadline=None)
+def test_enough_cleaning_rounds_always_pass_inspection(cores, rounds,
+                                                       seed):
+    rng = np.random.default_rng(seed)
+    face = EndFace(core_count=cores)
+    face.add_contamination(1.0)
+    for _round in range(rounds):
+        if face.passes_inspection():
+            break
+        face.clean(rng, wet=True, smear_probability=0.0)
+    assert face.passes_inspection()
+
+
+# -- link state timeline -----------------------------------------------------
+
+@given(st.lists(st.tuples(
+    st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+    st.sampled_from([LinkState.UP, LinkState.DOWN,
+                     LinkState.MAINTENANCE])),
+    min_size=0, max_size=30))
+@settings(max_examples=80, deadline=None)
+def test_uptime_fraction_always_in_unit_interval(transitions):
+    from tests.conftest import make_world
+
+    world = make_world(links=1)
+    link = world.links[0]
+    now = 0.0
+    for delta, state in transitions:
+        now += delta
+        link.set_state(now, state)
+    fraction = link.uptime_fraction(0.0, now + 1.0)
+    assert 0.0 <= fraction <= 1.0
+    # Flap counting never exceeds the number of recorded transitions.
+    assert link.transitions_in_window(0.0, now + 1.0) \
+        <= len(link.history)
+
+
+# -- escalation ladder -----------------------------------------------------------
+
+@given(history_ranks=st.lists(st.integers(min_value=0, max_value=4),
+                              min_size=0, max_size=10),
+       now=st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+@settings(max_examples=80, deadline=None)
+def test_ladder_always_returns_applicable_action(history_ranks, now):
+    from tests.conftest import make_world
+
+    world = make_world(links=1)
+    link = world.links[0]
+    ladder = EscalationLadder()
+    actions = list(RepairAction)
+    history = [(min(now, float(index)), actions[rank])
+               for index, rank in enumerate(history_ranks)]
+    action = ladder.next_action(link, history, now)
+    assert ladder.applicable(action, link)
+    assert action in RepairAction
+
+
+# -- xpander construction -----------------------------------------------------------
+
+@given(degree=st.integers(min_value=2, max_value=8),
+       lift=st.integers(min_value=1, max_value=8),
+       seed=st.integers(min_value=0, max_value=500))
+@settings(max_examples=40, deadline=None)
+def test_xpander_always_simple_and_regular(degree, lift, seed):
+    node_count, edges = xpander_edges(degree, lift,
+                                      np.random.default_rng(seed))
+    assert node_count == (degree + 1) * lift
+    degree_count = {}
+    seen = set()
+    for a, b in edges:
+        assert a != b
+        key = (min(a, b), max(a, b))
+        assert key not in seen
+        seen.add(key)
+        degree_count[a] = degree_count.get(a, 0) + 1
+        degree_count[b] = degree_count.get(b, 0) + 1
+    assert all(degree_count.get(node, 0) == degree
+               for node in range(node_count))
+
+
+# -- metrics ----------------------------------------------------------------------------
+
+@given(samples=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                  allow_nan=False),
+                        min_size=1, max_size=100),
+       q_low=st.floats(min_value=0.0, max_value=100.0),
+       q_high=st.floats(min_value=0.0, max_value=100.0))
+@settings(max_examples=80, deadline=None)
+def test_percentile_monotone_in_q(samples, q_low, q_high):
+    assume(q_low <= q_high)
+    assert percentile(samples, q_low) <= percentile(samples, q_high)
+    assert min(samples) <= percentile(samples, 50.0) <= max(samples)
+
+
+@given(seconds=st.floats(min_value=0.0, max_value=1e8,
+                         allow_nan=False))
+@settings(max_examples=80, deadline=None)
+def test_format_duration_total(seconds):
+    text = format_duration(seconds)
+    assert text[-1] in "smhd"
+    float(text[:-1])  # parses back
+
+
+@given(rows=st.lists(st.tuples(st.text(max_size=10),
+                               st.floats(allow_nan=False,
+                                         min_value=-1e6,
+                                         max_value=1e6)),
+                     min_size=0, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_table_renders_every_row(rows):
+    table = Table(["name", "value"])
+    for name, value in rows:
+        table.add_row(name, value)
+    rendered = table.render()
+    assert len(rendered.splitlines()) == 2 + len(rows)
+
+
+# -- ML -----------------------------------------------------------------------------------
+
+@given(seed=st.integers(min_value=0, max_value=1000),
+       count=st.integers(min_value=10, max_value=80),
+       dims=st.integers(min_value=1, max_value=6))
+@settings(max_examples=30, deadline=None)
+def test_logreg_probabilities_always_valid(seed, count, dims):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(count, dims))
+    labels = rng.integers(0, 2, size=count)
+    assume(labels.min() == 0 and labels.max() == 1)
+    model = LogisticRegression(epochs=50).fit(features, labels)
+    probabilities = model.predict_proba(features)
+    assert np.all(probabilities >= 0.0)
+    assert np.all(probabilities <= 1.0)
+    assert np.isfinite(probabilities).all()
+
+
+@given(seed=st.integers(min_value=0, max_value=1000),
+       count=st.integers(min_value=4, max_value=60))
+@settings(max_examples=40, deadline=None)
+def test_roc_auc_complement_symmetry(seed, count):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=count)
+    scores = rng.random(count)
+    assume(0 < labels.sum() < count)
+    auc = roc_auc(labels, scores)
+    flipped = roc_auc(labels, -scores)
+    assert 0.0 <= auc <= 1.0
+    assert auc + flipped == pytest.approx(1.0, abs=1e-9)

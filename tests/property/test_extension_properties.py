@@ -1,0 +1,150 @@
+"""Property-based tests for the extension subsystems: traces, audit,
+rewiring, queueing, energy."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from dcrobot.core import erlang_c
+from dcrobot.core.audit import AuditLog
+from dcrobot.core.reconfigure import StepKind, plan_rewiring
+from dcrobot.failures import FaultTrace, TraceEntry
+from dcrobot.metrics import sparkline
+from dcrobot.network import DegradationKind
+
+
+# -- fault traces ----------------------------------------------------------
+
+@given(entries=st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=1e7,
+                        allow_nan=False),
+              st.sampled_from(list(DegradationKind)),
+              st.integers(min_value=0, max_value=30)),
+    min_size=0, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_trace_json_roundtrip_preserves_entries(entries):
+    trace = FaultTrace([
+        TraceEntry(time, kind, f"link-{index:05d}")
+        for time, kind, index in entries])
+    restored = FaultTrace.from_json(trace.to_json())
+    assert restored.entries == trace.entries
+    times = [entry.time for entry in restored.entries]
+    assert times == sorted(times)
+
+
+# -- audit chain -----------------------------------------------------------------
+
+@given(entries=st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=1e6,
+                        allow_nan=False),
+              st.text(max_size=12), st.booleans()),
+    min_size=0, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_audit_chain_always_verifies_untampered(entries):
+    log = AuditLog()
+    for time, principal, allowed in entries:
+        log.append(time, principal, "action", "link", allowed)
+    assert log.verify_chain()
+    assert len(log.records) == len(entries)
+
+
+@given(entries=st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=1e6,
+                        allow_nan=False), st.booleans()),
+    min_size=1, max_size=20),
+    victim=st.integers(min_value=0, max_value=100))
+@settings(max_examples=60, deadline=None)
+def test_audit_tampering_any_record_detected(entries, victim):
+    import dataclasses
+
+    log = AuditLog()
+    for time, allowed in entries:
+        log.append(time, "p", "a", "l", allowed)
+    index = victim % len(log.records)
+    record = log.records[index]
+    log.records[index] = dataclasses.replace(
+        record, allowed=not record.allowed)
+    assert not log.verify_chain()
+
+
+# -- rewiring plans -----------------------------------------------------------------
+
+@given(seed=st.integers(min_value=0, max_value=400),
+       keep=st.integers(min_value=0, max_value=4),
+       extra=st.integers(min_value=0, max_value=3))
+@settings(max_examples=40, deadline=None)
+def test_rewire_plan_never_exceeds_port_budget(seed, keep, extra):
+    """Replaying any plan step-by-step keeps every node's used ports
+    within its radix."""
+    from tests.conftest import make_world
+
+    world = make_world(links=4, seed=seed % 50)
+    fabric = world.fabric
+    from dcrobot.network import SwitchRole
+
+    third = fabric.add_switch(SwitchRole.TOR, radix=4,
+                              rack_id=fabric.layout.rack_at(0, 1).id)
+    a, b = world.switch_a.id, world.switch_b.id
+    target = [(a, b)] * keep + [(a, third.id)] * min(extra, 3)
+    plan = plan_rewiring(fabric, target)
+
+    used = {node_id: len(fabric.node(node_id).ports)
+            - len(fabric.node(node_id).free_ports())
+            for node_id in (a, b, third.id)}
+    radix = {node_id: len(fabric.node(node_id).ports)
+             for node_id in (a, b, third.id)}
+    for step in plan.steps:
+        endpoint_a, endpoint_b = step.endpoints
+        delta = 1 if step.kind is StepKind.ADD else -1
+        for node_id in (endpoint_a, endpoint_b):
+            used[node_id] += delta
+            assert 0 <= used[node_id] <= radix[node_id]
+    # Feasible plans hit the target counts exactly.
+    if not plan.infeasible:
+        from collections import Counter
+
+        final = Counter()
+        for link in fabric.links.values():
+            final[tuple(sorted(link.endpoint_ids))] += 1
+        for step in plan.steps:
+            pair = tuple(sorted(step.endpoints))
+            final[pair] += 1 if step.kind is StepKind.ADD else -1
+        expected = Counter(tuple(sorted(pair)) for pair in target)
+        assert {k: v for k, v in final.items() if v} == \
+            {k: v for k, v in expected.items() if v}
+
+
+# -- erlang C ---------------------------------------------------------------------------
+
+@given(servers=st.integers(min_value=1, max_value=32),
+       load=st.floats(min_value=0.0, max_value=40.0,
+                      allow_nan=False))
+@settings(max_examples=80, deadline=None)
+def test_erlang_c_is_a_probability(servers, load):
+    value = erlang_c(servers, load)
+    assert 0.0 <= value <= 1.0
+
+
+@given(load=st.floats(min_value=0.1, max_value=10.0,
+                      allow_nan=False))
+@settings(max_examples=40, deadline=None)
+def test_erlang_c_decreasing_in_servers(load):
+    values = [erlang_c(servers, load)
+              for servers in range(max(1, int(load) + 1),
+                                   int(load) + 8)]
+    for earlier, later in zip(values, values[1:]):
+        assert later <= earlier + 1e-12
+
+
+# -- sparkline ----------------------------------------------------------------------------
+
+@given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                                 allow_nan=False),
+                       min_size=1, max_size=300),
+       width=st.integers(min_value=1, max_value=100))
+@settings(max_examples=60, deadline=None)
+def test_sparkline_width_bound(values, width):
+    strip = sparkline(values, width=width)
+    assert 1 <= len(strip) <= width
+    assert set(strip) <= set(" ._-=+*#")

@@ -1,0 +1,97 @@
+"""Property-based tests (hypothesis) for the simulation kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from dcrobot.sim import Container, Simulation, Store
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                 allow_nan=False),
+                       min_size=1, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulation()
+    fired = []
+    for delay in delays:
+        sim.timeout(delay).callbacks.append(
+            lambda _event: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0.001, max_value=1e4,
+                                 allow_nan=False),
+                       min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_sequential_process_time_is_sum_of_waits(delays):
+    sim = Simulation()
+
+    def worker(sim):
+        for delay in delays:
+            yield sim.timeout(delay)
+
+    process = sim.process(worker(sim))
+    sim.run(until=process)
+    assert abs(sim.now - sum(delays)) < 1e-6 * max(1.0, sum(delays))
+
+
+@given(st.data())
+@settings(max_examples=50, deadline=None)
+def test_store_preserves_item_multiset(data):
+    items = data.draw(st.lists(st.integers(), min_size=0, max_size=30))
+    sim = Simulation()
+    store = Store(sim)
+    received = []
+
+    def producer(sim, store):
+        for item in items:
+            yield store.put(item)
+            yield sim.timeout(1.0)
+
+    def consumer(sim, store):
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    sim.process(producer(sim, store))
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert received == items  # FIFO preserves order, hence multiset
+
+
+@given(operations=st.lists(
+    st.tuples(st.sampled_from(["put", "get"]),
+              st.floats(min_value=0.1, max_value=10.0)),
+    min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_container_level_always_within_bounds(operations):
+    sim = Simulation()
+    capacity = 25.0
+    tank = Container(sim, capacity=capacity, init=10.0)
+    levels = []
+
+    def actor(sim, tank):
+        for kind, amount in operations:
+            event = tank.put(amount) if kind == "put" \
+                else tank.get(amount)
+            result = yield sim.any_of([event, sim.timeout(1.0)])
+            levels.append(tank.level)
+
+    sim.process(actor(sim, tank))
+    sim.run()
+    for level in levels:
+        assert -1e-9 <= level <= capacity + 1e-9
+
+
+@given(count=st.integers(min_value=1, max_value=40))
+@settings(max_examples=30, deadline=None)
+def test_all_of_waits_for_slowest(count):
+    sim = Simulation()
+    timeouts = [sim.timeout(float(index + 1)) for index in range(count)]
+    condition = sim.all_of(timeouts)
+    sim.run(until=condition)
+    assert sim.now == float(count)
+    assert len(condition.value) == count

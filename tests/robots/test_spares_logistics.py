@@ -1,0 +1,108 @@
+"""Unit tests for the manipulator's onboard spares magazine."""
+
+import numpy as np
+import pytest
+
+from dcrobot.core.actions import RepairAction, WorkOrder
+from dcrobot.robots import FleetConfig, ManipulatorParams, RobotFleet
+from dcrobot.robots.manipulator import ManipulatorRobot
+
+from tests.conftest import make_world
+
+
+def make_robot(world, capacity=2, seed=6):
+    home = world.fabric.layout.rack_at(0, 0).id
+    return ManipulatorRobot(
+        world.sim, world.fabric, "m0", home,
+        params=ManipulatorParams(spare_capacity=capacity),
+        rng=np.random.default_rng(seed))
+
+
+def test_magazine_starts_full(world):
+    robot = make_robot(world, capacity=3)
+    assert robot.onboard_spares == 3
+    robot.consume_spare()
+    assert robot.onboard_spares == 2
+
+
+def test_consume_empty_magazine_raises(world):
+    robot = make_robot(world, capacity=0)
+    with pytest.raises(ValueError):
+        robot.consume_spare()
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        ManipulatorParams(spare_capacity=-1)
+
+
+def test_ensure_spare_is_free_when_stocked(world):
+    robot = make_robot(world, capacity=1)
+    depot = world.fabric.layout.rack_at(0, 0).id
+
+    def task(robot, depot):
+        extra = yield from robot.ensure_spare(depot)
+        return extra
+
+    process = world.sim.process(task(robot, depot))
+    assert world.sim.run(until=process) == 0.0
+    assert world.sim.now == 0.0
+
+
+def test_empty_magazine_costs_a_depot_round_trip():
+    world = make_world(rows=1, racks_per_row=4)
+    robot = ManipulatorRobot(
+        world.sim, world.fabric, "m0",
+        world.fabric.layout.rack_at(0, 3).id,
+        params=ManipulatorParams(spare_capacity=1,
+                                 depot_restock_seconds=100.0),
+        rng=np.random.default_rng(1))
+    robot.consume_spare()
+    depot = world.fabric.layout.rack_at(0, 0).id
+
+    def task(robot, depot):
+        extra = yield from robot.ensure_spare(depot)
+        return extra
+
+    process = world.sim.process(task(robot, depot))
+    extra = world.sim.run(until=process)
+    assert extra > 100.0  # restock + two travels
+    assert robot.onboard_spares == 1
+    assert robot.depot_trips == 1
+    # The robot returned to where it was working.
+    assert robot.mobility.current_rack_id \
+        == world.fabric.layout.rack_at(0, 3).id
+
+
+def test_fleet_replacement_consumes_magazine(world):
+    fleet = RobotFleet(world.sim, world.fabric, world.health,
+                       world.physics,
+                       config=FleetConfig(manipulators=1, cleaners=0),
+                       rng=np.random.default_rng(2))
+    manipulator = fleet.manipulators[0]
+    before = manipulator.onboard_spares
+    link = world.links[0]
+    link.transceiver_a.fail_hardware()
+    world.health.evaluate_link(link, 0.0)
+    order = WorkOrder(link.id, RepairAction.REPLACE_TRANSCEIVER,
+                      created_at=0.0)
+    outcome = world.sim.run(until=fleet.submit(order))
+    assert outcome.completed
+    assert manipulator.onboard_spares == before - 1
+
+
+def test_fleet_restocks_when_magazine_drains(world):
+    fleet = RobotFleet(world.sim, world.fabric, world.health,
+                       world.physics,
+                       config=FleetConfig(manipulators=1, cleaners=0),
+                       rng=np.random.default_rng(2))
+    manipulator = fleet.manipulators[0]
+    manipulator.onboard_spares = 0
+    link = world.links[0]
+    link.transceiver_b.fail_hardware()
+    world.health.evaluate_link(link, 0.0)
+    order = WorkOrder(link.id, RepairAction.REPLACE_TRANSCEIVER,
+                      created_at=0.0)
+    outcome = world.sim.run(until=fleet.submit(order))
+    assert outcome.completed
+    assert manipulator.depot_trips == 1

@@ -1,0 +1,227 @@
+"""Unit tests for mobility, perception, and individual robot units."""
+
+import numpy as np
+import pytest
+
+from dcrobot.network import CableKind
+from dcrobot.robots import (
+    CleanerParams,
+    CleaningRobot,
+    ManipulatorRobot,
+    MobilityModel,
+    MobilityScope,
+    PerceptionModel,
+    PerceptionParams,
+)
+
+from tests.conftest import make_world
+
+
+# -- mobility -----------------------------------------------------------------
+
+def test_mobility_scopes():
+    world = make_world(rows=2, racks_per_row=3)
+    layout = world.fabric.layout
+    home = layout.rack_at(0, 0).id
+    same_row = layout.rack_at(0, 2).id
+    other_row = layout.rack_at(1, 1).id
+
+    rack_bot = MobilityModel(world.fabric, home, MobilityScope.RACK)
+    assert rack_bot.can_reach(home)
+    assert not rack_bot.can_reach(same_row)
+
+    row_bot = MobilityModel(world.fabric, home, MobilityScope.ROW)
+    assert row_bot.can_reach(same_row)
+    assert not row_bot.can_reach(other_row)
+
+    hall_bot = MobilityModel(world.fabric, home, MobilityScope.HALL)
+    assert hall_bot.can_reach(other_row)
+    assert not hall_bot.can_reach("rack-nonexistent")
+
+
+def test_mobility_travel_time(world):
+    layout = world.fabric.layout
+    home = layout.rack_at(0, 0).id
+    target = layout.rack_at(0, 1).id
+    bot = MobilityModel(world.fabric, home, MobilityScope.HALL,
+                        speed_m_s=0.5, alignment_seconds=30.0)
+    assert bot.travel_seconds(home) == 0.0
+    expected = 0.6 / 0.5 + 30.0
+    assert bot.travel_seconds(target) == pytest.approx(expected)
+    bot.move_to(target)
+    assert bot.current_rack_id == target
+    assert bot.travel_seconds(target) == 0.0
+
+
+def test_mobility_validation(world):
+    home = world.fabric.layout.rack_at(0, 0).id
+    with pytest.raises(ValueError):
+        MobilityModel(world.fabric, home, MobilityScope.HALL,
+                      speed_m_s=0.0)
+    with pytest.raises(ValueError):
+        MobilityModel(world.fabric, "rack-nope", MobilityScope.HALL)
+    bot = MobilityModel(world.fabric, home, MobilityScope.RACK)
+    other = world.fabric.layout.rack_at(0, 1).id
+    with pytest.raises(ValueError):
+        bot.travel_seconds(other)
+
+
+# -- perception --------------------------------------------------------------------
+
+def test_perception_occlusion_grows_with_density():
+    model = PerceptionModel(rng=np.random.default_rng(0))
+    assert model.occlusion(1) == 1.0
+    assert model.occlusion(21) == 2.0
+
+
+def test_perception_recognition_time_grows_with_clutter(world):
+    model = PerceptionModel(rng=np.random.default_rng(0))
+    target = world.links[0].transceiver_a.model
+    _ok, sparse = model.recognize(target, bundle_density=1)
+    _ok, dense = model.recognize(target, bundle_density=24)
+    assert dense > sparse
+
+
+def test_perception_params_validation():
+    with pytest.raises(ValueError):
+        PerceptionParams(base_scan_seconds=0.0)
+    with pytest.raises(ValueError):
+        PerceptionParams(max_rescans=-1)
+
+
+def test_perception_can_fail_on_difficult_models(world):
+    params = PerceptionParams(base_misrecognition=0.9, max_rescans=1)
+    model = PerceptionModel(params, rng=np.random.default_rng(1))
+    target = world.links[0].transceiver_a.model
+    results = [model.recognize(target, 1)[0] for _ in range(50)]
+    assert not all(results)
+
+
+# -- manipulator ------------------------------------------------------------------------
+
+def make_manipulator(world, seed=3):
+    home = world.fabric.layout.rack_at(0, 0).id
+    return ManipulatorRobot(world.sim, world.fabric, "m0", home,
+                            rng=np.random.default_rng(seed))
+
+
+def test_manipulator_reseat_fixes_wedge(world):
+    link = world.links[0]
+    link.transceiver_a.firmware_stuck = True
+    robot = make_manipulator(world)
+
+    def task(sim, robot, link):
+        ok, note = yield from robot.reseat(link)
+        return ok
+
+    proc = world.sim.process(task(world.sim, robot, link))
+    assert world.sim.run(until=proc)
+    assert not link.transceiver_a.firmware_stuck
+    assert robot.busy_seconds > 0
+    assert robot.operations_done == 2  # both sides
+    assert world.sim.now > 0
+
+
+def test_manipulator_reseat_takes_under_a_few_minutes(world):
+    # §3.3.2: "This entire operation currently takes a few minutes".
+    link = world.links[0]
+    robot = make_manipulator(world)
+
+    def task(sim, robot, link):
+        yield from robot.reseat(link)
+
+    proc = world.sim.process(task(world.sim, robot, link))
+    world.sim.run(until=proc)
+    assert 30.0 < world.sim.now < 10 * 60.0
+
+
+def test_manipulator_utilization(world):
+    robot = make_manipulator(world)
+    with pytest.raises(ValueError):
+        robot.utilization(0.0)
+    assert robot.utilization(100.0) == 0.0
+
+
+# -- cleaner ----------------------------------------------------------------------------
+
+def make_cleaner(world, seed=4, **params):
+    home = world.fabric.layout.rack_at(0, 0).id
+    return CleaningRobot(world.sim, world.fabric, "c0", home,
+                         params=CleanerParams(**params),
+                         rng=np.random.default_rng(seed))
+
+
+def test_cleaner_params_validation():
+    with pytest.raises(ValueError):
+        CleanerParams(per_core_inspect_seconds=0.0)
+    with pytest.raises(ValueError):
+        CleanerParams(consumable_capacity=0.0)
+
+
+def test_eight_core_inspection_under_30_seconds(world):
+    # The paper's headline: "the end-face inspection for 8 cores takes
+    # less than 30 seconds".
+    robot = make_cleaner(world)
+    assert robot.inspect_seconds(8) < 30.0
+
+
+def test_clean_cycle_removes_dirt(world):
+    link = world.links[0]
+    link.cable.end_a.add_contamination(0.6)
+    robot = make_cleaner(world)
+
+    def task(sim, robot, link):
+        link.transceiver_a.unseat()
+        verified, note = yield from robot.clean_cycle(link, "a")
+        link.transceiver_a.seat(sim.now)
+        return verified
+
+    proc = world.sim.process(task(world.sim, robot, link))
+    assert world.sim.run(until=proc)
+    assert link.cable.end_a.passes_inspection()
+    assert link.cable.attached_a
+
+
+def test_clean_cycle_rejects_integrated_cable():
+    world = make_world(kind=CableKind.AOC)
+    robot = make_cleaner(world)
+
+    def task(sim, robot, link):
+        result = yield from robot.clean_cycle(link, "a")
+        return result
+
+    proc = world.sim.process(task(world.sim, robot, world.links[0]))
+    verified, note = world.sim.run(until=proc)
+    assert not verified
+    assert "cannot be detached" in note
+
+
+def test_cleaner_consumables_deplete_and_refill(world):
+    link = world.links[0]
+    robot = make_cleaner(world, consumable_capacity=1.0,
+                         refill_seconds=100.0)
+    link.cable.end_a.add_contamination(0.9)
+    link.cable.end_b.add_contamination(0.9)
+
+    def task(sim, robot, link):
+        yield from robot.clean_cycle(link, "a")
+        yield from robot.clean_cycle(link, "b")
+
+    proc = world.sim.process(task(world.sim, robot, link))
+    world.sim.run(until=proc)
+    assert robot.refills >= 1
+
+
+def test_clean_cycle_reports_unverifiable(world):
+    link = world.links[0]
+    link.cable.end_a.scratch(0)  # cleaning cannot fix a scratch
+    robot = make_cleaner(world)
+
+    def task(sim, robot, link):
+        result = yield from robot.clean_cycle(link, "a")
+        return result
+
+    proc = world.sim.process(task(world.sim, robot, link))
+    verified, note = world.sim.run(until=proc)
+    assert not verified
+    assert "failed verification" in note

@@ -1,0 +1,227 @@
+"""Unit tests for the discrete-event engine and event primitives."""
+
+import pytest
+
+from dcrobot.sim import (
+    Event,
+    EventAlreadyTriggered,
+    Simulation,
+    SimulationError,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulation()
+    assert sim.now == 0.0
+
+
+def test_clock_custom_start():
+    sim = Simulation(start_time=100.0)
+    assert sim.now == 100.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulation()
+    sim.timeout(5.0)
+    sim.run()
+    assert sim.now == 5.0
+
+
+def test_timeouts_processed_in_order():
+    sim = Simulation()
+    seen = []
+    for delay in (3.0, 1.0, 2.0):
+        sim.timeout(delay).callbacks.append(
+            lambda ev, d=delay: seen.append(d))
+    sim.run()
+    assert seen == [1.0, 2.0, 3.0]
+
+
+def test_equal_time_fifo_order():
+    sim = Simulation()
+    seen = []
+    for tag in ("a", "b", "c"):
+        sim.timeout(1.0).callbacks.append(lambda ev, t=tag: seen.append(t))
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulation()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_run_until_time_excludes_boundary_events():
+    # SimPy semantics: events exactly at `until` are not processed.
+    sim = Simulation()
+    seen = []
+    sim.timeout(10.0).callbacks.append(lambda ev: seen.append("fired"))
+    sim.run(until=10.0)
+    assert seen == []
+    assert sim.now == 10.0
+    sim.run()
+    assert seen == ["fired"]
+
+
+def test_run_until_past_raises():
+    sim = Simulation()
+    sim.run(until=5.0)
+    with pytest.raises(ValueError):
+        sim.run(until=1.0)
+
+
+def test_run_until_time_with_empty_schedule_advances_clock():
+    sim = Simulation()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_step_empty_schedule_raises():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_peek():
+    sim = Simulation()
+    assert sim.peek() == float("inf")
+    sim.timeout(7.0)
+    assert sim.peek() == 7.0
+
+
+def test_manual_event_succeed_value():
+    sim = Simulation()
+    ev = sim.event()
+    assert not ev.triggered
+    ev.succeed(123)
+    assert ev.triggered and ev.ok
+    sim.run()
+    assert ev.processed
+    assert ev.value == 123
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulation()
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(EventAlreadyTriggered):
+        ev.succeed()
+    with pytest.raises(EventAlreadyTriggered):
+        ev.fail(RuntimeError("x"))
+
+
+def test_event_fail_requires_exception():
+    sim = Simulation()
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulation()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_run_until_event_returns_value():
+    sim = Simulation()
+
+    def proc(sim):
+        yield sim.timeout(3.0)
+        return "result"
+
+    p = sim.process(proc(sim))
+    assert sim.run(until=p) == "result"
+    assert sim.now == 3.0
+
+
+def test_run_until_already_processed_event():
+    sim = Simulation()
+    ev = sim.event()
+    ev.succeed("done")
+    sim.run()
+    assert sim.run(until=ev) == "done"
+
+
+def test_run_until_event_never_fires():
+    sim = Simulation()
+    ev = sim.event()  # never triggered
+    sim.timeout(1.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=ev)
+
+
+def test_run_until_failed_event_raises_its_exception():
+    sim = Simulation()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("boom")
+
+    p = sim.process(proc(sim))
+    with pytest.raises(ValueError, match="boom"):
+        sim.run(until=p)
+
+
+def test_condition_all_of():
+    sim = Simulation()
+    t1 = sim.timeout(1.0, value="a")
+    t2 = sim.timeout(2.0, value="b")
+    cond = sim.all_of([t1, t2])
+    sim.run()
+    assert cond.processed and cond.ok
+    assert cond.value[t1] == "a"
+    assert cond.value[t2] == "b"
+    assert len(cond.value) == 2
+
+
+def test_condition_any_of_fires_at_earliest():
+    sim = Simulation()
+    t1 = sim.timeout(1.0, value="fast")
+    t2 = sim.timeout(10.0, value="slow")
+    cond = sim.any_of([t1, t2])
+    sim.run(until=cond)
+    assert sim.now == 1.0
+    assert t1 in cond.value
+    assert t2 not in cond.value
+
+
+def test_condition_empty_fires_immediately():
+    sim = Simulation()
+    cond = sim.all_of([])
+    sim.run()
+    assert cond.processed and len(cond.value) == 0
+
+
+def test_condition_propagates_failure():
+    sim = Simulation()
+    good = sim.timeout(5.0)
+    bad = sim.event()
+    bad.fail(RuntimeError("child failed"))
+    cond = sim.all_of([good, bad])
+    with pytest.raises(RuntimeError, match="child failed"):
+        sim.run(until=cond)
+
+
+def test_condition_value_keyerror_for_foreign_event():
+    sim = Simulation()
+    t1 = sim.timeout(1.0)
+    other = sim.timeout(1.0)
+    cond = sim.all_of([t1])
+    sim.run()
+    with pytest.raises(KeyError):
+        _ = cond.value[other]
+
+
+def test_time_never_goes_backwards():
+    sim = Simulation()
+    times = []
+    for delay in (5.0, 1.0, 3.0, 1.0, 0.0):
+        sim.timeout(delay).callbacks.append(
+            lambda ev: times.append(sim.now))
+    sim.run()
+    assert times == sorted(times)

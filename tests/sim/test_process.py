@@ -1,0 +1,278 @@
+"""Unit tests for generator processes: sequencing, interrupts, failures."""
+
+import pytest
+
+from dcrobot.sim import Interrupt, Simulation, SimulationError
+
+
+def test_process_runs_and_returns_value():
+    sim = Simulation()
+
+    def worker(sim):
+        yield sim.timeout(2.0)
+        yield sim.timeout(3.0)
+        return 42
+
+    p = sim.process(worker(sim))
+    sim.run()
+    assert sim.now == 5.0
+    assert p.processed and p.ok and p.value == 42
+
+
+def test_process_receives_timeout_value():
+    sim = Simulation()
+    received = []
+
+    def worker(sim):
+        value = yield sim.timeout(1.0, value="payload")
+        received.append(value)
+
+    sim.process(worker(sim))
+    sim.run()
+    assert received == ["payload"]
+
+
+def test_process_is_alive_lifecycle():
+    sim = Simulation()
+
+    def worker(sim):
+        yield sim.timeout(1.0)
+
+    p = sim.process(worker(sim))
+    assert p.is_alive
+    sim.run()
+    assert not p.is_alive
+
+
+def test_processes_wait_on_each_other():
+    sim = Simulation()
+
+    def child(sim):
+        yield sim.timeout(4.0)
+        return "child-done"
+
+    def parent(sim):
+        result = yield sim.process(child(sim))
+        return f"got:{result}"
+
+    p = sim.process(parent(sim))
+    assert sim.run(until=p) == "got:child-done"
+    assert sim.now == 4.0
+
+
+def test_yield_already_processed_event_resumes_immediately():
+    sim = Simulation()
+    trace = []
+
+    def worker(sim):
+        ev = sim.event()
+        ev.succeed("early")
+        yield sim.timeout(1.0)  # ev processes during this wait
+        value = yield ev
+        trace.append((sim.now, value))
+
+    sim.process(worker(sim))
+    sim.run()
+    assert trace == [(1.0, "early")]
+
+
+def test_process_exception_fails_process_event():
+    sim = Simulation()
+
+    def worker(sim):
+        yield sim.timeout(1.0)
+        raise KeyError("inside")
+
+    p = sim.process(worker(sim))
+    # Nobody waits on p, so its failure surfaces from run() (silent
+    # failures are a debugging nightmare; the engine raises instead).
+    with pytest.raises(KeyError, match="inside"):
+        sim.run()
+    assert p.processed and not p.ok
+    assert isinstance(p.value, KeyError)
+
+
+def test_unwatched_failure_can_be_defused():
+    sim = Simulation()
+
+    def worker(sim):
+        yield sim.timeout(1.0)
+        raise KeyError("expected")
+
+    p = sim.process(worker(sim))
+    p.defused = True
+    sim.run()  # no raise
+    assert not p.ok
+
+
+def test_watched_failure_does_not_raise_from_run():
+    sim = Simulation()
+
+    def worker(sim):
+        yield sim.timeout(1.0)
+        raise KeyError("caught-by-parent")
+
+    def parent(sim):
+        try:
+            yield sim.process(worker(sim))
+        except KeyError:
+            return "handled"
+
+    parent_proc = sim.process(parent(sim))
+    assert sim.run(until=parent_proc) == "handled"
+
+
+def test_failed_event_thrown_into_waiter():
+    sim = Simulation()
+    caught = []
+
+    def worker(sim):
+        ev = sim.event()
+        sim.process(failer(sim, ev))
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def failer(sim, ev):
+        yield sim.timeout(1.0)
+        ev.fail(RuntimeError("deliberate"))
+
+    sim.process(worker(sim))
+    sim.run()
+    assert caught == ["deliberate"]
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulation()
+    causes = []
+
+    def victim(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as interrupt:
+            causes.append((sim.now, interrupt.cause))
+
+    def interrupter(sim, victim_proc):
+        yield sim.timeout(3.0)
+        victim_proc.interrupt("recalled")
+
+    v = sim.process(victim(sim))
+    sim.process(interrupter(sim, v))
+    sim.run()
+    assert causes == [(3.0, "recalled")]
+
+
+def test_uncaught_interrupt_fails_process():
+    sim = Simulation()
+
+    def victim(sim):
+        yield sim.timeout(100.0)
+
+    def interrupter(sim, victim_proc):
+        yield sim.timeout(1.0)
+        victim_proc.interrupt()
+
+    v = sim.process(victim(sim))
+    sim.process(interrupter(sim, v))
+    with pytest.raises(Interrupt):
+        sim.run()
+    assert not v.ok
+    assert isinstance(v.value, Interrupt)
+
+
+def test_interrupt_then_continue():
+    sim = Simulation()
+    trace = []
+
+    def victim(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt:
+            trace.append(("interrupted", sim.now))
+        yield sim.timeout(5.0)
+        trace.append(("resumed-work-done", sim.now))
+
+    def interrupter(sim, victim_proc):
+        yield sim.timeout(2.0)
+        victim_proc.interrupt()
+
+    v = sim.process(victim(sim))
+    sim.process(interrupter(sim, v))
+    sim.run()
+    assert trace == [("interrupted", 2.0), ("resumed-work-done", 7.0)]
+    # The abandoned 100s timeout still exists but must not resume the victim.
+    assert sim.now == 100.0
+
+
+def test_interrupt_finished_process_raises():
+    sim = Simulation()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    p = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_yield_non_event_is_error():
+    sim = Simulation()
+
+    def bad(sim):
+        yield 42
+
+    sim.process(bad(sim))
+    with pytest.raises(SimulationError, match="non-event"):
+        sim.run()
+
+
+def test_cross_simulation_event_rejected():
+    sim_a = Simulation()
+    sim_b = Simulation()
+
+    def bad(sim_a, sim_b):
+        yield sim_b.timeout(1.0)
+
+    sim_a.process(bad(sim_a, sim_b))
+    with pytest.raises(SimulationError, match="another simulation"):
+        sim_a.run()
+
+
+def test_non_generator_rejected():
+    sim = Simulation()
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)
+
+
+def test_many_processes_interleave_deterministically():
+    sim = Simulation()
+    trace = []
+
+    def worker(sim, name, period, repeats):
+        for _ in range(repeats):
+            yield sim.timeout(period)
+            trace.append((sim.now, name))
+
+    sim.process(worker(sim, "a", 2.0, 3))
+    sim.process(worker(sim, "b", 3.0, 2))
+    sim.run()
+    # At t=6 both fire; b's timeout was scheduled earlier (t=3 vs t=4),
+    # so FIFO tie-breaking runs b first.
+    assert trace == [
+        (2.0, "a"), (3.0, "b"), (4.0, "a"), (6.0, "b"), (6.0, "a")]
+
+
+def test_active_process_visible_during_execution():
+    sim = Simulation()
+    observed = []
+
+    def worker(sim):
+        observed.append(sim.active_process)
+        yield sim.timeout(1.0)
+
+    p = sim.process(worker(sim))
+    sim.run()
+    assert observed == [p]
+    assert sim.active_process is None

@@ -1,0 +1,306 @@
+"""Unit tests for Resource / PriorityResource / Store / Container."""
+
+import pytest
+
+from dcrobot.sim import (
+    Container,
+    PriorityResource,
+    Resource,
+    Simulation,
+    Store,
+)
+
+
+def test_resource_capacity_validation():
+    sim = Simulation()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulation()
+    res = Resource(sim, capacity=2)
+    grants = []
+
+    def worker(sim, res, name, hold):
+        with res.request() as req:
+            yield req
+            grants.append((sim.now, name))
+            yield sim.timeout(hold)
+
+    sim.process(worker(sim, res, "a", 10.0))
+    sim.process(worker(sim, res, "b", 10.0))
+    sim.process(worker(sim, res, "c", 10.0))
+    sim.run()
+    # a and b start at 0, c waits for the first release at t=10.
+    assert grants == [(0.0, "a"), (0.0, "b"), (10.0, "c")]
+
+
+def test_resource_release_via_context_manager():
+    sim = Simulation()
+    res = Resource(sim, capacity=1)
+
+    def worker(sim, res):
+        with res.request() as req:
+            yield req
+            yield sim.timeout(1.0)
+
+    sim.process(worker(sim, res))
+    sim.run()
+    assert res.count == 0
+    assert res.queued == 0
+
+
+def test_resource_fifo_order():
+    sim = Simulation()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def worker(sim, res, name):
+        with res.request() as req:
+            yield req
+            order.append(name)
+            yield sim.timeout(1.0)
+
+    for name in ("first", "second", "third"):
+        sim.process(worker(sim, res, name))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_priority_resource_serves_lowest_priority_value_first():
+    sim = Simulation()
+    res = PriorityResource(sim, capacity=1)
+    order = []
+
+    def holder(sim, res):
+        with res.request() as req:
+            yield req
+            yield sim.timeout(10.0)
+
+    def worker(sim, res, name, priority, start):
+        yield sim.timeout(start)
+        with res.request(priority=priority) as req:
+            yield req
+            order.append(name)
+            yield sim.timeout(1.0)
+
+    sim.process(holder(sim, res))
+    sim.process(worker(sim, res, "low", priority=5.0, start=1.0))
+    sim.process(worker(sim, res, "urgent", priority=0.0, start=2.0))
+    sim.run()
+    assert order == ["urgent", "low"]
+
+
+def test_cancel_queued_request():
+    sim = Simulation()
+    res = Resource(sim, capacity=1)
+    served = []
+
+    def holder(sim, res):
+        with res.request() as req:
+            yield req
+            yield sim.timeout(10.0)
+
+    def impatient(sim, res):
+        req = res.request()
+        yield sim.timeout(2.0)  # give up before being served
+        req.cancel()
+
+    def patient(sim, res):
+        yield sim.timeout(1.0)
+        with res.request() as req:
+            yield req
+            served.append(("patient", sim.now))
+
+    sim.process(holder(sim, res))
+    sim.process(impatient(sim, res))
+    sim.process(patient(sim, res))
+    sim.run()
+    assert served == [("patient", 10.0)]
+
+
+def test_store_put_then_get():
+    sim = Simulation()
+    store = Store(sim)
+    got = []
+
+    def producer(sim, store):
+        yield sim.timeout(1.0)
+        yield store.put("item-1")
+
+    def consumer(sim, store):
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    sim.process(producer(sim, store))
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert got == [(1.0, "item-1")]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulation()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim, store):
+        item = yield store.get()
+        got.append(sim.now)
+
+    def producer(sim, store):
+        yield sim.timeout(5.0)
+        yield store.put("x")
+
+    sim.process(consumer(sim, store))
+    sim.process(producer(sim, store))
+    sim.run()
+    assert got == [5.0]
+
+
+def test_store_fifo_items():
+    sim = Simulation()
+    store = Store(sim)
+    got = []
+
+    def run(sim, store):
+        yield store.put("a")
+        yield store.put("b")
+        got.append((yield store.get()))
+        got.append((yield store.get()))
+
+    sim.process(run(sim, store))
+    sim.run()
+    assert got == ["a", "b"]
+
+
+def test_store_capacity_blocks_put():
+    sim = Simulation()
+    store = Store(sim, capacity=1)
+    times = []
+
+    def producer(sim, store):
+        yield store.put("a")
+        times.append(("a-in", sim.now))
+        yield store.put("b")
+        times.append(("b-in", sim.now))
+
+    def consumer(sim, store):
+        yield sim.timeout(3.0)
+        yield store.get()
+
+    sim.process(producer(sim, store))
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert times == [("a-in", 0.0), ("b-in", 3.0)]
+
+
+def test_store_predicate_get():
+    sim = Simulation()
+    store = Store(sim)
+    got = []
+
+    def run(sim, store):
+        yield store.put({"kind": "reseat"})
+        yield store.put({"kind": "clean"})
+        item = yield store.get(lambda task: task["kind"] == "clean")
+        got.append(item["kind"])
+        item = yield store.get()
+        got.append(item["kind"])
+
+    sim.process(run(sim, store))
+    sim.run()
+    assert got == ["clean", "reseat"]
+
+
+def test_store_predicate_waits_for_matching_item():
+    sim = Simulation()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim, store):
+        item = yield store.get(lambda x: x == "wanted")
+        got.append((sim.now, item))
+
+    def producer(sim, store):
+        yield store.put("unwanted")
+        yield sim.timeout(4.0)
+        yield store.put("wanted")
+
+    sim.process(consumer(sim, store))
+    sim.process(producer(sim, store))
+    sim.run()
+    assert got == [(4.0, "wanted")]
+    assert store.items == ["unwanted"]
+
+
+def test_store_cancel_get():
+    sim = Simulation()
+    store = Store(sim)
+    request = store.get()
+    store.cancel_get(request)
+    store.put("x")
+    sim.run()
+    assert not request.triggered
+    assert store.items == ["x"]
+
+
+def test_container_init_and_bounds():
+    sim = Simulation()
+    with pytest.raises(ValueError):
+        Container(sim, capacity=0)
+    with pytest.raises(ValueError):
+        Container(sim, capacity=10, init=11)
+    tank = Container(sim, capacity=10, init=4)
+    assert tank.level == 4
+
+
+def test_container_get_blocks_until_enough():
+    sim = Simulation()
+    tank = Container(sim, capacity=100, init=0)
+    got = []
+
+    def consumer(sim, tank):
+        yield tank.get(5)
+        got.append(sim.now)
+
+    def producer(sim, tank):
+        yield sim.timeout(1.0)
+        yield tank.put(3)
+        yield sim.timeout(1.0)
+        yield tank.put(3)
+
+    sim.process(consumer(sim, tank))
+    sim.process(producer(sim, tank))
+    sim.run()
+    assert got == [2.0]
+    assert tank.level == 1
+
+
+def test_container_put_blocks_at_capacity():
+    sim = Simulation()
+    tank = Container(sim, capacity=5, init=5)
+    times = []
+
+    def producer(sim, tank):
+        yield tank.put(2)
+        times.append(sim.now)
+
+    def consumer(sim, tank):
+        yield sim.timeout(7.0)
+        yield tank.get(4)
+
+    sim.process(producer(sim, tank))
+    sim.process(consumer(sim, tank))
+    sim.run()
+    assert times == [7.0]
+    assert tank.level == 3
+
+
+def test_container_rejects_nonpositive_amounts():
+    sim = Simulation()
+    tank = Container(sim, capacity=5, init=1)
+    with pytest.raises(ValueError):
+        tank.put(0)
+    with pytest.raises(ValueError):
+        tank.get(-1)

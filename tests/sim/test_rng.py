@@ -1,0 +1,45 @@
+"""Unit tests for deterministic random-stream management."""
+
+import numpy as np
+
+from dcrobot.sim import RandomStreams, make_rng
+
+
+def test_named_streams_are_deterministic():
+    streams = RandomStreams(seed=42)
+    first = streams.stream("health").random(5)
+    second = RandomStreams(seed=42).stream("health").random(5)
+    assert np.allclose(first, second)
+
+
+def test_different_names_differ():
+    streams = RandomStreams(seed=42)
+    assert not np.allclose(streams.stream("a").random(5),
+                           streams.stream("b").random(5))
+
+
+def test_different_seeds_differ():
+    assert not np.allclose(
+        RandomStreams(seed=1).stream("x").random(5),
+        RandomStreams(seed=2).stream("x").random(5))
+
+
+def test_spawn_namespaces():
+    parent = RandomStreams(seed=7)
+    child_a = parent.spawn("robots")
+    child_b = parent.spawn("humans")
+    assert child_a.seed != child_b.seed
+    # Same name under different namespaces gives different streams.
+    assert not np.allclose(child_a.stream("x").random(4),
+                           child_b.stream("x").random(4))
+    # But spawning is deterministic.
+    assert RandomStreams(seed=7).spawn("robots").seed == child_a.seed
+
+
+def test_make_rng_coercions():
+    generator = np.random.default_rng(5)
+    assert make_rng(generator) is generator
+    assert isinstance(make_rng(123), np.random.Generator)
+    assert isinstance(make_rng(None), np.random.Generator)
+    # Same int seed -> same stream.
+    assert np.allclose(make_rng(9).random(3), make_rng(9).random(3))

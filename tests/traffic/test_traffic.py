@@ -1,0 +1,230 @@
+"""Unit tests for flows, routing, and the latency model."""
+
+import numpy as np
+import pytest
+
+from dcrobot.network import CableKind, LinkState
+from dcrobot.topology import build_fattree, build_leafspine
+from dcrobot.traffic import (
+    EcmpRouter,
+    Flow,
+    FlowGenerator,
+    LatencyModel,
+    LatencyParams,
+    NoRouteError,
+    percentile,
+)
+
+
+@pytest.fixture
+def topo():
+    return build_leafspine(leaves=4, spines=2, uplinks_per_pair=1,
+                           rng=np.random.default_rng(0))
+
+
+@pytest.fixture
+def router(topo):
+    return EcmpRouter(topo.fabric)
+
+
+def leaves(topo):
+    from dcrobot.network import SwitchRole
+    return topo.switches(SwitchRole.LEAF)
+
+
+# -- flows -----------------------------------------------------------------
+
+def test_flow_validation():
+    with pytest.raises(ValueError):
+        Flow(0, "a", "a", 100)
+    with pytest.raises(ValueError):
+        Flow(0, "a", "b", 0)
+
+
+def test_flow_generator_distinct_endpoints():
+    gen = FlowGenerator(["a", "b", "c"], rng=np.random.default_rng(1))
+    for flow in gen.sample_batch(200):
+        assert flow.src != flow.dst
+        assert flow.size_bytes >= 64
+
+
+def test_flow_generator_size_mix_is_heavy_tailed():
+    gen = FlowGenerator(["a", "b"], rng=np.random.default_rng(2))
+    sizes = [flow.size_bytes for flow in gen.sample_batch(2000)]
+    assert np.median(sizes) < 100e3      # mice dominate
+    assert max(sizes) > 1e6              # elephants exist
+
+
+def test_flow_generator_validation():
+    with pytest.raises(ValueError):
+        FlowGenerator(["only-one"])
+    gen = FlowGenerator(["a", "b"])
+    with pytest.raises(ValueError):
+        gen.sample_batch(-1)
+
+
+# -- routing ---------------------------------------------------------------
+
+def test_leafspine_paths_have_two_hops(topo, router):
+    src, dst = leaves(topo)[:2]
+    paths = router.equal_cost_paths(src, dst)
+    assert len(paths) == 2  # one via each spine
+    for path in paths:
+        assert len(path) == 3  # leaf -> spine -> leaf
+
+
+def test_route_returns_links(topo, router):
+    src, dst = leaves(topo)[:2]
+    path = router.route(src, dst, flow_hash=0)
+    assert len(path) == 2
+    assert path[0].operational
+
+
+def test_flow_hash_spreads_over_equal_paths(topo, router):
+    src, dst = leaves(topo)[:2]
+    spines_used = {router.route(src, dst, flow_hash=h)[0].endpoint_ids[1]
+                   for h in range(8)}
+    assert len(spines_used) == 2
+
+
+def test_failed_link_removed_from_routing(topo, router):
+    src, dst = leaves(topo)[:2]
+    all_paths = router.equal_cost_paths(src, dst)
+    assert len(all_paths) == 2
+    # Kill all uplinks of one spine from src.
+    spine = all_paths[0][1]
+    for link in topo.fabric.links_of(src):
+        if spine in link.endpoint_ids:
+            link.set_state(1.0, LinkState.DOWN)
+    router.invalidate()
+    remaining = router.equal_cost_paths(src, dst)
+    assert len(remaining) == 1
+    assert remaining[0][1] != spine
+
+
+def test_no_route_when_isolated(topo, router):
+    src, dst = leaves(topo)[:2]
+    for link in topo.fabric.links_of(src):
+        link.set_state(1.0, LinkState.DOWN)
+    router.invalidate()
+    assert not router.has_route(src, dst)
+    with pytest.raises(NoRouteError):
+        router.route(src, dst)
+
+
+def test_drain_removes_link_without_failure(topo, router):
+    src, dst = leaves(topo)[:2]
+    target = router.route(src, dst, flow_hash=0)[0]
+    router.drain(target.id)
+    assert target.operational  # physically fine
+    for h in range(8):
+        path = router.route(src, dst, flow_hash=h)
+        assert target.id not in [link.id for link in path]
+    router.undrain(target.id)
+    assert target.id in {link.id for h in range(8)
+                         for link in router.route(src, dst, flow_hash=h)}
+
+
+def test_cache_invalidation_needed_for_fresh_view(topo, router):
+    src, dst = leaves(topo)[:2]
+    router.equal_cost_paths(src, dst)
+    for link in topo.fabric.links_of(src):
+        link.set_state(1.0, LinkState.DOWN)
+    # Stale cache still answers; invalidate() refreshes.
+    assert router.has_route(src, dst)
+    router.invalidate()
+    assert not router.has_route(src, dst)
+
+
+def test_connectivity_fraction(topo, router):
+    endpoints = leaves(topo)
+    assert router.connectivity_fraction(endpoints) == 1.0
+    for link in topo.fabric.links_of(endpoints[0]):
+        link.set_state(1.0, LinkState.DOWN)
+    router.invalidate()
+    fraction = router.connectivity_fraction(endpoints)
+    assert fraction == pytest.approx(3 / 6)
+
+
+def test_parallel_links_prefer_lowest_loss():
+    topo = build_leafspine(leaves=2, spines=1, uplinks_per_pair=2,
+                           rng=np.random.default_rng(0))
+    router = EcmpRouter(topo.fabric)
+    src, dst = topo.switches()[1], topo.switches()[2]
+    src_links = topo.fabric.links_of(src)
+    src_links[0].loss_rate = 0.01
+    path = router.route(src, dst)
+    assert path[0].loss_rate == 0.0
+
+
+def test_fattree_any_pair_routable():
+    topo = build_fattree(k=4, rng=np.random.default_rng(0))
+    router = EcmpRouter(topo.fabric)
+    from dcrobot.network import SwitchRole
+    tors = topo.switches(SwitchRole.TOR)
+    assert router.has_route(tors[0], tors[-1])
+
+
+# -- latency -----------------------------------------------------------------
+
+def test_base_latency_components(topo, router):
+    src, dst = leaves(topo)[:2]
+    path = router.route(src, dst)
+    flow = Flow(0, src, dst, size_bytes=150_000)
+    model = LatencyModel(rng=np.random.default_rng(0))
+    base = model.base_latency(flow, path)
+    serialization = 150_000 * 8 / (path[0].capacity_gbps * 1e9)
+    assert base > serialization
+    assert base < serialization + 1e-3
+
+
+def test_lossless_path_fct_equals_base(topo, router):
+    src, dst = leaves(topo)[:2]
+    path = router.route(src, dst)
+    for link in path:
+        link.loss_rate = 0.0
+    flow = Flow(0, src, dst, size_bytes=10_000)
+    model = LatencyModel(rng=np.random.default_rng(0))
+    assert model.sample_fct(flow, path) == model.base_latency(flow, path)
+
+
+def test_lossy_path_inflates_tail(topo, router):
+    src, dst = leaves(topo)[:2]
+    path = router.route(src, dst)
+    flow = Flow(0, src, dst, size_bytes=100_000)
+    model = LatencyModel(rng=np.random.default_rng(3))
+    clean = [model.sample_fct(flow, path) for _ in range(300)]
+    for link in path:
+        link.loss_rate = 0.01
+    lossy = [model.sample_fct(flow, path) for _ in range(300)]
+    assert percentile(lossy, 99) > percentile(clean, 99) * 5
+
+
+def test_path_loss_aggregates_over_hops(topo, router):
+    src, dst = leaves(topo)[:2]
+    path = router.route(src, dst)
+    model = LatencyModel()
+    for link in path:
+        link.loss_rate = 0.1
+    assert model.path_loss_rate(path) == pytest.approx(1 - 0.9 ** 2)
+
+
+def test_latency_params_validation():
+    with pytest.raises(ValueError):
+        LatencyParams(retransmission_timeout_seconds=0.0)
+    with pytest.raises(ValueError):
+        LatencyParams(max_retries_per_packet=-1)
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 150)
+    assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+
+def test_empty_path_rejected():
+    model = LatencyModel()
+    with pytest.raises(ValueError):
+        model.sample_fct(Flow(0, "a", "b", 100), [])

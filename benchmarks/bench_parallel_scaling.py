@@ -1,0 +1,75 @@
+"""Bench — parallel trial-execution engine scaling (1/2/4/8 workers).
+
+Runs a fixed batch of CPU-bound world trials through
+``dcrobot.experiments.parallel.run_trials`` at increasing worker
+counts and reports the speedup over the serial run.  On a multi-core
+host the 4-worker run must be at least 2x faster than serial; on
+smaller hosts the shape assertion degrades gracefully (a process pool
+cannot beat the core count).
+"""
+
+import os
+import time
+
+import pytest
+
+from conftest import run_once
+
+from dcrobot.experiments.parallel import Execution, run_trials
+from dcrobot.experiments.runner import WorldConfig, world_trial
+
+WORKER_COUNTS = (1, 2, 4, 8)
+TRIAL_POINTS = 8
+
+
+def _param_sets():
+    """A batch of small but genuinely CPU-bound closed-loop worlds."""
+    return [
+        {"label": f"world{index}", "seed": index,
+         "config": WorldConfig(horizon_days=4.0, seed=index,
+                               failure_scale=4.0)}
+        for index in range(TRIAL_POINTS)
+    ]
+
+
+def _timed_run(jobs):
+    started = time.perf_counter()
+    groups = run_trials("bench_scaling", world_trial, _param_sets(),
+                        base_seed=0, execution=Execution(jobs=jobs))
+    return time.perf_counter() - started, groups
+
+
+def test_parallel_scaling(benchmark):
+    params = _param_sets()
+    serial_seconds, serial_groups = _timed_run(jobs=1)
+
+    timings = {1: serial_seconds}
+    groups_by_jobs = {1: serial_groups}
+    for jobs in WORKER_COUNTS[1:]:
+        timings[jobs], groups_by_jobs[jobs] = _timed_run(jobs)
+
+    # The benchmark record tracks the 4-worker configuration.
+    run_once(benchmark, run_trials, "bench_scaling", world_trial,
+             params, base_seed=0, execution=Execution(jobs=4))
+
+    print()
+    print(f"{'workers':>8}  {'seconds':>8}  {'speedup':>8}")
+    for jobs in WORKER_COUNTS:
+        print(f"{jobs:>8}  {timings[jobs]:>8.2f}  "
+              f"{serial_seconds / timings[jobs]:>8.2f}x")
+
+    # Shape 1: worker count never changes the results, only the clock.
+    serial_values = [group.value for group in serial_groups]
+    for jobs in WORKER_COUNTS[1:]:
+        assert [group.value
+                for group in groups_by_jobs[jobs]] == serial_values
+
+    # Shape 2: on a multi-core host, fan-out must actually pay.
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        speedup = serial_seconds / timings[4]
+        assert speedup >= 2.0, (
+            f"4-worker speedup {speedup:.2f}x < 2x on {cores} cores")
+    else:
+        pytest.skip(f"only {cores} CPU core(s): speedup assertion "
+                    f"needs >= 4 (scaling table above still recorded)")

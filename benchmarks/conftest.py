@@ -7,9 +7,6 @@ qualitative *shape* the paper claims, so a bench run doubles as a
 reproduction check.
 """
 
-import pytest
-
-
 def run_once(benchmark, func, *args, **kwargs):
     """Run ``func`` exactly once under the benchmark timer."""
     return benchmark.pedantic(func, args=args, kwargs=kwargs,

@@ -7,7 +7,7 @@ to those functions.  Run one from the command line::
     python -m dcrobot.experiments e1 [--full] [--seed N]
 """
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from dcrobot.experiments import (
     e01_service_window,
@@ -23,12 +23,20 @@ from dcrobot.experiments import (
     e11_mobility_scopes,
     e12_gpu_cluster,
 )
+from dcrobot.experiments.parallel import (
+    Execution,
+    TrialCache,
+    run_trials,
+)
 from dcrobot.experiments.result import ExperimentResult
 from dcrobot.experiments.runner import (
     RunResult,
     WorldConfig,
+    WorldSummary,
     build_world,
     run_world,
+    summarize_world,
+    world_trial,
 )
 
 _MODULES = (
@@ -59,15 +67,22 @@ DESCRIPTIONS: Dict[str, tuple] = {
 
 
 def run_experiment(experiment_id: str, quick: bool = True,
-                   seed: int = 0) -> ExperimentResult:
-    """Run one experiment by id (``e1`` .. ``e12``)."""
+                   seed: int = 0,
+                   execution: Optional[Execution] = None,
+                   ) -> ExperimentResult:
+    """Run one experiment by id (``e1`` .. ``e12``).
+
+    ``execution`` selects worker count, Monte-Carlo replicates, and
+    the trial cache (see :class:`dcrobot.experiments.parallel.Execution`);
+    ``None`` keeps the serial, uncached default.
+    """
     try:
         runner = REGISTRY[experiment_id.lower()]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; "
             f"available: {sorted(REGISTRY)}") from None
-    return runner(quick=quick, seed=seed)
+    return runner(quick=quick, seed=seed, execution=execution)
 
 
 __all__ = [
@@ -75,8 +90,14 @@ __all__ = [
     "DESCRIPTIONS",
     "run_experiment",
     "ExperimentResult",
+    "Execution",
+    "TrialCache",
+    "run_trials",
     "WorldConfig",
+    "WorldSummary",
     "RunResult",
     "build_world",
     "run_world",
+    "summarize_world",
+    "world_trial",
 ]

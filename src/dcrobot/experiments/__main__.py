@@ -7,9 +7,14 @@ import sys
 import time
 
 from dcrobot.experiments import DESCRIPTIONS, REGISTRY, run_experiment
+from dcrobot.experiments.parallel import (
+    DEFAULT_CACHE_DIR,
+    Execution,
+    TrialCache,
+)
 
 
-def main(argv=None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m dcrobot.experiments",
         description="Reproduce the paper's experiments (E1-E12).")
@@ -19,7 +24,31 @@ def main(argv=None) -> int:
     parser.add_argument("--full", action="store_true",
                         help="full-scale run (slower, paper-grade)")
     parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for trial fan-out "
+             "(1 = serial, 0 = one per CPU; default 1)")
+    parser.add_argument(
+        "--trials", type=int, default=1, metavar="N",
+        help="Monte-Carlo replicates per trial point; tables report "
+             "across-replicate means (default 1)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every trial instead of reusing the on-disk "
+             "trial cache")
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"trial-cache location (default {DEFAULT_CACHE_DIR})")
+    return parser
+
+
+def execution_from_args(args: argparse.Namespace) -> Execution:
+    cache = None if args.no_cache else TrialCache(args.cache_dir)
+    return Execution(jobs=args.jobs, trials=args.trials, cache=cache)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
 
     if args.experiment == "list":
         for experiment_id in sorted(REGISTRY):
@@ -27,6 +56,13 @@ def main(argv=None) -> int:
             print(f"{experiment_id:>4}  {title}  [{anchor}]")
         return 0
 
+    execution = execution_from_args(args)
+    try:
+        execution.resolved_jobs()
+        execution.resolved_trials()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     targets = (sorted(REGISTRY) if args.experiment == "all"
                else [args.experiment])
     for experiment_id in targets:
@@ -34,9 +70,10 @@ def main(argv=None) -> int:
         try:
             result = run_experiment(experiment_id,
                                     quick=not args.full,
-                                    seed=args.seed)
+                                    seed=args.seed,
+                                    execution=execution)
         except KeyError as error:
-            print(error, file=sys.stderr)
+            print(f"error: {error.args[0]}", file=sys.stderr)
             return 2
         print(result.render())
         print(f"[{experiment_id} finished in "

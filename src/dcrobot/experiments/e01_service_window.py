@@ -12,9 +12,12 @@ availability.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from dcrobot.core.automation import AutomationLevel
+from dcrobot.experiments.parallel import Execution, run_trials
 from dcrobot.experiments.result import ExperimentResult
-from dcrobot.experiments.runner import WorldConfig, run_world
+from dcrobot.experiments.runner import WorldConfig, world_trial
 from dcrobot.metrics.mttr import format_duration
 from dcrobot.metrics.report import Table
 
@@ -23,7 +26,8 @@ TITLE = "Service window: human ticketing vs self-maintaining network"
 PAPER_ANCHOR = "§2: 'from hours and days to literally minutes'"
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0,
+        execution: Optional[Execution] = None) -> ExperimentResult:
     horizon_days = 20.0 if quick else 90.0
     failure_scale = 3.0
     result = ExperimentResult(EXPERIMENT_ID, TITLE, PAPER_ANCHOR)
@@ -32,30 +36,39 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
          "availability", "nines"],
         title="Repair service window, identical fault environment")
 
-    ratios = {}
-    for label, level in (
+    param_sets = [
+        {"label": label, "seed": seed,
+         "config": WorldConfig(horizon_days=horizon_days,
+                               failure_scale=failure_scale,
+                               level=level, seed=seed)}
+        for label, level in (
             ("L0 human ticketing", AutomationLevel.L0_NO_AUTOMATION),
-            ("L3 self-maintaining", AutomationLevel.L3_HIGH_AUTOMATION)):
-        run_result = run_world(WorldConfig(
-            horizon_days=horizon_days, failure_scale=failure_scale,
-            level=level, seed=seed))
-        stats = run_result.repair_stats()
-        availability = run_result.availability()
+            ("L3 self-maintaining", AutomationLevel.L3_HIGH_AUTOMATION))
+    ]
+    groups = run_trials(EXPERIMENT_ID, world_trial, param_sets,
+                        base_seed=seed, execution=execution,
+                        result=result)
+
+    ratios = {}
+    for group in groups:
+        label = group.params["label"]
+        summary = group.value
+        stats = summary.repair_stats
         if stats is None:
             table.add_row(label, 0, "-", "-", "-",
-                          f"{availability.mean:.6f}",
-                          f"{availability.nines:.2f}")
+                          f"{summary.availability_mean:.6f}",
+                          f"{summary.availability_nines:.2f}")
             continue
         ratios[label] = stats.p50
         table.add_row(label, stats.count,
                       format_duration(stats.p50),
                       format_duration(stats.p95),
                       format_duration(stats.max),
-                      f"{availability.mean:.6f}",
-                      f"{availability.nines:.2f}")
+                      f"{summary.availability_mean:.6f}",
+                      f"{summary.availability_nines:.2f}")
         result.add_series(
             f"ttr_cdf_{label.split()[0]}",
-            _cdf_points(run_result.controller.repair_times()))
+            _cdf_points(summary.repair_times))
 
     result.add_table(table)
     if len(ratios) == 2:

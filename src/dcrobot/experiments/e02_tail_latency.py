@@ -12,9 +12,12 @@ of time the fabric still had a flapping link.
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 import numpy as np
 
 from dcrobot.core.automation import AutomationLevel
+from dcrobot.experiments.parallel import Execution, run_trials
 from dcrobot.experiments.result import ExperimentResult
 from dcrobot.experiments.runner import DAY, WorldConfig, build_world
 from dcrobot.metrics.report import Table
@@ -33,12 +36,72 @@ _MODES = (
     ("L3 robots", "reactive", AutomationLevel.L3_HIGH_AUTOMATION),
 )
 
+_FAULT_TIME = 0.5 * DAY
+_SAMPLE_EVERY = 1800.0
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+
+def _trial(params: Dict, seed: int) -> Dict:
+    """One world: contaminate a link, sample flows, report FCT tails."""
+    horizon_days = params["horizon_days"]
+    flows_per_sample = params["flows_per_sample"]
+    world = build_world(WorldConfig(
+        horizon_days=horizon_days, seed=seed, level=params["level"],
+        policy=params["policy"], failure_scale=0.0,
+        dust_rate_per_day=0.0, aging_rate_per_day=0.0))
+    sim = world.sim
+    fabric = world.fabric
+    tors = world.topology.switches(SwitchRole.TOR)
+    router = EcmpRouter(fabric)
+    generator = FlowGenerator(tors,
+                              rng=np.random.default_rng(seed + 40))
+    latency = LatencyModel(rng=np.random.default_rng(seed + 41))
+    victim = next(link for link in fabric.links.values()
+                  if link.cable.cleanable)
+    samples = []
+    lossy_samples = [0, 0]  # [lossy, total]
+
+    def contaminate():
+        # Calibrated dirt: firmly marginal (flapping), never
+        # hard-down on its own — the gray-failure regime.
+        yield sim.timeout(_FAULT_TIME)
+        victim.cable.end_a.add_contamination(0.75, cores=[0])
+        world.health.evaluate_link(victim, sim.now)
+
+    def sample_flows():
+        while True:
+            yield sim.timeout(_SAMPLE_EVERY)
+            if sim.now < _FAULT_TIME:
+                continue
+            router.invalidate()
+            lossy_samples[1] += 1
+            if any(link.loss_rate > 1e-5 and link.operational
+                   for link in fabric.links.values()):
+                lossy_samples[0] += 1
+            for flow in generator.sample_batch(flows_per_sample):
+                try:
+                    path = router.route(flow.src, flow.dst,
+                                        flow_hash=flow.flow_id)
+                except NoRouteError:
+                    continue
+                samples.append(latency.sample_fct(flow, path))
+
+    sim.process(contaminate())
+    sim.process(sample_flows())
+    sim.run(until=horizon_days * DAY)
+
+    fct = np.asarray(samples)
+    return {
+        "p50_ms": float(np.percentile(fct, 50)) * 1e3,
+        "p99_ms": float(np.percentile(fct, 99)) * 1e3,
+        "lossy_fraction": (lossy_samples[0] / lossy_samples[1]
+                           if lossy_samples[1] else 0.0),
+    }
+
+
+def run(quick: bool = True, seed: int = 0,
+        execution: Optional[Execution] = None) -> ExperimentResult:
     horizon_days = 6.0 if quick else 21.0
-    sample_every = 1800.0
     flows_per_sample = 60 if quick else 150
-    fault_time = 0.5 * DAY
 
     result = ExperimentResult(EXPERIMENT_ID, TITLE, PAPER_ANCHOR)
     table = Table(
@@ -46,58 +109,21 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
          "lossy-link time %"],
         title="Flow completion times while a gray failure is live")
 
-    for label, policy, level in _MODES:
-        world = build_world(WorldConfig(
-            horizon_days=horizon_days, seed=seed, level=level,
-            policy=policy, failure_scale=0.0, dust_rate_per_day=0.0,
-            aging_rate_per_day=0.0))
-        sim = world.sim
-        fabric = world.fabric
-        tors = world.topology.switches(SwitchRole.TOR)
-        router = EcmpRouter(fabric)
-        generator = FlowGenerator(tors,
-                                  rng=np.random.default_rng(seed + 40))
-        latency = LatencyModel(rng=np.random.default_rng(seed + 41))
-        victim = next(link for link in fabric.links.values()
-                      if link.cable.cleanable)
-        samples = []
-        lossy_samples = [0, 0]  # [lossy, total]
+    param_sets = [
+        {"label": label, "policy": policy, "level": level,
+         "seed": seed, "horizon_days": horizon_days,
+         "flows_per_sample": flows_per_sample}
+        for label, policy, level in _MODES
+    ]
+    groups = run_trials(EXPERIMENT_ID, _trial, param_sets,
+                        base_seed=seed, execution=execution,
+                        result=result)
 
-        def contaminate(sim=sim, world=world, victim=victim):
-            # Calibrated dirt: firmly marginal (flapping), never
-            # hard-down on its own — the gray-failure regime.
-            yield sim.timeout(fault_time)
-            victim.cable.end_a.add_contamination(0.75, cores=[0])
-            world.health.evaluate_link(victim, sim.now)
-
-        def sample_flows(sim=sim, router=router, samples=samples,
-                         lossy=lossy_samples, fabric=fabric):
-            while True:
-                yield sim.timeout(sample_every)
-                if sim.now < fault_time:
-                    continue
-                router.invalidate()
-                lossy[1] += 1
-                if any(link.loss_rate > 1e-5 and link.operational
-                       for link in fabric.links.values()):
-                    lossy[0] += 1
-                for flow in generator.sample_batch(flows_per_sample):
-                    try:
-                        path = router.route(flow.src, flow.dst,
-                                            flow_hash=flow.flow_id)
-                    except NoRouteError:
-                        continue
-                    samples.append(latency.sample_fct(flow, path))
-
-        sim.process(contaminate())
-        sim.process(sample_flows())
-        sim.run(until=horizon_days * DAY)
-
-        fct = np.asarray(samples)
-        p50 = float(np.percentile(fct, 50)) * 1e3
-        p99 = float(np.percentile(fct, 99)) * 1e3
-        lossy_fraction = (lossy_samples[0] / lossy_samples[1]
-                          if lossy_samples[1] else 0.0)
+    for group in groups:
+        label = group.params["label"]
+        p50 = group.mean("p50_ms")
+        p99 = group.mean("p99_ms")
+        lossy_fraction = group.mean("lossy_fraction")
         table.add_row(label, f"{p50:.3f}", f"{p99:.3f}",
                       f"{p99 / max(p50, 1e-9):.1f}",
                       f"{100 * lossy_fraction:.1f}")

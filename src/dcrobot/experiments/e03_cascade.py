@@ -16,8 +16,11 @@ Two parts:
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 import numpy as np
 
+from dcrobot.experiments.parallel import Execution, run_trials
 from dcrobot.experiments.result import ExperimentResult
 from dcrobot.failures.cascade import (
     HUMAN_HANDS,
@@ -35,6 +38,8 @@ from dcrobot.network.switchgear import SwitchRole
 EXPERIMENT_ID = "e3"
 TITLE = "Repair amplification vs bundle density and contact profile"
 PAPER_ANCHOR = "§1/§2: cascading failures, repair amplification"
+
+_PROFILES = {"human": HUMAN_HANDS, "robot": ROBOT_GRIPPER}
 
 
 def _bundle_world(density: int, seed: int):
@@ -56,7 +61,50 @@ def _bundle_world(density: int, seed: int):
     return fabric, links, health, cascade
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def _contact_trial(params: Dict, seed: int) -> Dict:
+    """Repeated reseat contacts on one bundle, one contact profile."""
+    density = params["density"]
+    repairs = params["repairs"]
+    profile = _PROFILES[params["profile"]]
+    _fabric, links, _health, cascade = _bundle_world(density, seed)
+    damaged = 0
+    secondary = 0
+    for index in range(repairs):
+        report = cascade.touch(links[index % density], profile,
+                               now=float(index) * 60.0)
+        secondary += report.secondary_failures
+        damaged += len(report.damaged_links)
+        for link in links:  # cleared so damage doesn't saturate
+            link.cable.damaged = False
+    return {
+        "factor": 1.0 + secondary / repairs,
+        "damaged_per_k": 1000 * damaged / repairs,
+    }
+
+
+def _drain_trial(params: Dict, seed: int) -> Dict:
+    """Touch rounds with/without impact-aware draining of announced
+    contacts; count disturbances that hit undrained routed links."""
+    from dcrobot.traffic.routing import EcmpRouter
+
+    drain = params["drain"]
+    rounds = params["rounds"]
+    fabric, links, _health, cascade = _bundle_world(16, seed)
+    EcmpRouter(fabric)
+    hits = 0
+    for index in range(rounds):
+        target = links[index % len(links)]
+        announced = cascade.predict_touched(target, HUMAN_HANDS)
+        drained = set([target.id] + announced) if drain else set()
+        report = cascade.touch(target, HUMAN_HANDS,
+                               now=float(index) * 600.0)
+        hits += sum(1 for link_id in report.disturbed_links
+                    if link_id not in drained)
+    return {"hits_per_100": 100 * hits / rounds}
+
+
+def run(quick: bool = True, seed: int = 0,
+        execution: Optional[Execution] = None) -> ExperimentResult:
     repairs = 200 if quick else 1000
     densities = (4, 8, 16, 24)
 
@@ -66,26 +114,29 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
          "human damaged/1k", "robot damaged/1k"],
         title=f"Amplification factor over {repairs} reseat contacts")
 
+    param_sets = [
+        {"label": f"{profile}@{density}", "density": density,
+         "profile": profile, "repairs": repairs,
+         "seed": seed + density}
+        for density in densities
+        for profile in ("human", "robot")
+    ]
+    groups = run_trials(EXPERIMENT_ID, _contact_trial, param_sets,
+                        base_seed=seed, execution=execution,
+                        result=result)
+    by_key = {(group.params["density"], group.params["profile"]): group
+              for group in groups}
+
     human_series, robot_series = [], []
     for density in densities:
         row = [density]
-        for profile, series in ((HUMAN_HANDS, human_series),
-                                (ROBOT_GRIPPER, robot_series)):
-            _fabric, links, _health, cascade = _bundle_world(
-                density, seed + density)
-            damaged = 0
-            secondary = 0
-            for index in range(repairs):
-                report = cascade.touch(links[index % density], profile,
-                                       now=float(index) * 60.0)
-                secondary += report.secondary_failures
-                damaged += len(report.damaged_links)
-                for link in links:  # cleared so damage doesn't saturate
-                    link.cable.damaged = False
-            factor = 1.0 + secondary / repairs
+        for profile, series in (("human", human_series),
+                                ("robot", robot_series)):
+            group = by_key[(density, profile)]
+            factor = group.mean("factor")
             series.append((density, factor))
             row.append(f"{factor:.3f}")
-            row.append(f"{1000 * damaged / repairs:.2f}")
+            row.append(f"{group.mean('damaged_per_k'):.2f}")
         # Interleave columns: human ampl, robot ampl, human dmg, robot dmg.
         table.add_row(row[0], row[1], row[3], row[2], row[4])
 
@@ -98,23 +149,19 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         ["scheduling", "disturbances hitting routed traffic (per 100)"],
         title="Impact-aware drain of announced touches (human contacts, "
               "density 16)")
-    for label, drain in (("naive (no drain)", False),
-                         ("impact-aware (drain announced)", True)):
-        _fabric, links, health, cascade = _bundle_world(16, seed + 99)
-        from dcrobot.traffic.routing import EcmpRouter
-
-        router = EcmpRouter(_fabric)
-        hits = 0
-        rounds = 100 if quick else 400
-        for index in range(rounds):
-            target = links[index % len(links)]
-            announced = cascade.predict_touched(target, HUMAN_HANDS)
-            drained = set([target.id] + announced) if drain else set()
-            report = cascade.touch(target, HUMAN_HANDS,
-                                   now=float(index) * 600.0)
-            hits += sum(1 for link_id in report.disturbed_links
-                        if link_id not in drained)
-        drain_table.add_row(label, f"{100 * hits / rounds:.1f}")
+    rounds = 100 if quick else 400
+    drain_params = [
+        {"label": label, "drain": drain, "rounds": rounds,
+         "seed": seed + 99}
+        for label, drain in (("naive (no drain)", False),
+                             ("impact-aware (drain announced)", True))
+    ]
+    drain_groups = run_trials(EXPERIMENT_ID, _drain_trial, drain_params,
+                              base_seed=seed + 1, execution=execution,
+                              result=result)
+    for group in drain_groups:
+        drain_table.add_row(group.params["label"],
+                            f"{group.mean('hits_per_100'):.1f}")
     result.add_table(drain_table)
     result.note("robot gripper amplification stays ~1.0 at every "
                 "density; human amplification grows with loom density")

@@ -16,7 +16,10 @@ and power).
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 from dcrobot.core.automation import AutomationLevel
+from dcrobot.experiments.parallel import Execution, run_trials
 from dcrobot.experiments.result import ExperimentResult
 from dcrobot.experiments.runner import DAY, WorldConfig, build_world
 from dcrobot.metrics.report import Table
@@ -26,6 +29,11 @@ from dcrobot.topology.leafspine import build_leafspine
 EXPERIMENT_ID = "e4"
 TITLE = "Redundancy needed for an availability target, by maintenance mode"
 PAPER_ANCHOR = "§2: right-provisioning redundant hardware"
+
+_SAMPLE_EVERY = 1800.0
+
+_LEVELS = {"L0": AutomationLevel.L0_NO_AUTOMATION,
+           "L3": AutomationLevel.L3_HIGH_AUTOMATION}
 
 
 def _sla_fraction(world, horizon_seconds: float, sample_every: float):
@@ -53,9 +61,24 @@ def _sla_fraction(world, horizon_seconds: float, sample_every: float):
     return compliant[0] / max(compliant[1], 1)
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def _trial(params: Dict, seed: int) -> Dict:
+    """One (redundancy, level) leaf–spine world with SLA sampling."""
+    horizon_days = params["horizon_days"]
+    world = build_world(WorldConfig(
+        topology_builder=build_leafspine,
+        topology_kwargs={"leaves": 6, "spines": 3,
+                         "uplinks_per_pair": params["r"]},
+        horizon_days=horizon_days, seed=seed,
+        failure_scale=params["failure_scale"],
+        level=_LEVELS[params["level"]]))
+    fraction = _sla_fraction(world, horizon_days * DAY, _SAMPLE_EVERY)
+    return {"fraction": fraction,
+            "link_count": world.topology.link_count}
+
+
+def run(quick: bool = True, seed: int = 0,
+        execution: Optional[Execution] = None) -> ExperimentResult:
     horizon_days = 15.0 if quick else 60.0
-    sample_every = 1800.0
     redundancies = (1, 2, 3)
     failure_scale = 6.0  # a stressed fabric makes the gap visible
 
@@ -65,21 +88,27 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
          "L3 SLA avail."],
         title="Full-path-diversity availability vs redundancy")
 
+    param_sets = [
+        {"label": f"{level}@r{r}", "r": r, "level": level,
+         "seed": seed + r, "horizon_days": horizon_days,
+         "failure_scale": failure_scale}
+        for r in redundancies
+        for level in ("L0", "L3")
+    ]
+    groups = run_trials(EXPERIMENT_ID, _trial, param_sets,
+                        base_seed=seed, execution=execution,
+                        result=result)
+    by_key = {(group.params["r"], group.params["level"]): group
+              for group in groups}
+
     series = {"L0": [], "L3": []}
     for r in redundancies:
         row = [r, None]
-        for label, level in (("L0", AutomationLevel.L0_NO_AUTOMATION),
-                             ("L3", AutomationLevel.L3_HIGH_AUTOMATION)):
-            world = build_world(WorldConfig(
-                topology_builder=build_leafspine,
-                topology_kwargs={"leaves": 6, "spines": 3,
-                                 "uplinks_per_pair": r},
-                horizon_days=horizon_days, seed=seed + r,
-                failure_scale=failure_scale, level=level))
-            fraction = _sla_fraction(world, horizon_days * DAY,
-                                     sample_every)
+        for label in ("L0", "L3"):
+            group = by_key[(r, label)]
+            fraction = group.mean("fraction")
             series[label].append((r, fraction))
-            row[1] = world.topology.link_count
+            row[1] = group.value["link_count"]
             row.append(f"{fraction:.5f}")
         table.add_row(*row)
 

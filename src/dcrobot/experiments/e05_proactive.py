@@ -15,9 +15,12 @@ which the quiet-window scheduler makes nearly free.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from dcrobot.core.automation import AutomationLevel
+from dcrobot.experiments.parallel import Execution, run_trials
 from dcrobot.experiments.result import ExperimentResult
-from dcrobot.experiments.runner import WorldConfig, run_world
+from dcrobot.experiments.runner import WorldConfig, world_trial
 from dcrobot.metrics.report import Table
 
 EXPERIMENT_ID = "e5"
@@ -25,7 +28,8 @@ TITLE = "Proactive reseat sweeps vs reactive-only maintenance"
 PAPER_ANCHOR = "§4: proactively reseat all transceivers on that switch"
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0,
+        execution: Optional[Execution] = None) -> ExperimentResult:
     horizon_days = 20.0 if quick else 75.0
     # Oxidation dominates: the fault class sweeps can actually pre-empt.
     aging_rate = 0.02
@@ -42,7 +46,7 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
          "availability", "robot util %"],
         title="Proactive sweeps pre-empt oxidation failures")
 
-    incidents_series = []
+    param_sets = []
     for label, policy, trigger in modes:
         config = WorldConfig(
             horizon_days=horizon_days, seed=seed,
@@ -51,22 +55,21 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             aging_rate_per_day=aging_rate)
         if trigger is not None:
             config.proactive_trigger = trigger
-        run_result = run_world(config)
-        controller = run_result.controller
-        incidents = (len(controller.closed_incidents)
-                     + len(controller.unresolved_incidents)
-                     + len(controller.open_incidents))
-        availability = run_result.availability()
-        robot_seconds = run_result.robot_busy_seconds()
-        robot_capacity = (run_result.robot_count()
-                          * run_result.horizon_seconds)
-        utilization = (100 * robot_seconds / robot_capacity
-                       if robot_capacity else 0.0)
-        table.add_row(label, incidents,
-                      len(controller.proactive_outcomes),
-                      f"{availability.mean:.6f}",
-                      f"{utilization:.2f}")
-        incidents_series.append((trigger or 0, incidents))
+        param_sets.append({"label": label, "trigger": trigger,
+                           "seed": seed, "config": config})
+    groups = run_trials(EXPERIMENT_ID, world_trial, param_sets,
+                        base_seed=seed, execution=execution,
+                        result=result)
+
+    incidents_series = []
+    for group in groups:
+        summary = group.value
+        table.add_row(group.params["label"], summary.incidents,
+                      summary.proactive_ops,
+                      f"{summary.availability_mean:.6f}",
+                      f"{summary.robot_utilization_pct:.2f}")
+        incidents_series.append((group.params["trigger"] or 0,
+                                 summary.incidents))
 
     result.add_table(table)
     result.add_series("incidents_vs_trigger", incidents_series)

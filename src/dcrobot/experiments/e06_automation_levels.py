@@ -12,9 +12,12 @@ taxonomy predicts.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from dcrobot.core.automation import AutomationLevel
+from dcrobot.experiments.parallel import Execution, run_trials
 from dcrobot.experiments.result import ExperimentResult
-from dcrobot.experiments.runner import WorldConfig, run_world
+from dcrobot.experiments.runner import WorldConfig, world_trial
 from dcrobot.metrics.mttr import format_duration
 from dcrobot.metrics.report import Table
 
@@ -31,7 +34,8 @@ _LABELS = {
 }
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0,
+        execution: Optional[Execution] = None) -> ExperimentResult:
     import numpy as np
 
     from dcrobot.experiments.runner import DAY, build_world
@@ -56,38 +60,34 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         FailureRates().scaled(failure_scale),
         rng=np.random.default_rng(seed + 100))
 
+    param_sets = [
+        {"label": _LABELS[level], "level": int(level), "seed": seed,
+         "config": WorldConfig(horizon_days=horizon_days, seed=seed,
+                               level=level, failure_scale=0.0,
+                               fault_trace=trace)}
+        for level in AutomationLevel
+    ]
+    groups = run_trials(EXPERIMENT_ID, world_trial, param_sets,
+                        base_seed=seed, execution=execution,
+                        result=result)
+
     mttr_series, cost_series = [], []
-    for level in AutomationLevel:
-        run_result = run_world(WorldConfig(
-            horizon_days=horizon_days, seed=seed, level=level,
-            failure_scale=0.0, fault_trace=trace))
-        controller = run_result.controller
-        stats = run_result.repair_stats()
-        availability = run_result.availability()
-        amplification = run_result.amplification()
-        cost = run_result.cost()
-        tech_hours = (run_result.humans.labor_seconds / 3600.0
-                      if run_result.humans else 0.0)
-        tech_hours += controller.supervision_seconds / 3600.0
-        robot_capacity = (run_result.robot_count()
-                          * run_result.horizon_seconds)
-        utilization = (100 * run_result.robot_busy_seconds()
-                       / robot_capacity if robot_capacity else 0.0)
-        incidents = (len(controller.closed_incidents)
-                     + len(controller.unresolved_incidents)
-                     + len(controller.open_incidents))
+    for group in groups:
+        summary = group.value
+        stats = summary.repair_stats
         table.add_row(
-            _LABELS[level], incidents,
+            group.params["label"], summary.incidents,
             format_duration(stats.p50) if stats else "-",
             format_duration(stats.p95) if stats else "-",
-            f"{availability.mean:.6f}",
-            f"{amplification.amplification_factor:.2f}",
-            f"{tech_hours:.1f}",
-            f"{utilization:.2f}",
-            f"{cost.total_usd:,.0f}")
+            f"{summary.availability_mean:.6f}",
+            f"{summary.amplification_factor:.2f}",
+            f"{summary.tech_hours:.1f}",
+            f"{summary.robot_utilization_pct:.2f}",
+            f"{summary.cost_total_usd:,.0f}")
         if stats:
-            mttr_series.append((int(level), stats.p50))
-        cost_series.append((int(level), cost.total_usd))
+            mttr_series.append((group.params["level"], stats.p50))
+        cost_series.append((group.params["level"],
+                            summary.cost_total_usd))
 
     result.add_table(table)
     result.add_series("p50_ttr_by_level", mttr_series)

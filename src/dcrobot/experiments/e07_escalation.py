@@ -13,10 +13,12 @@ distribution of attempts per incident, and a ladder-order ablation
 from __future__ import annotations
 
 from collections import Counter
+from typing import Dict, Optional
 
 from dcrobot.core.actions import RepairAction
 from dcrobot.core.automation import AutomationLevel
 from dcrobot.core.escalation import EscalationConfig
+from dcrobot.experiments.parallel import Execution, run_trials
 from dcrobot.experiments.result import ExperimentResult
 from dcrobot.experiments.runner import WorldConfig, run_world
 from dcrobot.metrics.report import Table
@@ -30,6 +32,8 @@ CLEAN_FIRST = EscalationConfig(ladder=(
     RepairAction.REPLACE_TRANSCEIVER, RepairAction.REPLACE_CABLE,
     RepairAction.REPLACE_SWITCHGEAR))
 
+_LADDERS = {"reseat-first (paper)": None, "clean-first": CLEAN_FIRST}
+
 
 def _resolution_stages(controller):
     stages = Counter()
@@ -38,35 +42,64 @@ def _resolution_stages(controller):
         if not incident.attempt_history:
             continue
         final_action = incident.attempt_history[-1][1]
-        stages[final_action] += 1
+        stages[final_action.value] += 1
         attempts[incident.attempt_count] += 1
     return stages, attempts
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def _trial(params: Dict, seed: int) -> Dict:
+    """One Level-0 world; report ladder-resolution counters."""
+    run_result = run_world(WorldConfig(
+        horizon_days=params["horizon_days"], seed=seed,
+        level=AutomationLevel.L0_NO_AUTOMATION,
+        failure_scale=params["failure_scale"],
+        escalation=_LADDERS[params["ladder"]]))
+    controller = run_result.controller
+    stages, attempts = _resolution_stages(controller)
+    closed = controller.closed_incidents
+    return {
+        "stages": dict(stages),
+        "attempts": dict(attempts),
+        "closed": len(closed),
+        "mean_attempts": (sum(i.attempt_count for i in closed)
+                          / max(len(closed), 1)),
+        "labor_hours": run_result.humans.labor_seconds / 3600.0,
+    }
+
+
+def run(quick: bool = True, seed: int = 0,
+        execution: Optional[Execution] = None) -> ExperimentResult:
     horizon_days = 30.0 if quick else 120.0
     failure_scale = 4.0
 
     result = ExperimentResult(EXPERIMENT_ID, TITLE, PAPER_ANCHOR)
 
-    run_result = run_world(WorldConfig(
-        horizon_days=horizon_days, seed=seed,
-        level=AutomationLevel.L0_NO_AUTOMATION,
-        failure_scale=failure_scale))
-    controller = run_result.controller
-    stages, attempts = _resolution_stages(controller)
+    param_sets = [
+        {"label": label, "ladder": label, "seed": seed,
+         "horizon_days": horizon_days, "failure_scale": failure_scale}
+        for label in _LADDERS
+    ]
+    groups = run_trials(EXPERIMENT_ID, _trial, param_sets,
+                        base_seed=seed, execution=execution,
+                        result=result)
+    by_ladder = {group.params["ladder"]: group for group in groups}
+
+    main = by_ladder["reseat-first (paper)"].value
+    stages = main["stages"]
+    attempts = main["attempts"]
     total = sum(stages.values())
 
     stage_table = Table(["resolution stage", "incidents", "share %"],
                         title="Stage at which incidents were resolved")
     for action in RepairAction:
-        count = stages.get(action, 0)
+        count = stages.get(action.value, 0)
         stage_table.add_row(action.value, count,
                             f"{100 * count / max(total, 1):.1f}")
     result.add_table(stage_table)
     result.add_series(
         "resolution_share",
-        [(action.ladder_rank, stages.get(action, 0) / max(total, 1))
+        [(action.ladder_rank,
+          stages.get(action.value, 0) / max(total, 1))
          for action in RepairAction])
 
     attempts_table = Table(["attempts per incident", "count"],
@@ -83,19 +116,12 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         ["ladder order", "incidents resolved", "technician hours",
          "mean attempts"],
         title="Ladder-order ablation")
-    for label, escalation in (("reseat-first (paper)", None),
-                              ("clean-first", CLEAN_FIRST)):
-        ablation_run = run_world(WorldConfig(
-            horizon_days=horizon_days, seed=seed,
-            level=AutomationLevel.L0_NO_AUTOMATION,
-            failure_scale=failure_scale, escalation=escalation))
-        closed = ablation_run.controller.closed_incidents
-        mean_attempts = (sum(i.attempt_count for i in closed)
-                         / max(len(closed), 1))
+    for label in _LADDERS:
+        group = by_ladder[label]
         ablation.add_row(
-            label, len(closed),
-            f"{ablation_run.humans.labor_seconds / 3600.0:.1f}",
-            f"{mean_attempts:.2f}")
+            label, group.value["closed"],
+            f"{group.mean('labor_hours'):.1f}",
+            f"{group.mean('mean_attempts'):.2f}")
     result.add_table(ablation)
     return result
 

@@ -12,9 +12,12 @@ inspection time vs core count, and closed-loop fleet throughput
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 import numpy as np
 
 from dcrobot.core.actions import RepairAction, WorkOrder
+from dcrobot.experiments.parallel import Execution, run_trials
 from dcrobot.experiments.result import ExperimentResult
 from dcrobot.metrics.mttr import format_duration
 from dcrobot.metrics.report import Table
@@ -60,19 +63,69 @@ def _fresh_world(links: int, seed: int):
     return sim, fabric, made, health, physics
 
 
-def _time_operation(sim, generator):
-    start = sim.now
-    process = sim.process(generator)
-    sim.run(until=process)
-    return sim.now - start
+def _operation_trial(params: Dict, seed: int) -> Dict:
+    """Time ``samples`` isolated reseat/clean operations on fresh
+    worlds; each sample is its own seeded world, as in the serial
+    version."""
+    op_name = params["op"]
+    samples = params["samples"]
+    durations, failures = [], 0
+    for index in range(samples):
+        sim, fabric, links, _health, _physics = _fresh_world(
+            8, seed + index)
+        link = links[index % len(links)]
+        if op_name == "reseat":
+            robot = ManipulatorRobot(
+                sim, fabric, "m0", fabric.layout.rack_at(0, 0).id,
+                rng=np.random.default_rng(seed + index))
+
+            def op(robot=robot, link=link):
+                ok, _note = yield from robot.reseat(link)
+                return ok
+        else:
+            link.cable.end_a.add_contamination(0.5)
+            robot = CleaningRobot(
+                sim, fabric, "c0", fabric.layout.rack_at(0, 0).id,
+                rng=np.random.default_rng(seed + index))
+
+            def op(robot=robot, link=link):
+                link.transceiver_a.unseat()
+                ok, _note = yield from robot.clean_cycle(link, "a")
+                link.transceiver_a.seat(robot.sim.now)
+                return ok
+
+        process = sim.process(op())
+        ok = sim.run(until=process)
+        durations.append(sim.now)
+        if not ok:
+            failures += 1
+    return {"durations": durations, "failures": failures}
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def _throughput_trial(params: Dict, seed: int) -> Dict:
+    """Saturate one fleet with reseat orders; measure ops/hour."""
+    pairs = params["pairs"]
+    orders = params["orders"]
+    sim, fabric, links, health, physics = _fresh_world(16, seed)
+    fleet = RobotFleet(
+        sim, fabric, health, physics,
+        config=FleetConfig(manipulators=pairs, cleaners=pairs,
+                           allocation=params["allocation"]),
+        rng=np.random.default_rng(seed))
+    events = [fleet.submit(WorkOrder(
+        links[index % len(links)].id, RepairAction.RESEAT,
+        created_at=0.0)) for index in range(orders)]
+    sim.run(until=sim.all_of(events))
+    return {"ops_per_hour": orders / (sim.now / 3600.0)}
+
+
+def run(quick: bool = True, seed: int = 0,
+        execution: Optional[Execution] = None) -> ExperimentResult:
     samples = 40 if quick else 200
     result = ExperimentResult(EXPERIMENT_ID, TITLE, PAPER_ANCHOR)
 
     # Part 1: inspection time vs core count (the paper's headline).
-    sim, fabric, links, health, physics = _fresh_world(4, seed)
+    sim, fabric, _links, _health, _physics = _fresh_world(4, seed)
     cleaner = CleaningRobot(sim, fabric, "c0",
                             fabric.layout.rack_at(0, 0).id,
                             rng=np.random.default_rng(seed))
@@ -89,38 +142,19 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     op_table = Table(["operation", "p50", "p95", "failures %"],
                      title=f"Operation durations over {samples} runs "
                            f"(vendor-diverse transceivers)")
-    for op_name in ("reseat", "clean one end"):
-        durations, failures = [], 0
-        for index in range(samples):
-            sim, fabric, links, health, physics = _fresh_world(
-                8, seed + index)
-            link = links[index % len(links)]
-            if op_name == "reseat":
-                robot = ManipulatorRobot(
-                    sim, fabric, "m0", fabric.layout.rack_at(0, 0).id,
-                    rng=np.random.default_rng(seed + index))
-
-                def op(robot=robot, link=link):
-                    ok, _note = yield from robot.reseat(link)
-                    return ok
-            else:
-                link.cable.end_a.add_contamination(0.5)
-                robot = CleaningRobot(
-                    sim, fabric, "c0", fabric.layout.rack_at(0, 0).id,
-                    rng=np.random.default_rng(seed + index))
-
-                def op(robot=robot, link=link):
-                    link.transceiver_a.unseat()
-                    ok, _note = yield from robot.clean_cycle(link, "a")
-                    link.transceiver_a.seat(robot.sim.now)
-                    return ok
-            process = sim.process(op())
-            ok = sim.run(until=process)
-            durations.append(sim.now)
-            if not ok:
-                failures += 1
+    op_params = [
+        {"label": op_name, "op": op_name, "samples": samples,
+         "seed": seed}
+        for op_name in ("reseat", "clean one end")
+    ]
+    op_groups = run_trials(EXPERIMENT_ID, _operation_trial, op_params,
+                           base_seed=seed, execution=execution,
+                           result=result)
+    for group in op_groups:
+        durations = group.value["durations"]
+        failures = group.value["failures"]
         op_table.add_row(
-            op_name,
+            group.params["op"],
             format_duration(float(np.percentile(durations, 50))),
             format_duration(float(np.percentile(durations, 95))),
             f"{100 * failures / samples:.1f}")
@@ -130,27 +164,26 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     throughput_table = Table(
         ["manipulators+cleaners", "ops/hour", "allocation"],
         title="Closed-loop fleet throughput (saturated reseat queue)")
-    series = []
-    for pairs in (1, 2, 4):
+    orders = 60 if quick else 200
+    throughput_params = [
+        {"label": f"{pairs}+{pairs}/{allocation}", "pairs": pairs,
+         "allocation": allocation, "orders": orders,
+         "seed": seed + pairs}
+        for pairs in (1, 2, 4)
         for allocation in (("nearest",) if quick
-                           else ("nearest", "fifo")):
-            sim, fabric, links, health, physics = _fresh_world(
-                16, seed + pairs)
-            fleet = RobotFleet(
-                sim, fabric, health, physics,
-                config=FleetConfig(manipulators=pairs, cleaners=pairs,
-                                   allocation=allocation),
-                rng=np.random.default_rng(seed + pairs))
-            orders = 60 if quick else 200
-            events = [fleet.submit(WorkOrder(
-                links[index % len(links)].id, RepairAction.RESEAT,
-                created_at=0.0)) for index in range(orders)]
-            sim.run(until=sim.all_of(events))
-            hours = sim.now / 3600.0
-            throughput_table.add_row(f"{pairs}+{pairs}",
-                                     f"{orders / hours:.1f}", allocation)
-            if allocation == "nearest":
-                series.append((pairs, orders / hours))
+                           else ("nearest", "fifo"))
+    ]
+    throughput_groups = run_trials(
+        EXPERIMENT_ID, _throughput_trial, throughput_params,
+        base_seed=seed + 1, execution=execution, result=result)
+    series = []
+    for group in throughput_groups:
+        pairs = group.params["pairs"]
+        rate = group.mean("ops_per_hour")
+        throughput_table.add_row(f"{pairs}+{pairs}", f"{rate:.1f}",
+                                 group.params["allocation"])
+        if group.params["allocation"] == "nearest":
+            series.append((pairs, rate))
     result.add_table(throughput_table)
     result.add_series("ops_per_hour_vs_fleet", series)
     return result

@@ -12,11 +12,17 @@ the rank correlation between SMI and availability.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from dcrobot.core.automation import AutomationLevel
+from dcrobot.experiments.parallel import Execution, run_trials
 from dcrobot.experiments.result import ExperimentResult
-from dcrobot.experiments.runner import WorldConfig, run_world
+from dcrobot.experiments.runner import (
+    WorldConfig,
+    world_trial,
+)
 from dcrobot.metrics.mttr import format_duration
 from dcrobot.metrics.report import Table
 from dcrobot.topology.fattree import build_fattree
@@ -53,7 +59,8 @@ def _rank_correlation(xs, ys) -> float:
     return float(np.corrcoef(rx, ry)[0, 1])
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0,
+        execution: Optional[Execution] = None) -> ExperimentResult:
     horizon_days = 15.0 if quick else 60.0
     failure_scale = 4.0
 
@@ -69,10 +76,26 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
               f"identical fault rates (cascade physics is where "
               f"maintainability bites)")
 
-    smis, availabilities = [], []
+    param_sets = []
+    smi_reports = {}
     for label, builder, kwargs in _TOPOLOGIES:
         topology = builder(rng=np.random.default_rng(seed + 1), **kwargs)
-        report = compute_smi(topology)
+        smi_reports[label] = compute_smi(topology)
+        param_sets.append({
+            "label": label, "seed": seed,
+            "config": WorldConfig(
+                topology_builder=builder, topology_kwargs=kwargs,
+                horizon_days=horizon_days, seed=seed,
+                failure_scale=failure_scale,
+                level=AutomationLevel.L0_NO_AUTOMATION)})
+    groups = run_trials(EXPERIMENT_ID, world_trial, param_sets,
+                        base_seed=seed, execution=execution,
+                        result=result)
+
+    smis, availabilities = [], []
+    for group in groups:
+        label = group.params["label"]
+        report = smi_reports[label]
         factors = report.factors
         smi_table.add_row(label, f"{report.smi:.3f}",
                           f"{factors['reach']:.2f}",
@@ -81,24 +104,15 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
                           f"{factors['uniformity']:.2f}",
                           f"{factors['granularity']:.2f}")
 
-        run_result = run_world(WorldConfig(
-            topology_builder=builder, topology_kwargs=kwargs,
-            horizon_days=horizon_days, seed=seed,
-            failure_scale=failure_scale,
-            level=AutomationLevel.L0_NO_AUTOMATION))
-        stats = run_result.repair_stats()
-        availability = run_result.availability()
-        amplification = run_result.amplification()
-        incidents = (len(run_result.controller.closed_incidents)
-                     + len(run_result.controller.unresolved_incidents)
-                     + len(run_result.controller.open_incidents))
-        sim_table.add_row(label, run_result.topology.link_count,
-                          incidents,
-                          f"{amplification.amplification_factor:.2f}",
+        summary = group.value
+        stats = summary.repair_stats
+        sim_table.add_row(label, summary.link_count,
+                          summary.incidents,
+                          f"{summary.amplification_factor:.2f}",
                           format_duration(stats.p50) if stats else "-",
-                          f"{availability.mean:.6f}")
+                          f"{summary.availability_mean:.6f}")
         smis.append(report.smi)
-        availabilities.append(availability.mean)
+        availabilities.append(summary.availability_mean)
 
     result.add_table(smi_table)
     result.add_table(sim_table)

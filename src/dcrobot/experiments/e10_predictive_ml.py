@@ -16,10 +16,13 @@ availability.
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 import numpy as np
 
 from dcrobot.core.automation import AutomationLevel
 from dcrobot.core.policy import PredictivePolicy
+from dcrobot.experiments.parallel import Execution, run_trials
 from dcrobot.experiments.result import ExperimentResult
 from dcrobot.experiments.runner import DAY, WorldConfig, build_world
 from dcrobot.failures.environment import Environment
@@ -53,7 +56,50 @@ def _collect_training_data(quick: bool, seed: int):
     return collector.build(sim_end=horizon_days * DAY)
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def _make_predictive_factory(model: LogisticRegression, seed: int):
+    """A policy factory around the trained scorer (built in-worker so
+    only the picklable model crosses the process boundary)."""
+    def factory(fabric):
+        # The runner builds its Environment with defaults, so an
+        # identically-constructed instance gives the same temperature
+        # trajectory — the extractor needs nothing else.
+        extractor = FeatureExtractor(
+            Environment(), rng=np.random.default_rng(seed + 70))
+
+        def scorer(link, now):
+            return float(model.predict_proba(
+                extractor.extract(link, now)))
+
+        return PredictivePolicy(fabric, scorer=scorer, threshold=0.5)
+    return factory
+
+
+def _policy_trial(params: Dict, seed: int) -> Dict:
+    """One Level-3 world under a reactive/proactive/predictive policy."""
+    if params["policy"] == "predictive":
+        policy = _make_predictive_factory(params["model"],
+                                          params["base_seed"])
+    else:
+        policy = params["policy"]
+    config = WorldConfig(
+        horizon_days=params["horizon_days"], seed=seed,
+        level=AutomationLevel.L3_HIGH_AUTOMATION, policy=policy,
+        failure_scale=0.5, dust_rate_per_day=0.02,
+        aging_rate_per_day=0.01)
+    world = build_world(config)
+    world.sim.run(until=params["horizon_days"] * DAY)
+    controller = world.controller
+    return {
+        "incidents": (len(controller.closed_incidents)
+                      + len(controller.unresolved_incidents)
+                      + len(controller.open_incidents)),
+        "proactive_ops": len(controller.proactive_outcomes),
+        "availability": world.availability().mean,
+    }
+
+
+def run(quick: bool = True, seed: int = 0,
+        execution: Optional[Execution] = None) -> ExperimentResult:
     result = ExperimentResult(EXPERIMENT_ID, TITLE, PAPER_ANCHOR)
 
     # Phase 1: train and evaluate the predictors.
@@ -85,40 +131,30 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
          "availability"],
         title="Policy comparison under Level-3 robotics")
 
-    def predictive_factory(fabric):
-        # The runner builds its Environment with defaults, so an
-        # identically-constructed instance gives the same temperature
-        # trajectory — the extractor needs nothing else.
-        extractor = FeatureExtractor(
-            Environment(), rng=np.random.default_rng(seed + 70))
-        scorer = (lambda link, now:
-                  float(logistic.predict_proba(
-                      extractor.extract(link, now))))
-        return PredictivePolicy(fabric, scorer=scorer, threshold=0.5)
-
     modes = [
         ("reactive", "reactive"),
         ("proactive sweeps", "proactive"),
-        ("predictive (LR)", predictive_factory),
+        ("predictive (LR)", "predictive"),
     ]
-    series = []
+    param_sets = []
     for label, policy in modes:
-        config = WorldConfig(
-            horizon_days=horizon_days, seed=seed + 80,
-            level=AutomationLevel.L3_HIGH_AUTOMATION, policy=policy,
-            failure_scale=0.5, dust_rate_per_day=0.02,
-            aging_rate_per_day=0.01)
-        world = build_world(config)
-        world.sim.run(until=horizon_days * DAY)
-        controller = world.controller
-        incidents = (len(controller.closed_incidents)
-                     + len(controller.unresolved_incidents)
-                     + len(controller.open_incidents))
-        availability = world.availability()
-        policy_table.add_row(label, incidents,
-                             len(controller.proactive_outcomes),
-                             f"{availability.mean:.6f}")
-        series.append((len(series), incidents))
+        params = {"label": label, "policy": policy,
+                  "seed": seed + 80, "horizon_days": horizon_days,
+                  "base_seed": seed}
+        if policy == "predictive":
+            params["model"] = logistic
+        param_sets.append(params)
+    groups = run_trials(EXPERIMENT_ID, _policy_trial, param_sets,
+                        base_seed=seed, execution=execution,
+                        result=result)
+
+    series = []
+    for group in groups:
+        value = group.value
+        policy_table.add_row(group.params["label"], value["incidents"],
+                             value["proactive_ops"],
+                             f"{value['availability']:.6f}")
+        series.append((len(series), value["incidents"]))
     result.add_table(policy_table)
     result.add_series("incidents_by_policy", series)
     result.note("the predictive policy cleans/reseats links whose "

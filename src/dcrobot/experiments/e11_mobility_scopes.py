@@ -14,11 +14,18 @@ and travel share of robot time.
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 import numpy as np
 
 from dcrobot.core.automation import AutomationLevel
+from dcrobot.experiments.parallel import Execution, run_trials
 from dcrobot.experiments.result import ExperimentResult
-from dcrobot.experiments.runner import WorldConfig, run_world
+from dcrobot.experiments.runner import (
+    WorldConfig,
+    run_world,
+    summarize_world,
+)
 from dcrobot.metrics.mttr import format_duration
 from dcrobot.metrics.report import Table
 from dcrobot.robots.fleet import FleetConfig
@@ -36,7 +43,25 @@ def _occupied_racks(topology):
                    if switch.rack_id})
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def _trial(params: Dict, seed: int) -> Dict:
+    """One fleet deployment; the world summary plus coverage stats."""
+    run_result = run_world(WorldConfig(
+        horizon_days=params["horizon_days"], seed=seed,
+        failure_scale=params["failure_scale"],
+        level=AutomationLevel.L3_HIGH_AUTOMATION,
+        fleet_config=params["fleet_config"]))
+    fleet = run_result.fleet
+    racks = params["racks"]
+    summary = summarize_world(run_result)
+    return {
+        "summary": summary,
+        "units": len(fleet.manipulators) + len(fleet.cleaners),
+        "covered": sum(1 for rack in racks if fleet.covers(rack)),
+    }
+
+
+def run(quick: bool = True, seed: int = 0,
+        execution: Optional[Execution] = None) -> ExperimentResult:
     horizon_days = 15.0 if quick else 45.0
     failure_scale = 4.0
 
@@ -67,32 +92,28 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
          "human-fallback repairs", "p50 ttr", "robot util %"],
         title="Same hall, same faults, different mobility scopes")
 
+    param_sets = [
+        {"label": label, "fleet_config": fleet_config, "racks": racks,
+         "seed": seed, "horizon_days": horizon_days,
+         "failure_scale": failure_scale}
+        for label, fleet_config in configs
+    ]
+    groups = run_trials(EXPERIMENT_ID, _trial, param_sets,
+                        base_seed=seed, execution=execution,
+                        result=result)
+
     series = []
-    for label, fleet_config in configs:
-        run_result = run_world(WorldConfig(
-            horizon_days=horizon_days, seed=seed,
-            failure_scale=failure_scale,
-            level=AutomationLevel.L3_HIGH_AUTOMATION,
-            fleet_config=fleet_config))
-        fleet = run_result.fleet
-        stats = run_result.repair_stats()
-        coverage = fleet.coverage_when_occupied(racks) \
-            if hasattr(fleet, "coverage_when_occupied") else None
-        covered = sum(1 for rack in racks if fleet.covers(rack))
-        fallback = sum(
-            1 for outcome in (run_result.humans.outcomes
-                              if run_result.humans else []))
-        robot_capacity = (run_result.robot_count()
-                          * run_result.horizon_seconds)
-        utilization = (100 * run_result.robot_busy_seconds()
-                       / robot_capacity if robot_capacity else 0.0)
-        units = len(fleet.manipulators) + len(fleet.cleaners)
-        table.add_row(label, units,
-                      f"{100 * covered / len(racks):.0f}",
-                      fallback,
+    for group in groups:
+        value = group.value
+        summary = value["summary"]
+        stats = summary.repair_stats
+        table.add_row(group.params["label"], value["units"],
+                      f"{100 * value['covered'] / len(racks):.0f}",
+                      summary.human_outcome_count,
                       format_duration(stats.p50) if stats else "-",
-                      f"{utilization:.2f}")
-        series.append((units, stats.p50 if stats else float("nan")))
+                      f"{summary.robot_utilization_pct:.2f}")
+        series.append((value["units"],
+                       stats.p50 if stats else float("nan")))
 
     result.add_table(table)
     result.add_series("p50_ttr_vs_units", series)

@@ -15,9 +15,12 @@ worst dip.
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 import numpy as np
 
 from dcrobot.core.automation import AutomationLevel
+from dcrobot.experiments.parallel import Execution, run_trials
 from dcrobot.experiments.result import ExperimentResult
 from dcrobot.experiments.runner import DAY, WorldConfig, build_world
 from dcrobot.metrics.report import Table
@@ -27,15 +30,21 @@ EXPERIMENT_ID = "e12"
 TITLE = "GPU-cluster goodput vs failure rate, with/without self-maintenance"
 PAPER_ANCHOR = "§1: the AI-cluster redundancy dilemma"
 
+_LEVELS = {"L0": AutomationLevel.L0_NO_AUTOMATION,
+           "L0+spare": AutomationLevel.L0_NO_AUTOMATION,
+           "L3": AutomationLevel.L3_HIGH_AUTOMATION}
 
-def _run_mode(level, scale, quick, seed, spare_rails=0):
-    horizon_days = 10.0 if quick else 30.0
+
+def _trial(params: Dict, seed: int) -> Dict:
+    """One rail-optimized cluster world, sampling healthy servers."""
+    horizon_days = params["horizon_days"]
     world = build_world(WorldConfig(
         topology_builder=build_gpu_cluster,
         topology_kwargs={"servers": 16, "gpus_per_server": 4,
-                         "spare_rails": spare_rails},
-        horizon_days=horizon_days, seed=seed, failure_scale=scale,
-        level=level))
+                         "spare_rails": params["spare_rails"]},
+        horizon_days=horizon_days, seed=seed,
+        failure_scale=params["scale"],
+        level=_LEVELS[params["mode"]]))
     samples = []
 
     def sampler(sim=world.sim):
@@ -45,11 +54,14 @@ def _run_mode(level, scale, quick, seed, spare_rails=0):
 
     world.sim.process(sampler())
     world.sim.run(until=horizon_days * DAY)
-    return (float(np.mean(samples)), float(np.min(samples)))
+    return {"mean_fraction": float(np.mean(samples)),
+            "worst": float(np.min(samples))}
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = True, seed: int = 0,
+        execution: Optional[Execution] = None) -> ExperimentResult:
     scales = (1.0, 4.0, 16.0)
+    horizon_days = 10.0 if quick else 30.0
     result = ExperimentResult(EXPERIMENT_ID, TITLE, PAPER_ANCHOR)
     table = Table(
         ["failure-rate scale", "L0 mean goodput", "L0 worst",
@@ -57,18 +69,28 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         title="Healthy-server fraction in a rail-optimized cluster: "
               "robots vs hardware redundancy")
 
+    param_sets = [
+        {"label": f"{mode}@{scale:g}x", "mode": mode, "scale": scale,
+         "spare_rails": spare, "seed": seed + int(scale),
+         "horizon_days": horizon_days}
+        for scale in scales
+        for mode, spare in (("L0", 0), ("L0+spare", 1), ("L3", 0))
+    ]
+    groups = run_trials(EXPERIMENT_ID, _trial, param_sets,
+                        base_seed=seed, execution=execution,
+                        result=result)
+    by_key = {(group.params["scale"], group.params["mode"]): group
+              for group in groups}
+
     series = {"L0": [], "L0+spare": [], "L3": []}
     for scale in scales:
         row = [f"{scale:g}x"]
-        for label, level, spare in (
-                ("L0", AutomationLevel.L0_NO_AUTOMATION, 0),
-                ("L0+spare", AutomationLevel.L0_NO_AUTOMATION, 1),
-                ("L3", AutomationLevel.L3_HIGH_AUTOMATION, 0)):
-            mean_fraction, worst = _run_mode(
-                level, scale, quick, seed + int(scale),
-                spare_rails=spare)
-            series[label].append((scale, mean_fraction))
-            if label == "L0+spare":
+        for mode in ("L0", "L0+spare", "L3"):
+            group = by_key[(scale, mode)]
+            mean_fraction = group.mean("mean_fraction")
+            worst = group.mean("worst")
+            series[mode].append((scale, mean_fraction))
+            if mode == "L0+spare":
                 row.append(f"{mean_fraction:.4f}")
             else:
                 row.extend([f"{mean_fraction:.4f}", f"{worst:.3f}"])

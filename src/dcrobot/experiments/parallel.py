@@ -1,0 +1,408 @@
+"""Parallel trial execution for the experiment harness.
+
+Every paper experiment decomposes into *trials*: self-contained
+(world-config, seed) units whose results depend on nothing but their
+inputs.  This module owns fanning those trials across CPU cores,
+deriving deterministic per-trial RNG substreams, caching completed
+trials on disk, and collecting per-trial wall-clock telemetry.
+
+Guarantees:
+
+* **Determinism** — trial seeds are fixed *before* dispatch (replicate
+  0 keeps the experiment's canonical seed; Monte-Carlo replicates draw
+  :func:`dcrobot.sim.rng.trial_seed` substreams of ``(experiment_id,
+  base_seed, trial_index)``), so a parallel run is bit-identical to a
+  serial run of the same trials.
+* **Caching** — results are stored under ``.dcrobot_cache/`` keyed by
+  a stable hash of ``(experiment_id, params, seed, code_version)``;
+  editing any source file under ``dcrobot`` invalidates every entry.
+* **Telemetry** — each trial reports wall-clock seconds and whether it
+  was served from cache; :func:`run_trials` aggregates these into the
+  :class:`~dcrobot.experiments.result.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import os
+import pickle
+import shutil
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+#: Default on-disk cache location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".dcrobot_cache"
+
+#: A trial function: ``trial_fn(params, seed) -> picklable value``.
+TrialFn = Callable[[Dict[str, Any], int], Any]
+
+
+# -- execution policy --------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Execution:
+    """How an experiment's trials should be executed.
+
+    ``jobs`` is the worker-process count: ``None`` or ``1`` runs trials
+    serially in-process (no pool), ``0`` means one worker per CPU.
+    ``trials`` is the Monte-Carlo replicate count per trial point.
+    ``cache`` is a :class:`TrialCache` or ``None`` to disable caching.
+    """
+
+    jobs: Optional[int] = None
+    trials: int = 1
+    cache: Optional["TrialCache"] = None
+
+    def resolved_jobs(self) -> int:
+        if self.jobs is None:
+            return 1
+        if self.jobs == 0:
+            return os.cpu_count() or 1
+        if self.jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {self.jobs}")
+        return self.jobs
+
+    def resolved_trials(self) -> int:
+        if self.trials < 1:
+            raise ValueError(f"trials must be >= 1, got {self.trials}")
+        return self.trials
+
+
+# -- stable hashing of trial identity ----------------------------------------
+
+
+def _canonical(value: Any) -> str:
+    """A stable, recursion-safe text form of a trial's parameters.
+
+    Covers what experiment params actually contain: primitives,
+    containers, enums, dataclasses (``WorldConfig``, ``FleetConfig``,
+    fault traces, ...), numpy scalars/arrays, and module-level
+    callables (topology builders), which hash by qualified name.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            f"{field.name}={_canonical(getattr(value, field.name))}"
+            for field in dataclasses.fields(value))
+        return f"{type(value).__qualname__}({fields})"
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__qualname__}.{value.name}"
+    if isinstance(value, dict):
+        items = ",".join(
+            f"{_canonical(key)}:{_canonical(value[key])}"
+            for key in sorted(value, key=repr))
+        return "{" + items + "}"
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = (sorted((_canonical(item) for item in value))
+                 if isinstance(value, (set, frozenset))
+                 else [_canonical(item) for item in value])
+        return "[" + ",".join(items) + "]"
+    if callable(value):
+        module = getattr(value, "__module__", "?")
+        name = getattr(value, "__qualname__",
+                       getattr(value, "__name__", repr(value)))
+        return f"callable:{module}.{name}"
+    if hasattr(value, "tolist"):  # numpy scalar or array
+        return f"np:{value.tolist()!r}"
+    if hasattr(value, "__dict__") and not isinstance(
+            value, (str, bytes, int, float, complex, bool)):
+        # Plain objects (e.g. fitted models) hash by attribute state,
+        # not by the default repr's memory address.
+        attrs = ",".join(
+            f"{name}={_canonical(value.__dict__[name])}"
+            for name in sorted(value.__dict__))
+        return f"{type(value).__qualname__}({attrs})"
+    return f"{type(value).__name__}:{value!r}"
+
+
+def stable_hash(value: Any) -> str:
+    """A short hex digest of :func:`_canonical` — the cache-key atom."""
+    return hashlib.sha256(
+        _canonical(value).encode("utf-8")).hexdigest()[:32]
+
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """A digest over every ``dcrobot`` source file (cached per process).
+
+    Any edit to the package changes the digest, invalidating all cached
+    trial results — stale caches can never leak into new code's runs.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import dcrobot
+
+        digest = hashlib.sha256()
+        root = os.path.dirname(os.path.abspath(dcrobot.__file__))
+        for directory, _subdirs, files in sorted(os.walk(root)):
+            for name in sorted(files):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(directory, name)
+                digest.update(os.path.relpath(path, root).encode())
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+# -- the on-disk trial cache -------------------------------------------------
+
+
+class TrialCache:
+    """Pickle-per-trial result cache under ``.dcrobot_cache/``.
+
+    Layout: ``<root>/<experiment_id>/<key>.pkl`` where ``key`` is
+    :func:`cache_key`'s digest.  Entries are content-addressed, so
+    clearing is just deleting the directory (or ``clear()``).
+    """
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, experiment_id: str, key: str) -> str:
+        return os.path.join(self.root, experiment_id, f"{key}.pkl")
+
+    def get(self, experiment_id: str, key: str) -> Optional[tuple]:
+        """``(value,)`` on a hit (so cached ``None`` is distinguishable),
+        else ``None``."""
+        path = self._path(experiment_id, key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError,
+                AttributeError, ImportError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return (value,)
+
+    def put(self, experiment_id: str, key: str, value: Any) -> None:
+        path = self._path(experiment_id, key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(value, handle)
+            os.replace(tmp, path)
+        except (OSError, pickle.PickleError):
+            # Unpicklable or unwritable results simply go uncached.
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    def clear(self) -> None:
+        shutil.rmtree(self.root, ignore_errors=True)
+
+
+def cache_key(experiment_id: str, params: Dict[str, Any],
+              seed: int, version: Optional[str] = None,
+              trial_fn: Optional[TrialFn] = None) -> str:
+    """The stable identity of one trial's result."""
+    fn_id = (f"{trial_fn.__module__}.{trial_fn.__qualname__}"
+             if trial_fn is not None else "")
+    return stable_hash((experiment_id, fn_id, _canonical(params),
+                        int(seed),
+                        version if version is not None
+                        else code_version()))
+
+
+# -- trial specs and outcomes ------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialSpec:
+    """One schedulable unit: params + a pre-derived seed."""
+
+    experiment_id: str
+    index: int           #: flat index across the experiment's trials
+    point: int           #: which param set this trial belongs to
+    replicate: int       #: Monte-Carlo replicate number (0-based)
+    seed: int
+    params: Dict[str, Any]
+
+    @property
+    def label(self) -> str:
+        base = self.params.get("label", f"trial{self.point}")
+        if self.replicate:
+            return f"{base}#r{self.replicate}"
+        return str(base)
+
+
+@dataclasses.dataclass
+class TrialOutcome:
+    """One executed (or cache-served) trial."""
+
+    spec: TrialSpec
+    value: Any
+    wall_seconds: float
+    cached: bool = False
+
+
+class TrialGroup:
+    """All replicates of one trial point, in replicate order."""
+
+    def __init__(self, params: Dict[str, Any],
+                 outcomes: List[TrialOutcome]) -> None:
+        self.params = params
+        self.outcomes = outcomes
+
+    @property
+    def value(self) -> Any:
+        """Replicate 0's value — the canonical (legacy-seed) result."""
+        return self.outcomes[0].value
+
+    @property
+    def values(self) -> List[Any]:
+        return [outcome.value for outcome in self.outcomes]
+
+    def metric(self, name: str, value: Optional[Any] = None) -> Any:
+        source = self.outcomes[0].value if value is None else value
+        if isinstance(source, dict):
+            return source[name]
+        return getattr(source, name)
+
+    def mean(self, name: str) -> float:
+        """Across-replicate mean of one numeric metric."""
+        metrics = [self.metric(name, value) for value in self.values]
+        metrics = [m for m in metrics if m is not None]
+        if not metrics:
+            raise ValueError(f"metric {name!r} is None in every "
+                             f"replicate")
+        return float(sum(metrics)) / len(metrics)
+
+
+# -- execution ---------------------------------------------------------------
+
+
+def _execute(trial_fn: TrialFn, spec: TrialSpec) -> TrialOutcome:
+    """Run one trial, timing it (also the worker-process entry point)."""
+    started = time.perf_counter()
+    value = trial_fn(spec.params, spec.seed)
+    return TrialOutcome(spec=spec, value=value,
+                        wall_seconds=time.perf_counter() - started)
+
+
+def build_specs(experiment_id: str,
+                param_sets: Sequence[Dict[str, Any]],
+                base_seed: int, trials: int) -> List[TrialSpec]:
+    """Flatten param sets × replicates into seeded trial specs.
+
+    Replicate 0 uses the param set's own ``seed`` entry (the
+    experiment's canonical derivation) when present, falling back to
+    the substream; replicates >= 1 always draw fresh
+    ``trial_seed(experiment_id, base_seed, index)`` substreams.
+    """
+    from dcrobot.sim.rng import trial_seed
+
+    specs = []
+    index = 0
+    for point, params in enumerate(param_sets):
+        for replicate in range(trials):
+            derived = trial_seed(experiment_id, base_seed, index)
+            if replicate == 0 and "seed" in params:
+                seed = int(params["seed"])
+            else:
+                seed = derived
+            specs.append(TrialSpec(
+                experiment_id=experiment_id, index=index, point=point,
+                replicate=replicate, seed=seed, params=params))
+            index += 1
+    return specs
+
+
+def run_trials(experiment_id: str, trial_fn: TrialFn,
+               param_sets: Sequence[Dict[str, Any]], *,
+               base_seed: int = 0,
+               execution: Optional[Execution] = None,
+               result: Optional[object] = None) -> List[TrialGroup]:
+    """Execute every trial of an experiment, possibly in parallel.
+
+    ``trial_fn`` must be a module-level (picklable) callable taking
+    ``(params, seed)`` and returning a picklable value.  Returns one
+    :class:`TrialGroup` per param set, in input order.  When ``result``
+    (an :class:`~dcrobot.experiments.result.ExperimentResult`) is
+    given, per-trial timing telemetry is recorded on it.
+    """
+    execution = execution or Execution()
+    trials = execution.resolved_trials()
+    jobs = execution.resolved_jobs()
+    cache = execution.cache
+    specs = build_specs(experiment_id, param_sets, base_seed, trials)
+
+    outcomes: Dict[int, TrialOutcome] = {}
+    pending: List[TrialSpec] = []
+    keys: Dict[int, str] = {}
+    if cache is not None:
+        version = code_version()
+        for spec in specs:
+            keys[spec.index] = cache_key(
+                experiment_id, spec.params, spec.seed, version,
+                trial_fn=trial_fn)
+            hit = cache.get(experiment_id, keys[spec.index])
+            if hit is not None:
+                outcomes[spec.index] = TrialOutcome(
+                    spec=spec, value=hit[0], wall_seconds=0.0,
+                    cached=True)
+            else:
+                pending.append(spec)
+    else:
+        pending = list(specs)
+
+    if jobs > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(_execute, trial_fn, spec)
+                       for spec in pending]
+            for future in futures:
+                outcome = future.result()
+                outcomes[outcome.spec.index] = outcome
+    else:
+        for spec in pending:
+            outcomes[spec.index] = _execute(trial_fn, spec)
+
+    if cache is not None:
+        for spec in pending:
+            cache.put(experiment_id, keys[spec.index],
+                      outcomes[spec.index].value)
+
+    ordered = [outcomes[spec.index] for spec in specs]
+    if result is not None:
+        _record_timings(result, ordered)
+    groups = []
+    for point in range(len(param_sets)):
+        members = [outcome for outcome in ordered
+                   if outcome.spec.point == point]
+        groups.append(TrialGroup(dict(param_sets[point]), members))
+    return groups
+
+
+def _record_timings(result, outcomes: List[TrialOutcome]) -> None:
+    from dcrobot.experiments.result import TrialTiming
+
+    for outcome in outcomes:
+        result.add_timing(TrialTiming(
+            label=outcome.spec.label,
+            wall_seconds=outcome.wall_seconds,
+            cached=outcome.cached,
+            seed=outcome.spec.seed))
+
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "Execution",
+    "TrialCache",
+    "TrialSpec",
+    "TrialOutcome",
+    "TrialGroup",
+    "build_specs",
+    "cache_key",
+    "code_version",
+    "run_trials",
+    "stable_hash",
+]

@@ -12,6 +12,16 @@ from dcrobot.metrics.report import Table
 
 
 @dataclasses.dataclass
+class TrialTiming:
+    """Wall-clock telemetry for one executed (or cache-served) trial."""
+
+    label: str
+    wall_seconds: float
+    cached: bool = False
+    seed: int = 0
+
+
+@dataclasses.dataclass
 class ExperimentResult:
     """Output of one paper experiment: tables + named data series."""
 
@@ -23,6 +33,8 @@ class ExperimentResult:
     series: Dict[str, List[Tuple[float, float]]] = dataclasses.field(
         default_factory=dict)
     notes: List[str] = dataclasses.field(default_factory=list)
+    #: Per-trial wall-clock telemetry from the parallel executor.
+    timings: List[TrialTiming] = dataclasses.field(default_factory=list)
 
     def add_table(self, table: Table) -> None:
         self.tables.append(table)
@@ -33,6 +45,19 @@ class ExperimentResult:
 
     def note(self, text: str) -> None:
         self.notes.append(text)
+
+    def add_timing(self, timing: TrialTiming) -> None:
+        self.timings.append(timing)
+
+    def timing_summary(self) -> str:
+        """One line: trial count, cache hits, total/max trial time."""
+        executed = [t for t in self.timings if not t.cached]
+        cached = len(self.timings) - len(executed)
+        total = sum(t.wall_seconds for t in executed)
+        slowest = max((t.wall_seconds for t in executed), default=0.0)
+        return (f"{len(self.timings)} trials ({cached} cached), "
+                f"{total:.1f}s of trial compute, "
+                f"slowest {slowest:.1f}s")
 
     def render(self) -> str:
         """The full text report."""
@@ -48,6 +73,8 @@ class ExperimentResult:
             parts.append("")
         for note in self.notes:
             parts.append(f"note: {note}")
+        if self.timings:
+            parts.append(f"timing: {self.timing_summary()}")
         return "\n".join(parts).rstrip() + "\n"
 
     def __str__(self) -> str:
@@ -68,6 +95,8 @@ class ExperimentResult:
             "series": {name: list(points)
                        for name, points in self.series.items()},
             "notes": list(self.notes),
+            "timings": [dataclasses.asdict(timing)
+                        for timing in self.timings],
         }
 
     def to_json(self, indent: int = 2) -> str:

@@ -43,7 +43,10 @@ from dcrobot.metrics.availability import (
     link_availability,
 )
 from dcrobot.metrics.cost import CostBreakdown, CostModel
-from dcrobot.metrics.mttr import RepairTimeStats, repair_time_stats
+from dcrobot.metrics.mttr import (
+    RepairTimeStats,
+    repair_time_stats,
+)
 from dcrobot.network.enums import FormFactor
 from dcrobot.robots.fleet import FleetConfig, RobotFleet
 from dcrobot.sim.engine import Simulation
@@ -190,7 +193,6 @@ def _make_policy(config: WorldConfig, topology: Topology):
 
 def build_world(config: WorldConfig) -> RunResult:
     """Assemble (but do not run) the full experiment stack."""
-    rng = np.random.default_rng(config.seed)
     topology = config.topology_builder(
         rng=np.random.default_rng(config.seed + 1),
         **config.topology_kwargs)
@@ -282,3 +284,96 @@ def run_world(config: WorldConfig) -> RunResult:
     result.spares_consumed_cables = (initial_cables
                                      - result.fabric.spare_cables)
     return result
+
+
+# -- picklable trial layer (the parallel executor's world unit) ---------------
+
+
+@dataclasses.dataclass
+class WorldSummary:
+    """The measurements of one finished world, as plain picklable data.
+
+    A :class:`RunResult` holds live simulation state (generator
+    processes) and cannot cross a process boundary; this is the
+    summary a worker sends back instead.  It carries everything the
+    closed-loop experiments (E1, E5–E7, E9, E11) report on.
+    """
+
+    seed: int
+    horizon_seconds: float
+    incidents: int
+    closed_incidents: int
+    unresolved_incidents: int
+    open_incidents: int
+    repair_times: list
+    availability_mean: float
+    availability_nines: float
+    amplification_factor: float
+    labor_seconds: float
+    supervision_seconds: float
+    robot_count: int
+    robot_busy_seconds: float
+    proactive_ops: int
+    human_outcome_count: int
+    cost_total_usd: float
+    spares_consumed_transceivers: int
+    spares_consumed_cables: int
+    link_count: int
+
+    @property
+    def repair_stats(self) -> Optional[RepairTimeStats]:
+        if not self.repair_times:
+            return None
+        return repair_time_stats(self.repair_times)
+
+    @property
+    def tech_hours(self) -> float:
+        return (self.labor_seconds + self.supervision_seconds) / 3600.0
+
+    @property
+    def robot_utilization_pct(self) -> float:
+        capacity = self.robot_count * self.horizon_seconds
+        return 100 * self.robot_busy_seconds / capacity if capacity \
+            else 0.0
+
+
+def summarize_world(result: RunResult) -> WorldSummary:
+    """Condense a run world into its :class:`WorldSummary`."""
+    controller = result.controller
+    availability = result.availability()
+    amplification = result.amplification()
+    return WorldSummary(
+        seed=result.config.seed,
+        horizon_seconds=result.horizon_seconds,
+        incidents=(len(controller.closed_incidents)
+                   + len(controller.unresolved_incidents)
+                   + len(controller.open_incidents)),
+        closed_incidents=len(controller.closed_incidents),
+        unresolved_incidents=len(controller.unresolved_incidents),
+        open_incidents=len(controller.open_incidents),
+        repair_times=list(controller.repair_times()),
+        availability_mean=availability.mean,
+        availability_nines=availability.nines,
+        amplification_factor=amplification.amplification_factor,
+        labor_seconds=(result.humans.labor_seconds
+                       if result.humans else 0.0),
+        supervision_seconds=controller.supervision_seconds,
+        robot_count=result.robot_count(),
+        robot_busy_seconds=result.robot_busy_seconds(),
+        proactive_ops=len(controller.proactive_outcomes),
+        human_outcome_count=(len(result.humans.outcomes)
+                             if result.humans else 0),
+        cost_total_usd=result.cost().total_usd,
+        spares_consumed_transceivers=(
+            result.spares_consumed_transceivers),
+        spares_consumed_cables=result.spares_consumed_cables,
+        link_count=result.topology.link_count)
+
+
+def world_trial(params: Dict, seed: int) -> WorldSummary:
+    """The common trial function: run ``params['config']`` under
+    ``seed`` and return its summary.  Module-level (hence picklable)
+    so :func:`dcrobot.experiments.parallel.run_trials` can ship it to
+    worker processes."""
+    config = dataclasses.replace(params["config"], seed=seed)
+    return summarize_world(run_world(config))

@@ -17,7 +17,7 @@ phantom).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from dcrobot.core.controller import Incident
 from dcrobot.failures.injector import InjectedFault

@@ -8,7 +8,7 @@ dependencies — they render to strings.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -29,7 +29,7 @@ from dcrobot.sim.resources import (
     Resource,
     Store,
 )
-from dcrobot.sim.rng import RandomStreams, make_rng
+from dcrobot.sim.rng import RandomStreams, make_rng, trial_rng, trial_seed
 
 __all__ = [
     "Simulation",
@@ -48,6 +48,8 @@ __all__ = [
     "Container",
     "RandomStreams",
     "make_rng",
+    "trial_rng",
+    "trial_seed",
     "all_of",
     "any_of",
     "NORMAL",

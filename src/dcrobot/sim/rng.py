@@ -34,6 +34,26 @@ class RandomStreams:
         return RandomStreams(int.from_bytes(digest[:8], "little"))
 
 
+def trial_seed(experiment_id: str, base_seed: int, trial_index: int) -> int:
+    """The deterministic RNG substream seed for one experiment trial.
+
+    Derived purely from ``(experiment_id, base_seed, trial_index)`` via
+    SHA-256, so a trial's stream is identical whether it runs serially,
+    in a process pool, or alone — and independent of every other trial.
+    """
+    digest = hashlib.sha256(
+        f"trial:{experiment_id}:{int(base_seed)}:{int(trial_index)}"
+        .encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def trial_rng(experiment_id: str, base_seed: int,
+              trial_index: int) -> np.random.Generator:
+    """A generator on the :func:`trial_seed` substream."""
+    return np.random.default_rng(
+        trial_seed(experiment_id, base_seed, trial_index))
+
+
 def make_rng(seed_or_rng: Optional[object] = None) -> np.random.Generator:
     """Coerce ``None`` / int / Generator into a ``numpy.random.Generator``."""
     if seed_or_rng is None:

@@ -5,7 +5,7 @@ library's real name is ``dcrobot``.  Importing ``repro`` exposes the
 same subpackages (``repro.sim``, ``repro.core``, ...).
 """
 
-import dcrobot
+import dcrobot  # noqa: F401
 from dcrobot import __version__  # noqa: F401
 from dcrobot import (  # noqa: F401
     core,

@@ -1,6 +1,5 @@
 """Unit tests for the service API, including the authorization hook."""
 
-import numpy as np
 import pytest
 
 from dcrobot.core import (
@@ -8,7 +7,6 @@ from dcrobot.core import (
     AutomationLevel,
     MaintenanceAuthorizer,
     MaintenanceServiceAPI,
-    ReactivePolicy,
     RepairAction,
 )
 from dcrobot.experiments import WorldConfig, build_world

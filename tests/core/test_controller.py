@@ -14,7 +14,7 @@ from dcrobot.core import (
 )
 from dcrobot.core.actions import Priority
 from dcrobot.humans import TechnicianParams, TechnicianPool
-from dcrobot.network import DegradationKind, LinkState
+from dcrobot.network import LinkState
 from dcrobot.robots import FleetConfig, RobotFleet
 from dcrobot.telemetry import TelemetryMonitor
 

@@ -1,15 +1,9 @@
 """Controller edge cases: null policies, attempt budgets, executor
 selection corners."""
 
-import numpy as np
-import pytest
-
 from dcrobot.core import (
     AutomationLevel,
     ControllerConfig,
-    MaintenanceController,
-    NullPolicy,
-    ReactivePolicy,
     RepairAction,
 )
 from dcrobot.experiments import WorldConfig, build_world
@@ -80,8 +74,8 @@ def test_repair_history_shared_across_incidents():
         horizon_days=40.0, seed=44, failure_scale=0.0,
         dust_rate_per_day=0.0, aging_rate_per_day=0.0,
         level=AutomationLevel.L3_HIGH_AUTOMATION))
-    link = next(l for l in world.fabric.links.values()
-                if l.cable.cleanable)
+    link = next(ln for ln in world.fabric.links.values()
+                if ln.cable.cleanable)
     # Two separate wedges: incident 2 must start from the ladder's
     # *continuation*, not from scratch... unless the first was
     # effective, in which case both are reseats.  Force ineffective

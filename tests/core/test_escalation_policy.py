@@ -5,7 +5,6 @@ import pytest
 from dcrobot.core import (
     EscalationConfig,
     EscalationLadder,
-    PlanRequest,
     PredictivePolicy,
     ProactivePolicy,
     ReactivePolicy,
@@ -193,5 +192,5 @@ def test_predictive_reseat_for_sealed_cables():
 
 def test_predictive_threshold_validation(world):
     with pytest.raises(ValueError):
-        PredictivePolicy(world.fabric, scorer=lambda l, n: 0.0,
+        PredictivePolicy(world.fabric, scorer=lambda ln, n: 0.0,
                          threshold=0.0)

@@ -158,8 +158,7 @@ def test_token_scoping():
 
 def test_token_expiry_and_revocation():
     authorizer = MaintenanceAuthorizer()
-    token = authorizer.issue("ops", list(RepairAction),
-                             expires_at=100.0)
+    authorizer.issue("ops", list(RepairAction), expires_at=100.0)
     assert authorizer.check(50.0, "ops", RepairAction.CLEAN, "link-1")
     assert not authorizer.check(150.0, "ops", RepairAction.CLEAN,
                                 "link-1")

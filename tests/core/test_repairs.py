@@ -1,13 +1,11 @@
 """Unit tests for shared repair physics and skill profiles."""
 
-import numpy as np
 import pytest
 
 from dcrobot.core.actions import RepairAction
 from dcrobot.core.repairs import (
     ROBOT_SKILL,
     TECHNICIAN_SKILL,
-    RepairPhysics,
     SkillProfile,
 )
 from dcrobot.network import CableKind, LinkState

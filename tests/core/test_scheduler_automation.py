@@ -13,8 +13,6 @@ from dcrobot.core import (
 )
 from dcrobot.traffic import EcmpRouter
 
-from tests.conftest import make_world
-
 HOUR = 3600.0
 
 

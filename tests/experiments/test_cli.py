@@ -1,0 +1,76 @@
+"""Tests for the experiment CLI's parallel-execution flags."""
+
+import pytest
+
+from dcrobot.experiments.__main__ import (
+    build_parser,
+    execution_from_args,
+    main,
+)
+from dcrobot.experiments.parallel import DEFAULT_CACHE_DIR
+
+
+def test_defaults():
+    args = build_parser().parse_args(["e1"])
+    assert args.jobs == 1
+    assert args.trials == 1
+    assert not args.no_cache
+    assert args.cache_dir == DEFAULT_CACHE_DIR
+    execution = execution_from_args(args)
+    assert execution.jobs == 1
+    assert execution.trials == 1
+    assert execution.cache is not None
+    assert execution.cache.root == DEFAULT_CACHE_DIR
+
+
+def test_jobs_and_trials_flags():
+    args = build_parser().parse_args(
+        ["e1", "--jobs", "4", "--trials", "3"])
+    execution = execution_from_args(args)
+    assert execution.jobs == 4
+    assert execution.trials == 3
+
+
+def test_no_cache_flag():
+    args = build_parser().parse_args(["e1", "--no-cache"])
+    assert execution_from_args(args).cache is None
+
+
+def test_cache_dir_flag(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    args = build_parser().parse_args(["e1", "--cache-dir", cache_dir])
+    execution = execution_from_args(args)
+    assert execution.cache.root == cache_dir
+
+
+def test_jobs_must_be_an_int():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["e1", "--jobs", "lots"])
+
+
+def test_cli_runs_parallel_with_cache(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    argv = ["e3", "--seed", "1", "--jobs", "2",
+            "--cache-dir", cache_dir]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "E3" in first
+    assert "timing:" in first
+    assert "(0 cached)" in first
+    # Second run is served from the trial cache and prints identically
+    # (modulo the timing/duration lines).
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert "(10 cached)" in second
+
+    def stable(text):
+        return [line for line in text.splitlines()
+                if not line.startswith(("timing:", "[e3 finished"))]
+
+    assert stable(first) == stable(second)
+
+
+def test_cli_no_cache_runs(tmp_path, capsys):
+    assert main(["e3", "--seed", "1", "--no-cache"]) == 0
+    output = capsys.readouterr().out
+    assert "(0 cached)" in output

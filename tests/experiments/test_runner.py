@@ -1,6 +1,5 @@
 """Unit tests for the shared experiment world runner."""
 
-import numpy as np
 import pytest
 
 from dcrobot.core import AutomationLevel, NullPolicy, ProactivePolicy, ReactivePolicy

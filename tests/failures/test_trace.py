@@ -1,7 +1,6 @@
 """Unit tests for fault-trace record / persist / replay."""
 
 import numpy as np
-import pytest
 
 from dcrobot.failures import (
     FailureRates,
@@ -10,8 +9,6 @@ from dcrobot.failures import (
     TraceEntry,
 )
 from dcrobot.network import DegradationKind
-
-from tests.conftest import make_world
 
 DAY = 86400.0
 

@@ -7,8 +7,6 @@ from dcrobot.core.actions import Priority, RepairAction, WorkOrder
 from dcrobot.humans import TechnicianParams, TechnicianPool
 from dcrobot.network import LinkState
 
-from tests.conftest import make_world
-
 HOUR = 3600.0
 
 

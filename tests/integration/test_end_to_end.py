@@ -1,8 +1,5 @@
 """Integration tests: full stacks exercised across module boundaries."""
 
-import numpy as np
-import pytest
-
 from dcrobot.core import (
     AutomationLevel,
     MaintenanceServiceAPI,

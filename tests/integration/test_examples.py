@@ -6,7 +6,6 @@ captured; assertions check the story each one is supposed to tell.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

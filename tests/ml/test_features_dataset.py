@@ -129,11 +129,10 @@ def test_rows_beyond_horizon_dropped(world):
     assert len(dataset) == len(world.links)
 
 
+@pytest.mark.slow
 def test_end_to_end_prediction_beats_chance():
     # Dusty world: margins trend down before links start flapping, so a
     # trained model must rank failing links above healthy ones.
-    from dcrobot.failures import FailureRates, FaultInjector
-
     world = make_world(links=12, seed=23)
     extractor = extractor_for(world, seed=11)
     collector = DatasetCollector(world.fabric, extractor,

@@ -7,7 +7,6 @@ from dcrobot.network import (
     Cable,
     CableKind,
     ComponentState,
-    EndFacePolish,
     FormFactor,
     HallLayout,
     Position,

@@ -1,7 +1,6 @@
 """Edge-case tests for fabric inventory operations."""
 
 import numpy as np
-import pytest
 
 from dcrobot.network import (
     CableKind,

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
-from dcrobot.core import EscalationConfig, EscalationLadder, RepairAction
+from dcrobot.core import EscalationLadder, RepairAction
 from dcrobot.metrics import Table, format_duration
 from dcrobot.ml import LogisticRegression, roc_auc
 from dcrobot.network import EndFace, LinkState

@@ -1,9 +1,7 @@
 """Property-based tests for the extension subsystems: traces, audit,
 rewiring, queueing, energy."""
 
-import numpy as np
-import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from dcrobot.core import erlang_c

@@ -77,7 +77,7 @@ def test_container_level_always_within_bounds(operations):
         for kind, amount in operations:
             event = tank.put(amount) if kind == "put" \
                 else tank.get(amount)
-            result = yield sim.any_of([event, sim.timeout(1.0)])
+            yield sim.any_of([event, sim.timeout(1.0)])
             levels.append(tank.level)
 
     sim.process(actor(sim, tank))

@@ -3,7 +3,6 @@
 import pytest
 
 from dcrobot.sim import (
-    Event,
     EventAlreadyTriggered,
     Simulation,
     SimulationError,

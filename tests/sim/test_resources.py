@@ -145,7 +145,7 @@ def test_store_get_blocks_until_put():
     got = []
 
     def consumer(sim, store):
-        item = yield store.get()
+        yield store.get()
         got.append(sim.now)
 
     def producer(sim, store):

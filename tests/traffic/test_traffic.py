@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from dcrobot.network import CableKind, LinkState
+from dcrobot.network import LinkState
 from dcrobot.topology import build_fattree, build_leafspine
 from dcrobot.traffic import (
     EcmpRouter,

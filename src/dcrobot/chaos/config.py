@@ -1,0 +1,94 @@
+"""Chaos-injection knobs: per-fault probabilities and magnitudes."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+_PROB_FIELDS = (
+    "robot_stall_prob",
+    "robot_crash_prob",
+    "partial_completion_prob",
+    "telemetry_drop_prob",
+    "telemetry_dup_prob",
+    "telemetry_corrupt_prob",
+    "ack_loss_prob",
+    "ack_delay_prob",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosConfig:
+    """Probabilities and magnitudes of maintenance-plane faults.
+
+    Per-operation probabilities are evaluated independently: each robot
+    work order may stall, crash, or only partially complete; each
+    telemetry delivery may be dropped, duplicated, or corrupted; each
+    executor acknowledgement may be delayed or lost entirely.
+    """
+
+    #: Robot wedges mid-operation and must be power-cycled (adds time).
+    robot_stall_prob: float = 0.0
+    robot_stall_seconds: Tuple[float, float] = (600.0, 7200.0)
+    #: Robot crashes mid-operation: the repair is aborted, the unit is
+    #: out for the recovery period, and a human is requested.
+    robot_crash_prob: float = 0.0
+    robot_crash_recovery_seconds: Tuple[float, float] = (1800.0, 14400.0)
+    #: Operation reports success but only partially landed (residual
+    #: contact degradation the robot does not notice).
+    partial_completion_prob: float = 0.0
+    partial_residual_oxidation: Tuple[float, float] = (0.35, 0.7)
+    #: Telemetry delivery chaos (between detection and the controller).
+    telemetry_drop_prob: float = 0.0
+    telemetry_dup_prob: float = 0.0
+    telemetry_corrupt_prob: float = 0.0
+    #: Work-order acknowledgement chaos at the executor boundary.
+    ack_loss_prob: float = 0.0
+    ack_delay_prob: float = 0.0
+    ack_delay_seconds: Tuple[float, float] = (1800.0, 21600.0)
+
+    def __post_init__(self) -> None:
+        for name in _PROB_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        for name in ("robot_stall_seconds",
+                     "robot_crash_recovery_seconds",
+                     "partial_residual_oxidation",
+                     "ack_delay_seconds"):
+            low, high = getattr(self, name)
+            if low < 0 or high < low:
+                raise ValueError(
+                    f"{name} must satisfy 0 <= low <= high, "
+                    f"got ({low}, {high})")
+
+    @property
+    def any_enabled(self) -> bool:
+        """Whether any injector has a non-zero probability."""
+        return any(getattr(self, name) > 0 for name in _PROB_FIELDS)
+
+    def scaled(self, factor: float) -> "ChaosConfig":
+        """All probabilities multiplied by ``factor`` (capped at 1).
+
+        Magnitude ranges are left unchanged; this is the fault-rate
+        sweep knob for the chaos experiments.
+        """
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        return dataclasses.replace(
+            self, **{name: min(1.0, getattr(self, name) * factor)
+                     for name in _PROB_FIELDS})
+
+    @classmethod
+    def moderate(cls) -> "ChaosConfig":
+        """A preset with every injector on at moderate rates."""
+        return cls(
+            robot_stall_prob=0.08,
+            robot_crash_prob=0.04,
+            partial_completion_prob=0.06,
+            telemetry_drop_prob=0.08,
+            telemetry_dup_prob=0.05,
+            telemetry_corrupt_prob=0.03,
+            ack_loss_prob=0.06,
+            ack_delay_prob=0.08,
+        )

@@ -1,0 +1,55 @@
+"""Wires the chaos injectors into a built world.
+
+One :class:`ChaosEngine` owns the unified ground-truth
+:class:`~dcrobot.chaos.faults.ChaosLog` and the dedicated RNG
+substreams (spawned under ``"chaos"`` so the physical world's random
+sequences are untouched by turning chaos on).  Attachment is explicit
+and piecemeal — experiments can enable only the injector families a
+sweep calls for.
+"""
+
+from __future__ import annotations
+
+from dcrobot.chaos.config import ChaosConfig
+from dcrobot.chaos.executor import ChaoticExecutor
+from dcrobot.chaos.faults import ChaosLog
+from dcrobot.chaos.robot import RobotChaos
+from dcrobot.chaos.telemetry import TelemetryChaos
+from dcrobot.sim.engine import Simulation
+from dcrobot.sim.rng import RandomStreams
+
+
+class ChaosEngine:
+    """Factory and registry for one simulation's chaos injectors."""
+
+    def __init__(self, sim: Simulation, config: ChaosConfig,
+                 streams: RandomStreams) -> None:
+        self.sim = sim
+        self.config = config
+        self.log = ChaosLog()
+        chaos_streams = streams.spawn("chaos")
+        self.robot = RobotChaos(config, chaos_streams.stream("robot"),
+                                self.log)
+        self.telemetry = TelemetryChaos(
+            config, chaos_streams.stream("telemetry"), self.log)
+        self._ack_rng = chaos_streams.stream("ack")
+        self.wrapped_executors = []
+
+    def attach_fleet(self, fleet) -> None:
+        """Enable mid-operation robot faults on a fleet."""
+        fleet.chaos = self.robot
+
+    def attach_monitor(self, monitor) -> None:
+        """Enable telemetry delivery faults on a monitor."""
+        monitor.add_interceptor(self.telemetry)
+
+    def wrap_executor(self, inner) -> ChaoticExecutor:
+        """Wrap an executor's ack path with loss/delay chaos."""
+        wrapped = ChaoticExecutor(self.sim, inner, self.config,
+                                  self._ack_rng, self.log)
+        self.wrapped_executors.append(wrapped)
+        return wrapped
+
+    def summary(self) -> dict:
+        """Injected-fault counts by kind (ground truth for scoring)."""
+        return self.log.summary()

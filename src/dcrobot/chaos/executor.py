@@ -1,0 +1,90 @@
+"""Acknowledgement chaos at the controller↔executor boundary.
+
+:class:`ChaoticExecutor` wraps any executor (robot fleet, technician
+pool) and perturbs only the *acknowledgement path* of
+:meth:`submit`: the physical work still happens exactly as the inner
+executor performs it, but the controller may see the completion event
+late — or never.  This is the distributed-systems classic: you cannot
+tell a lost ack from a lost operation, which is why the hardened
+controller re-verifies link health before re-dispatching.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from dcrobot.chaos.config import ChaosConfig
+from dcrobot.chaos.faults import ChaosFaultKind, ChaosLog
+from dcrobot.core.actions import WorkOrder
+from dcrobot.sim.engine import Simulation
+from dcrobot.sim.events import Event, defer
+
+
+class ChaoticExecutor:
+    """Executor wrapper that delays or loses acknowledgements."""
+
+    def __init__(self, sim: Simulation, inner, config: ChaosConfig,
+                 rng: np.random.Generator,
+                 log: Optional[ChaosLog] = None) -> None:
+        self.sim = sim
+        self.inner = inner
+        self.config = config
+        self.rng = rng
+        self.log = log if log is not None else ChaosLog()
+        #: Acks swallowed entirely (the controller never hears these).
+        self.lost_acks = 0
+        self.delayed_acks = 0
+
+    def __repr__(self) -> str:
+        return (f"<ChaoticExecutor over {self.inner!r} "
+                f"lost={self.lost_acks} delayed={self.delayed_acks}>")
+
+    # -- executor interface (perturbed) --------------------------------------
+
+    def submit(self, order: WorkOrder) -> Event:
+        done = self.inner.submit(order)
+        roll = self.rng.random()
+        if roll < self.config.ack_loss_prob:
+            self.lost_acks += 1
+            self.log.record(self.sim.now, ChaosFaultKind.ACK_LOST,
+                            order.link_id,
+                            f"order {order.order_id} ack swallowed")
+            # The work proceeds; its completion event fires into the
+            # void.  The caller's event never triggers.
+            return Event(self.sim)
+        if roll < self.config.ack_loss_prob + self.config.ack_delay_prob:
+            low, high = self.config.ack_delay_seconds
+            delay = (float(low) if high <= low
+                     else float(self.rng.uniform(low, high)))
+            self.delayed_acks += 1
+            self.log.record(self.sim.now, ChaosFaultKind.ACK_DELAYED,
+                            order.link_id,
+                            f"order {order.order_id} ack +{delay:.0f}s")
+            return defer(self.sim, done, delay)
+        return done
+
+    # -- executor interface (delegated untouched) ----------------------------
+
+    @property
+    def executor_id(self) -> str:
+        return self.inner.executor_id
+
+    @property
+    def capabilities(self):
+        return self.inner.capabilities
+
+    def can_execute(self, action) -> bool:
+        return self.inner.can_execute(action)
+
+    def covers(self, rack_id: str) -> bool:
+        return self.inner.covers(rack_id)
+
+    def announce_touches(self, order: WorkOrder):
+        return self.inner.announce_touches(order)
+
+    def __getattr__(self, name):
+        # Anything else (outcomes lists, unit rosters, ...) passes
+        # through to the wrapped executor.
+        return getattr(self.inner, name)

@@ -1,0 +1,58 @@
+"""Ground-truth records of injected maintenance-plane faults."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List
+
+
+class ChaosFaultKind(enum.Enum):
+    """The maintenance-plane fault classes the chaos layer injects."""
+
+    ROBOT_STALL = "robot-stall"
+    ROBOT_CRASH = "robot-crash"
+    PARTIAL_COMPLETION = "partial-completion"
+    TELEMETRY_DROP = "telemetry-drop"
+    TELEMETRY_DUP = "telemetry-dup"
+    TELEMETRY_CORRUPT = "telemetry-corrupt"
+    ACK_LOST = "ack-lost"
+    ACK_DELAYED = "ack-delayed"
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosFault:
+    """One injected maintenance-plane fault (ground truth)."""
+
+    time: float
+    kind: ChaosFaultKind
+    #: What the fault hit: a link id, robot unit id, or order id string.
+    target: str
+    detail: str = ""
+
+
+class ChaosLog:
+    """Append-only fault log shared by all injectors of one engine."""
+
+    def __init__(self) -> None:
+        self.faults: List[ChaosFault] = []
+        self.counts: Dict[ChaosFaultKind, int] = {
+            kind: 0 for kind in ChaosFaultKind}
+
+    def record(self, time: float, kind: ChaosFaultKind, target: str,
+               detail: str = "") -> ChaosFault:
+        fault = ChaosFault(time, kind, target, detail)
+        self.faults.append(fault)
+        self.counts[kind] += 1
+        return fault
+
+    def count(self, kind: ChaosFaultKind) -> int:
+        return self.counts[kind]
+
+    @property
+    def total(self) -> int:
+        return len(self.faults)
+
+    def summary(self) -> Dict[str, int]:
+        """Fault counts keyed by kind value (stable for reporting)."""
+        return {kind.value: self.counts[kind] for kind in ChaosFaultKind}

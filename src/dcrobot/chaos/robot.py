@@ -1,0 +1,90 @@
+"""Mid-operation robot faults: stall, crash, partial completion.
+
+The fleet consults :class:`RobotChaos` once per executed work order and
+gets back a :class:`RobotChaosPlan` — the faults that will strike this
+operation.  Drawing the whole plan up front from a dedicated RNG keeps
+chaos deterministic per seed regardless of how the operation itself
+interleaves with other simulation processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from dcrobot.chaos.config import ChaosConfig
+from dcrobot.chaos.faults import ChaosFaultKind, ChaosLog
+from dcrobot.core.actions import WorkOrder
+
+
+@dataclasses.dataclass(frozen=True)
+class RobotChaosPlan:
+    """The faults striking one robot operation (drawn up front)."""
+
+    stall_seconds: float = 0.0
+    crash: bool = False
+    crash_recovery_seconds: float = 0.0
+    partial: bool = False
+
+    @property
+    def any(self) -> bool:
+        return self.stall_seconds > 0 or self.crash or self.partial
+
+
+class RobotChaos:
+    """Per-operation fault planner for the robot fleet."""
+
+    def __init__(self, config: ChaosConfig, rng: np.random.Generator,
+                 log: Optional[ChaosLog] = None) -> None:
+        self.config = config
+        self.rng = rng
+        self.log = log if log is not None else ChaosLog()
+
+    def _uniform(self, bounds) -> float:
+        low, high = bounds
+        if high <= low:
+            return float(low)
+        return float(self.rng.uniform(low, high))
+
+    def plan_for(self, order: WorkOrder, now: float) -> RobotChaosPlan:
+        """Draw this operation's fault plan (and log what was drawn)."""
+        config = self.config
+        stall_seconds = 0.0
+        if self.rng.random() < config.robot_stall_prob:
+            stall_seconds = self._uniform(config.robot_stall_seconds)
+            self.log.record(now, ChaosFaultKind.ROBOT_STALL,
+                            order.link_id,
+                            f"order {order.order_id} stalled "
+                            f"{stall_seconds:.0f}s")
+        crash = self.rng.random() < config.robot_crash_prob
+        recovery = 0.0
+        if crash:
+            recovery = self._uniform(config.robot_crash_recovery_seconds)
+            self.log.record(now, ChaosFaultKind.ROBOT_CRASH,
+                            order.link_id,
+                            f"order {order.order_id} crashed; recovery "
+                            f"{recovery:.0f}s")
+        partial = (not crash
+                   and self.rng.random() < config.partial_completion_prob)
+        if partial:
+            self.log.record(now, ChaosFaultKind.PARTIAL_COMPLETION,
+                            order.link_id,
+                            f"order {order.order_id} will only "
+                            f"partially complete")
+        return RobotChaosPlan(stall_seconds=stall_seconds, crash=crash,
+                              crash_recovery_seconds=recovery,
+                              partial=partial)
+
+    def apply_partial(self, link, now: float) -> None:
+        """Leave residual degradation after a 'successful' repair.
+
+        The robot reports completion; physically, one contact retains
+        oxidation — the lie the controller's verification step exists
+        to catch.
+        """
+        side = "a" if self.rng.random() < 0.5 else "b"
+        unit = link.transceiver_at(side)
+        residue = self._uniform(self.config.partial_residual_oxidation)
+        unit.oxidation = min(1.0, unit.oxidation + residue)

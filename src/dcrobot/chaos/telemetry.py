@@ -1,0 +1,58 @@
+"""Telemetry delivery chaos: dropout, duplication, corruption.
+
+Installed as a :class:`~dcrobot.telemetry.monitor.TelemetryMonitor`
+interceptor, so it sits between detection and the controller exactly
+where a lossy reporting pipeline would.  Corruption scrambles the
+symptom class (a flap reported as high loss, etc.) but never the link
+id — a corrupted report still names a real link, it just lies about
+what is wrong with it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from dcrobot.chaos.config import ChaosConfig
+from dcrobot.chaos.faults import ChaosFaultKind, ChaosLog
+from dcrobot.telemetry.events import Symptom, TelemetryEvent
+
+
+class TelemetryChaos:
+    """Interceptor injecting delivery faults into the telemetry path."""
+
+    def __init__(self, config: ChaosConfig, rng: np.random.Generator,
+                 log: Optional[ChaosLog] = None) -> None:
+        self.config = config
+        self.rng = rng
+        self.log = log if log is not None else ChaosLog()
+
+    def _corrupt(self, event: TelemetryEvent) -> TelemetryEvent:
+        others = [symptom for symptom in Symptom
+                  if symptom is not event.symptom]
+        scrambled = others[int(self.rng.integers(len(others)))]
+        return TelemetryEvent(
+            time=event.time, link_id=event.link_id, symptom=scrambled,
+            detail=f"(corrupted from {event.symptom.value}) "
+                   f"{event.detail}")
+
+    def __call__(self, event: TelemetryEvent) -> List[TelemetryEvent]:
+        config = self.config
+        if self.rng.random() < config.telemetry_drop_prob:
+            self.log.record(event.time, ChaosFaultKind.TELEMETRY_DROP,
+                            event.link_id, event.symptom.value)
+            return []
+        if self.rng.random() < config.telemetry_corrupt_prob:
+            corrupted = self._corrupt(event)
+            self.log.record(event.time,
+                            ChaosFaultKind.TELEMETRY_CORRUPT,
+                            event.link_id,
+                            f"{event.symptom.value} -> "
+                            f"{corrupted.symptom.value}")
+            event = corrupted
+        if self.rng.random() < config.telemetry_dup_prob:
+            self.log.record(event.time, ChaosFaultKind.TELEMETRY_DUP,
+                            event.link_id, event.symptom.value)
+            return [event, event]
+        return [event]

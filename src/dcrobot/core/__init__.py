@@ -23,6 +23,7 @@ from dcrobot.core.automation import (
     spec_for,
 )
 from dcrobot.core.controller import (
+    ActiveOrder,
     ControllerConfig,
     Incident,
     MaintenanceController,
@@ -55,6 +56,13 @@ from dcrobot.core.reconfigure import (
     StepKind,
     plan_rewiring,
 )
+from dcrobot.core.resilience import (
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    ResilienceConfig,
+    RetryPolicy,
+)
 from dcrobot.core.scheduler import ImpactAwareScheduler, SchedulerConfig
 
 __all__ = [
@@ -84,6 +92,12 @@ __all__ = [
     "MaintenanceController",
     "ControllerConfig",
     "Incident",
+    "ActiveOrder",
+    "RetryPolicy",
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "ResilienceConfig",
     "MaintenanceServiceAPI",
     "MaintenanceStatus",
     "AuditLog",

@@ -7,17 +7,30 @@ picks the stage, the impact-aware scheduler drains traffic and defers
 proactive work to quiet windows, an executor (robot fleet and/or
 technician pool, per the automation level) performs the repair, and the
 controller verifies the outcome and escalates until the link is healthy.
+
+With a :class:`~dcrobot.core.resilience.ResilienceConfig` attached the
+controller also survives a misbehaving maintenance plane: work orders
+time out instead of blocking forever, timed-out or failed orders are
+re-dispatched under bounded exponential backoff with jitter, a link
+whose repair landed without an acknowledgement is *not* repaired twice
+(health is re-verified before every re-dispatch), and a robot fleet
+that keeps failing is circuit-broken back to the technician pool until
+a half-open probe readmits it.  Without one (the default), behaviour is
+the legacy trusting control loop.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 from dcrobot.core.actions import Priority, RepairAction, RepairOutcome, WorkOrder
 from dcrobot.core.automation import AutomationLevel, LevelSpec, spec_for
 from dcrobot.core.escalation import EscalationLadder
 from dcrobot.core.policy import PlanRequest, ReactivePolicy
+from dcrobot.core.resilience import CircuitBreaker
 from dcrobot.core.scheduler import ImpactAwareScheduler
 from dcrobot.failures.health import HealthModel
 from dcrobot.network.enums import LinkState
@@ -56,6 +69,21 @@ class Incident:
         return len(self.attempts)
 
 
+@dataclasses.dataclass(frozen=True)
+class ActiveOrder:
+    """One in-flight work order: who owns which link since when."""
+
+    order: WorkOrder
+    executor_id: str
+    dispatched_at: float
+    deadline: Optional[float] = None
+    proactive: bool = False
+
+    @property
+    def link_id(self) -> str:
+        return self.order.link_id
+
+
 @dataclasses.dataclass
 class ControllerConfig:
     """Controller behaviour knobs."""
@@ -69,6 +97,9 @@ class ControllerConfig:
     max_attempts: int = 8
     #: Defer proactive work to the scheduler's quiet window.
     defer_proactive: bool = True
+    #: Chaos hardening (timeouts, retries, circuit breaking); ``None``
+    #: keeps the legacy trusting behaviour.
+    resilience: Optional["ResilienceConfig"] = None
 
     def __post_init__(self) -> None:
         if self.verification_delay_seconds < 0:
@@ -87,7 +118,8 @@ class MaintenanceController:
                  scheduler: Optional[ImpactAwareScheduler] = None,
                  level: AutomationLevel = AutomationLevel.L0_NO_AUTOMATION,
                  humans=None, fleet=None,
-                 config: Optional[ControllerConfig] = None) -> None:
+                 config: Optional[ControllerConfig] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
         self.sim = sim
         self.fabric = fabric
         self.health = health
@@ -100,6 +132,7 @@ class MaintenanceController:
         self.humans = humans
         self.fleet = fleet
         self.config = config or ControllerConfig()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
         if humans is None and fleet is None:
             raise ValueError("need at least one executor")
 
@@ -117,6 +150,28 @@ class MaintenanceController:
         self.supervision_seconds = 0.0
         self._proactive_pending: set = set()
 
+        #: link id -> claims by in-flight work orders (the ownership
+        #: registry the safety monitor audits for double-dispatch).
+        self.active_orders: Dict[str, List[ActiveOrder]] = {}
+        self.resilience = self.config.resilience
+        self.fleet_breaker: Optional[CircuitBreaker] = (
+            CircuitBreaker(self.resilience.breaker)
+            if self.resilience is not None and fleet is not None
+            else None)
+        #: Orders whose acknowledgement never arrived in time.
+        self.lost_ack_orders: List[WorkOrder] = []
+        #: Acknowledgements that arrived after their timeout fired.
+        self.late_outcomes: List[RepairOutcome] = []
+        self.timeout_count = 0
+        self.retry_count = 0
+        self.late_ack_count = 0
+        #: Re-dispatches skipped because the link healed meanwhile
+        #: (idempotency guard: the repair landed, only the ack was lost).
+        self.idempotent_skips = 0
+        #: Orders routed to humans because the fleet breaker was open —
+        #: the graceful automation-level degradation counter.
+        self.degraded_dispatches = 0
+
         monitor.subscribe(self.on_event)
 
     def __repr__(self) -> str:
@@ -129,6 +184,42 @@ class MaintenanceController:
     def start(self) -> None:
         """Launch the proactive policy loop."""
         self.sim.process(self._policy_loop())
+
+    # -- ownership bookkeeping ----------------------------------------------
+
+    def _claim(self, order: WorkOrder, executor,
+               deadline: Optional[float] = None,
+               proactive: bool = False) -> ActiveOrder:
+        claim = ActiveOrder(order=order,
+                            executor_id=self._executor_id(executor),
+                            dispatched_at=self.sim.now,
+                            deadline=deadline, proactive=proactive)
+        self.active_orders.setdefault(order.link_id, []).append(claim)
+        return claim
+
+    def _release(self, claim: ActiveOrder) -> None:
+        claims = self.active_orders.get(claim.link_id, [])
+        if claim in claims:
+            claims.remove(claim)
+        if not claims:
+            self.active_orders.pop(claim.link_id, None)
+
+    def inflight_order_ids(self) -> Set[int]:
+        """Order ids of every currently claimed work order."""
+        return {claim.order.order_id
+                for claims in self.active_orders.values()
+                for claim in claims}
+
+    @staticmethod
+    def _executor_id(executor) -> str:
+        return getattr(executor, "executor_id", "executor")
+
+    @property
+    def automation_degraded(self) -> bool:
+        """True while the fleet breaker benches the robots."""
+        from dcrobot.core.resilience import BreakerState
+        return (self.fleet_breaker is not None
+                and self.fleet_breaker.state is not BreakerState.CLOSED)
 
     # -- reactive path -----------------------------------------------------------
 
@@ -159,6 +250,12 @@ class MaintenanceController:
                           and self.fleet.can_execute(action)
                           and rack_id is not None
                           and self.fleet.covers(rack_id))
+        if robots_allowed and self.fleet_breaker is not None \
+                and not self.fleet_breaker.allows(self.sim.now):
+            # Graceful degradation: the fleet is benched, fall back to
+            # the technician pool (effectively a lower automation level).
+            self.degraded_dispatches += 1
+            robots_allowed = False
         if robots_allowed:
             return self.fleet
         if self.humans is not None and self.humans.can_execute(action):
@@ -169,8 +266,25 @@ class MaintenanceController:
         sim = self.sim
         link = self.fabric.links[incident.link_id]
         history = self.repair_history.setdefault(link.id, [])
-        action = request.action or self.ladder.next_action(
-            link, history, sim.now)
+        action = request.action
+        if action is None:
+            if (self.resilience is not None
+                    and self.ladder.is_exhausted(link, history, sim.now)):
+                # Restarting the ladder mid-incident would loop robots
+                # over a link they cannot fix and break stage
+                # monotonicity; hand the case to a human instead.
+                self._mark_unresolvable(
+                    incident, "escalation ladder exhausted")
+                return
+            action = self.ladder.next_action(link, history, sim.now)
+            if (self.resilience is not None
+                    and self._regresses(incident, action)):
+                # The escalation window expired mid-incident and the
+                # ladder wants to walk back down; never regress within
+                # one incident — escalate to a human instead.
+                self._mark_unresolvable(
+                    incident, "escalation ladder exhausted")
+                return
         executor = self._select_executor(action, link)
         if executor is None:
             self._mark_unresolvable(
@@ -180,13 +294,27 @@ class MaintenanceController:
         if executor is self.fleet and self.spec.approval_latency_seconds:
             yield sim.timeout(self.spec.approval_latency_seconds)
 
+        if self.resilience is None:
+            yield from self._attempt_once(incident, link, history,
+                                          action, executor)
+        else:
+            yield from self._attempt_resilient(incident, link, history,
+                                               action, executor)
+
+    # -- legacy single-shot attempt (no timeout, no retry) -------------------
+
+    def _attempt_once(self, incident: Incident, link, history,
+                      action: RepairAction, executor):
+        sim = self.sim
         order = WorkOrder(link_id=link.id, action=action,
                           created_at=sim.now, priority=incident.priority,
                           symptom=incident.symptom,
                           announced_touches=executor.announce_touches(
                               WorkOrder(link.id, action, sim.now)))
         self.scheduler.before_repair(order)
+        claim = self._claim(order, executor)
         outcome = yield executor.submit(order)
+        self._release(claim)
         self._account(executor, outcome)
         incident.attempts.append(outcome)
         incident.attempt_history.append((sim.now, action))
@@ -203,12 +331,187 @@ class MaintenanceController:
                               announced_touches=self.humans.
                               announce_touches(
                                   WorkOrder(link.id, action, sim.now)))
+            retry_claim = self._claim(retry, self.humans)
             outcome = yield self.humans.submit(retry)
+            self._release(retry_claim)
             incident.attempts.append(outcome)
             incident.attempt_history.append((sim.now, action))
             history.append((sim.now, action))
         self.scheduler.after_repair(order)
 
+        yield from self._verify_and_close(incident, link, action)
+
+    # -- hardened attempt: timeout, backoff, idempotent re-dispatch ----------
+
+    def _attempt_resilient(self, incident: Incident, link, history,
+                           action: RepairAction, executor):
+        sim = self.sim
+        retry_policy = self.resilience.retry
+        retry_index = 0
+        while True:
+            if self.active_orders.get(link.id):
+                # Someone else (e.g. a proactive order) already touches
+                # this link; back off instead of double-dispatching.
+                if retry_index >= retry_policy.max_retries:
+                    break
+                yield from self._backoff(retry_policy, retry_index)
+                retry_index += 1
+                continue
+
+            order = WorkOrder(link_id=link.id, action=action,
+                              created_at=sim.now,
+                              priority=incident.priority,
+                              symptom=incident.symptom,
+                              announced_touches=executor.announce_touches(
+                                  WorkOrder(link.id, action, sim.now)))
+            self.scheduler.before_repair(order)
+            deadline = sim.now + self._timeout_for(executor)
+            claim = self._claim(order, executor, deadline=deadline)
+            outcome = yield from self._await_with_timeout(
+                executor.submit(order), order, executor)
+            self.scheduler.after_repair(order)
+            self._release(claim)
+
+            if outcome is None:
+                outcome = self._timeout_outcome(order, executor)
+                self._record_breaker(executor, success=False)
+            else:
+                self._account(executor, outcome)
+                self._record_breaker(executor,
+                                     success=outcome.completed)
+            incident.attempts.append(outcome)
+            incident.attempt_history.append((sim.now, action))
+            history.append((sim.now, action))
+
+            if outcome.needs_human and self.humans is not None \
+                    and executor is not self.humans:
+                follow = yield from self._human_follow_up(
+                    incident, link, history, action)
+                if follow is not None:
+                    outcome = follow
+
+            if outcome.completed:
+                break
+            # Idempotency guard: the physical repair may have landed
+            # even though its acknowledgement did not.
+            if self.resilience.verify_before_retry:
+                self.health.evaluate_link(link, sim.now)
+                if self._is_healthy(link):
+                    self.idempotent_skips += 1
+                    break
+            if incident.attempt_count >= self.config.max_attempts:
+                break
+            if retry_index >= retry_policy.max_retries:
+                break
+            yield from self._backoff(retry_policy, retry_index)
+            retry_index += 1
+            # The breaker may have opened (or healed) while we waited.
+            executor = self._select_executor(action, link)
+            if executor is None:
+                self._mark_unresolvable(
+                    incident, f"no executor for {action.value}")
+                return
+        yield from self._verify_and_close(incident, link, action)
+
+    def _regresses(self, incident: Incident,
+                   action: RepairAction) -> bool:
+        """Whether ``action`` walks down this incident's own ladder."""
+        ladder = self.ladder.config.ladder
+        if action not in ladder:
+            return False
+        highest = max((ladder.index(attempted)
+                       for _, attempted in incident.attempt_history
+                       if attempted in ladder), default=-1)
+        return ladder.index(action) < highest
+
+    def _backoff(self, retry_policy, retry_index: int):
+        """Generator: sleep one jittered exponential-backoff period."""
+        self.retry_count += 1
+        yield self.sim.timeout(
+            retry_policy.jittered_backoff(retry_index, self.rng))
+
+    def _human_follow_up(self, incident: Incident, link, history,
+                         action: RepairAction):
+        """§3.3.2 robot-requests-human-support follow-up, with timeout."""
+        sim = self.sim
+        retry = WorkOrder(link_id=link.id, action=action,
+                          created_at=sim.now,
+                          priority=incident.priority,
+                          symptom=incident.symptom,
+                          announced_touches=self.humans.announce_touches(
+                              WorkOrder(link.id, action, sim.now)))
+        self.scheduler.before_repair(retry)
+        deadline = sim.now + self._timeout_for(self.humans)
+        claim = self._claim(retry, self.humans, deadline=deadline)
+        outcome = yield from self._await_with_timeout(
+            self.humans.submit(retry), retry, self.humans)
+        self.scheduler.after_repair(retry)
+        self._release(claim)
+        if outcome is None:
+            outcome = self._timeout_outcome(retry, self.humans)
+        else:
+            self._account(self.humans, outcome)
+        incident.attempts.append(outcome)
+        incident.attempt_history.append((sim.now, action))
+        history.append((sim.now, action))
+        return outcome
+
+    def _timeout_for(self, executor) -> float:
+        """The ack deadline for an executor (humans run on ticket
+        timescales; robots on operation timescales)."""
+        if executor is self.humans:
+            return self.resilience.human_order_timeout_seconds
+        return self.resilience.work_order_timeout_seconds
+
+    def _await_with_timeout(self, done, order: WorkOrder, executor):
+        """Generator: wait for an ack, give up after the timeout.
+
+        Returns the :class:`RepairOutcome`, or ``None`` on timeout (a
+        late ack is still observed, for accounting and the breaker).
+        """
+        sim = self.sim
+        deadline = sim.timeout(self._timeout_for(executor))
+        yield sim.any_of([done, deadline])
+        if done.triggered:
+            return done.value
+        done.callbacks.append(
+            lambda event: self._on_late_ack(executor, event))
+        return None
+
+    def _timeout_outcome(self, order: WorkOrder,
+                         executor) -> RepairOutcome:
+        self.timeout_count += 1
+        self.lost_ack_orders.append(order)
+        return RepairOutcome(
+            order=order, executor_id=self._executor_id(executor),
+            started_at=order.created_at, finished_at=self.sim.now,
+            completed=False,
+            notes="no acknowledgement before timeout")
+
+    def _on_late_ack(self, executor, event) -> None:
+        """A timed-out order's ack finally arrived; learn from it."""
+        if not event.ok:
+            return
+        outcome = event.value
+        self.late_ack_count += 1
+        self.late_outcomes.append(outcome)
+        self._account(executor, outcome)
+        if outcome.completed:
+            self._record_breaker(executor, success=True)
+
+    def _record_breaker(self, executor, success: bool) -> None:
+        if self.fleet_breaker is None or executor is not self.fleet:
+            return
+        if success:
+            self.fleet_breaker.record_success(self.sim.now)
+        else:
+            self.fleet_breaker.record_failure(self.sim.now)
+
+    # -- verification tail (shared by both attempt paths) --------------------
+
+    def _verify_and_close(self, incident: Incident, link,
+                          action: RepairAction):
+        sim = self.sim
         yield sim.timeout(self.config.verification_delay_seconds)
         self.health.evaluate_link(link, sim.now)
         effective = self._is_healthy(link)
@@ -271,6 +574,9 @@ class MaintenanceController:
                     self.scheduler.seconds_until_quiet_window(sim.now))
             if request.link_id in self.open_incidents:
                 return  # it failed for real while we waited
+            if (self.resilience is not None
+                    and self.active_orders.get(request.link_id)):
+                return  # a reactive order already owns this link
             link = self.fabric.links[request.link_id]
             action = request.action or RepairAction.RESEAT
             if not self.ladder.applicable(action, link):
@@ -285,8 +591,18 @@ class MaintenanceController:
                               announced_touches=executor.announce_touches(
                                   WorkOrder(link.id, action, sim.now)))
             self.scheduler.before_repair(order)
-            outcome = yield executor.submit(order)
+            claim = self._claim(order, executor, proactive=True)
+            if self.resilience is None:
+                outcome = yield executor.submit(order)
+            else:
+                outcome = yield from self._await_with_timeout(
+                    executor.submit(order), order, executor)
             self.scheduler.after_repair(order)
+            self._release(claim)
+            if outcome is None:
+                self._timeout_outcome(order, executor)
+                self._record_breaker(executor, success=False)
+                return
             self._account(executor, outcome)
             self.proactive_outcomes.append(outcome)
         finally:

@@ -61,6 +61,36 @@ class EscalationLadder:
             return link.cable.cleanable
         return True
 
+    def highest_recent_stage(
+            self, history: Sequence[Tuple[float, RepairAction]],
+            now: float) -> int:
+        """Index of the highest ladder stage tried in-window (-1: none)."""
+        ladder = self.config.ladder
+        highest = -1
+        for when, action in history:
+            if now - when <= self.config.window_seconds \
+                    and action in ladder:
+                highest = max(highest, ladder.index(action))
+        return highest
+
+    def is_exhausted(self, link: Link,
+                     history: Sequence[Tuple[float, RepairAction]],
+                     now: float) -> bool:
+        """Whether every applicable stage was already tried in-window.
+
+        The legacy behaviour on exhaustion is to restart the ladder (the
+        hardware is new).  The hardened controller instead checks this
+        first and hands the incident to a human: restarting would break
+        the per-incident stage-monotonicity invariant and loop robots
+        over a link they demonstrably cannot fix.
+        """
+        highest = self.highest_recent_stage(history, now)
+        ladder = self.config.ladder
+        for index in range(highest + 1, len(ladder)):
+            if self.applicable(ladder[index], link):
+                return False
+        return highest >= 0
+
     def next_action(self, link: Link,
                     history: Sequence[Tuple[float, RepairAction]],
                     now: float) -> RepairAction:
@@ -71,12 +101,7 @@ class EscalationLadder:
         already tried in-window.
         """
         ladder = self.config.ladder
-        recent = [action for when, action in history
-                  if now - when <= self.config.window_seconds]
-        highest = -1
-        for action in recent:
-            if action in ladder:
-                highest = max(highest, ladder.index(action))
+        highest = self.highest_recent_stage(history, now)
         for index in range(highest + 1, len(ladder)):
             if self.applicable(ladder[index], link):
                 return ladder[index]

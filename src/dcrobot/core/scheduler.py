@@ -11,7 +11,7 @@ maintenance at little to no additional cost").
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from dcrobot.core.actions import WorkOrder
 from dcrobot.traffic.routing import EcmpRouter
@@ -84,3 +84,13 @@ class ImpactAwareScheduler:
             return
         for link_id in self._drained_for_order.pop(order.order_id, []):
             self.router.undrain(link_id)
+
+    def outstanding_drains(self) -> Dict[int, List[str]]:
+        """Order id -> link ids still drained on its behalf.
+
+        The safety monitor cross-checks this against the controller's
+        in-flight orders: a drain whose order is no longer in flight is
+        traffic that was never given back.
+        """
+        return {order_id: list(links) for order_id, links
+                in self._drained_for_order.items()}

@@ -1,7 +1,7 @@
 """Experiment harness (S12): every paper claim as a runnable experiment.
 
 Each experiment module exposes ``run(quick=True, seed=0) ->
-ExperimentResult``; the registry maps experiment ids (``e1`` .. ``e12``)
+ExperimentResult``; the registry maps experiment ids (``e1`` .. ``e13``)
 to those functions.  Run one from the command line::
 
     python -m dcrobot.experiments e1 [--full] [--seed N]
@@ -22,6 +22,7 @@ from dcrobot.experiments import (
     e10_predictive_ml,
     e11_mobility_scopes,
     e12_gpu_cluster,
+    e13_chaos_resilience,
 )
 from dcrobot.experiments.parallel import (
     Execution,
@@ -52,6 +53,7 @@ _MODULES = (
     e10_predictive_ml,
     e11_mobility_scopes,
     e12_gpu_cluster,
+    e13_chaos_resilience,
 )
 
 #: Experiment id -> run function.
@@ -70,7 +72,7 @@ def run_experiment(experiment_id: str, quick: bool = True,
                    seed: int = 0,
                    execution: Optional[Execution] = None,
                    ) -> ExperimentResult:
-    """Run one experiment by id (``e1`` .. ``e12``).
+    """Run one experiment by id (``e1`` .. ``e13``).
 
     ``execution`` selects worker count, Monte-Carlo replicates, and
     the trial cache (see :class:`dcrobot.experiments.parallel.Execution`);

@@ -17,10 +17,10 @@ from dcrobot.experiments.parallel import (
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m dcrobot.experiments",
-        description="Reproduce the paper's experiments (E1-E12).")
+        description="Reproduce the paper's experiments (E1-E13).")
     parser.add_argument(
         "experiment",
-        help="experiment id (e1..e12), 'all', or 'list'")
+        help="experiment id (e1..e13), 'all', or 'list'")
     parser.add_argument("--full", action="store_true",
                         help="full-scale run (slower, paper-grade)")
     parser.add_argument("--seed", type=int, default=0)
@@ -64,17 +64,22 @@ def main(argv=None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     targets = (sorted(REGISTRY) if args.experiment == "all"
-               else [args.experiment])
+               else [args.experiment.lower()])
+    # Validate up front so a typo fails with one clean line before any
+    # experiment runs — and so a KeyError raised *inside* an experiment
+    # is never mistaken for an unknown id.
+    unknown = [target for target in targets if target not in REGISTRY]
+    if unknown:
+        print(f"error: unknown experiment {unknown[0]!r}; "
+              f"available: {', '.join(sorted(REGISTRY))} "
+              f"(or 'all', 'list')", file=sys.stderr)
+        return 2
     for experiment_id in targets:
         started = time.time()
-        try:
-            result = run_experiment(experiment_id,
-                                    quick=not args.full,
-                                    seed=args.seed,
-                                    execution=execution)
-        except KeyError as error:
-            print(f"error: {error.args[0]}", file=sys.stderr)
-            return 2
+        result = run_experiment(experiment_id,
+                                quick=not args.full,
+                                seed=args.seed,
+                                execution=execution)
         print(result.render())
         print(f"[{experiment_id} finished in "
               f"{time.time() - started:.1f}s]\n")

@@ -13,6 +13,9 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from dcrobot.chaos.config import ChaosConfig
+from dcrobot.chaos.engine import ChaosEngine
+from dcrobot.chaos.safety import SafetyMonitor
 from dcrobot.core.actions import RepairAction
 from dcrobot.core.automation import AutomationLevel, spec_for
 from dcrobot.core.controller import ControllerConfig, MaintenanceController
@@ -50,6 +53,7 @@ from dcrobot.metrics.mttr import (
 from dcrobot.network.enums import FormFactor
 from dcrobot.robots.fleet import FleetConfig, RobotFleet
 from dcrobot.sim.engine import Simulation
+from dcrobot.sim.rng import RandomStreams
 from dcrobot.telemetry.detectors import DetectorParams
 from dcrobot.telemetry.monitor import TelemetryMonitor
 from dcrobot.topology.base import Topology
@@ -90,6 +94,16 @@ class WorldConfig:
     scheduler_config: Optional[SchedulerConfig] = None
     spare_transceivers: int = 500
     spare_cables: int = 200
+    #: Maintenance-plane fault injection; ``None`` = no chaos.
+    chaos: Optional[ChaosConfig] = None
+    #: Telemetry mute TTL (lets dropped reports re-fire); ``None``
+    #: keeps the legacy mute-until-unmuted behaviour.
+    mute_ttl_seconds: Optional[float] = None
+    #: Attach the invariant-checking safety monitor.
+    safety: bool = False
+    safety_check_interval_seconds: float = 300.0
+    #: A claim older than this is a leaked ("stuck") work order.
+    stuck_after_seconds: float = 7.0 * DAY
 
     @property
     def horizon_seconds(self) -> float:
@@ -113,6 +127,8 @@ class RunResult:
     fleet: Optional[RobotFleet]
     spares_consumed_transceivers: int = 0
     spares_consumed_cables: int = 0
+    chaos_engine: Optional[ChaosEngine] = None
+    safety: Optional[SafetyMonitor] = None
 
     @property
     def fabric(self):
@@ -221,7 +237,8 @@ def build_world(config: WorldConfig) -> RunResult:
                            mean_rate_per_day=config.aging_rate_per_day,
                            rng=np.random.default_rng(config.seed + 9))
     monitor = TelemetryMonitor(fabric, params=config.detector_params,
-                               poll_seconds=config.monitor_poll_seconds)
+                               poll_seconds=config.monitor_poll_seconds,
+                               mute_ttl_seconds=config.mute_ttl_seconds)
 
     spec = spec_for(config.level)
     humans = None
@@ -246,13 +263,36 @@ def build_world(config: WorldConfig) -> RunResult:
                            config=fleet_config,
                            rng=np.random.default_rng(config.seed + 8))
 
+    chaos_engine = None
+    controller_humans, controller_fleet = humans, fleet
+    if config.chaos is not None:
+        chaos_engine = ChaosEngine(sim, config.chaos,
+                                   RandomStreams(config.seed))
+        chaos_engine.attach_monitor(monitor)
+        if fleet is not None:
+            chaos_engine.attach_fleet(fleet)
+            controller_fleet = chaos_engine.wrap_executor(fleet)
+        if humans is not None:
+            controller_humans = chaos_engine.wrap_executor(humans)
+
     controller = MaintenanceController(
         sim, fabric, health, monitor,
         policy=_make_policy(config, topology),
         ladder=EscalationLadder(config.escalation),
         scheduler=ImpactAwareScheduler(config=config.scheduler_config),
-        level=config.level, humans=humans, fleet=fleet,
-        config=config.controller_config or ControllerConfig())
+        level=config.level, humans=controller_humans,
+        fleet=controller_fleet,
+        config=config.controller_config or ControllerConfig(),
+        rng=np.random.default_rng(config.seed + 10))
+
+    safety = None
+    if config.safety:
+        executors = [executor for executor in (fleet, humans)
+                     if executor is not None]
+        safety = SafetyMonitor(
+            sim, controller, executors=executors,
+            check_interval_seconds=config.safety_check_interval_seconds,
+            stuck_after_seconds=config.stuck_after_seconds).attach()
 
     sim.process(health.run(sim))
     sim.process(monitor.run(sim))
@@ -268,7 +308,8 @@ def build_world(config: WorldConfig) -> RunResult:
                      environment=environment, health=health,
                      cascade=cascade, injector=injector,
                      monitor=monitor, controller=controller,
-                     humans=humans, fleet=fleet)
+                     humans=humans, fleet=fleet,
+                     chaos_engine=chaos_engine, safety=safety)
 
 
 def run_world(config: WorldConfig) -> RunResult:
@@ -319,6 +360,42 @@ class WorldSummary:
     spares_consumed_transceivers: int
     spares_consumed_cables: int
     link_count: int
+    #: -- chaos / resilience observables (zero when chaos is off) -----
+    chaos_fault_counts: Dict[str, int] = dataclasses.field(
+        default_factory=dict)
+    invariant_violations: int = 0
+    violations_by_kind: Dict[str, int] = dataclasses.field(
+        default_factory=dict)
+    stuck_orders: int = 0
+    work_order_timeouts: int = 0
+    work_order_retries: int = 0
+    idempotent_skips: int = 0
+    late_acks: int = 0
+    degraded_dispatches: int = 0
+    breaker_trips: int = 0
+    #: Incidents opened early enough (>= 4 days before the horizon —
+    #: one full human ticket cycle) that a live controller must have
+    #: concluded them by run end: the fair denominator for the
+    #: resolution-rate acceptance metric.
+    mature_incidents: int = 0
+    mature_concluded: int = 0
+
+    @property
+    def resolved_or_escalated_rate(self) -> float:
+        """Fraction of incidents either verified-fixed or handed to a
+        human — i.e. *not* silently stuck."""
+        if self.incidents == 0:
+            return 1.0
+        return (self.closed_incidents
+                + self.unresolved_incidents) / self.incidents
+
+    @property
+    def mature_resolution_rate(self) -> float:
+        """Resolved-or-escalated rate over mature incidents only
+        (excludes ones still legitimately in flight at the horizon)."""
+        if self.mature_incidents == 0:
+            return 1.0
+        return self.mature_concluded / self.mature_incidents
 
     @property
     def repair_stats(self) -> Optional[RepairTimeStats]:
@@ -342,6 +419,14 @@ def summarize_world(result: RunResult) -> WorldSummary:
     controller = result.controller
     availability = result.availability()
     amplification = result.amplification()
+    cutoff = result.horizon_seconds - 4.0 * DAY
+    concluded = (controller.closed_incidents
+                 + controller.unresolved_incidents)
+    mature_concluded = sum(1 for incident in concluded
+                           if incident.opened_at <= cutoff)
+    mature_open = sum(1 for incident
+                      in controller.open_incidents.values()
+                      if incident.opened_at <= cutoff)
     return WorldSummary(
         seed=result.config.seed,
         horizon_seconds=result.horizon_seconds,
@@ -367,7 +452,24 @@ def summarize_world(result: RunResult) -> WorldSummary:
         spares_consumed_transceivers=(
             result.spares_consumed_transceivers),
         spares_consumed_cables=result.spares_consumed_cables,
-        link_count=result.topology.link_count)
+        link_count=result.topology.link_count,
+        chaos_fault_counts=(result.chaos_engine.summary()
+                            if result.chaos_engine else {}),
+        invariant_violations=(len(result.safety.violations)
+                              if result.safety else 0),
+        violations_by_kind=(result.safety.report().by_kind
+                            if result.safety else {}),
+        stuck_orders=(len(result.safety.stuck_orders())
+                      if result.safety else 0),
+        work_order_timeouts=controller.timeout_count,
+        work_order_retries=controller.retry_count,
+        idempotent_skips=controller.idempotent_skips,
+        late_acks=controller.late_ack_count,
+        degraded_dispatches=controller.degraded_dispatches,
+        breaker_trips=(controller.fleet_breaker.trips
+                       if controller.fleet_breaker else 0),
+        mature_incidents=mature_concluded + mature_open,
+        mature_concluded=mature_concluded)
 
 
 def world_trial(params: Dict, seed: int) -> WorldSummary:

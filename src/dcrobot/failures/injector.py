@@ -5,6 +5,9 @@ times scaled by fleet size, picks a victim link, and mutates the
 corresponding component's physical state.  The injector also keeps the
 **ground-truth log** of every injected fault — the controller never sees
 it (it only sees symptoms), but experiments and ML labelling do.
+Observers registered with :meth:`FaultInjector.subscribe` hear about
+each fault as it lands (the chaos experiments use this to score
+incident resolution against ground truth online instead of post hoc).
 """
 
 from __future__ import annotations
@@ -88,6 +91,12 @@ class FaultInjector:
         self.log: List[InjectedFault] = []
         self.counts: Dict[DegradationKind, int] = {
             kind: 0 for kind in DegradationKind}
+        self._subscribers: List[Callable[[InjectedFault], None]] = []
+
+    def subscribe(self,
+                  subscriber: Callable[[InjectedFault], None]) -> None:
+        """Register an observer invoked with every injected fault."""
+        self._subscribers.append(subscriber)
 
     # -- application ------------------------------------------------------------
 
@@ -99,6 +108,8 @@ class FaultInjector:
         fault = InjectedFault(now, kind, link.id, detail)
         self.log.append(fault)
         self.counts[kind] += 1
+        for subscriber in self._subscribers:
+            subscriber(fault)
         return fault
 
     def _apply(self, kind: DegradationKind, link: Link) -> str:

@@ -96,6 +96,9 @@ class TechnicianPool:
         self.outcomes: List[RepairOutcome] = []
         #: Total hands-on person-seconds (travel + work) for costing.
         self.labor_seconds = 0.0
+        #: link id -> number of technicians physically at it right now
+        #: (the safety monitor's "who is at the rack" ground truth).
+        self.busy_links: Dict[str, int] = {}
 
     def __repr__(self) -> str:
         return (f"<TechnicianPool n={self.count} "
@@ -163,14 +166,22 @@ class TechnicianPool:
             started = sim.now
             travel = self._travel_seconds(link)
             yield sim.timeout(travel)
-            self.health.begin_maintenance(link, sim.now)
-            touch = self.physics.reach_in(link, self.params.contact,
-                                          sim.now)
-            work = self._work_seconds(order.action)
-            yield sim.timeout(work)
-            completed, notes = self.physics.perform(
-                order.action, link, sim.now, self.params.skill)
-            self.health.release_from_maintenance(link, sim.now)
+            self.busy_links[link.id] = self.busy_links.get(link.id, 0) + 1
+            try:
+                self.health.begin_maintenance(link, sim.now)
+                touch = self.physics.reach_in(link, self.params.contact,
+                                              sim.now)
+                work = self._work_seconds(order.action)
+                yield sim.timeout(work)
+                completed, notes = self.physics.perform(
+                    order.action, link, sim.now, self.params.skill)
+                self.health.release_from_maintenance(link, sim.now)
+            finally:
+                remaining = self.busy_links.get(link.id, 0) - 1
+                if remaining <= 0:
+                    self.busy_links.pop(link.id, None)
+                else:
+                    self.busy_links[link.id] = remaining
             self.labor_seconds += travel + work
             outcome = RepairOutcome(
                 order=order,

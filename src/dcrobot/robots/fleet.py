@@ -17,7 +17,7 @@ sketches in §4.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -98,6 +98,11 @@ class RobotFleet:
         self.outcomes: List[RepairOutcome] = []
         #: Orders rejected because no unit's scope covers the target.
         self.unreachable_orders: List[WorkOrder] = []
+        #: Mid-operation fault planner (set by the chaos engine).
+        self.chaos = None
+        #: link id -> number of operations physically touching it now
+        #: (the safety monitor's "who is at the rack" ground truth).
+        self.busy_links: Dict[str, int] = {}
 
     def _default_homes(self, count: int) -> List[str]:
         """Spread units across rows (one per row, round-robin)."""
@@ -238,6 +243,9 @@ class RobotFleet:
         if order.action is RepairAction.CLEAN:
             cleaner = yield from self._acquire(self._idle_cleaners,
                                                rack_id)
+        plan = (self.chaos.plan_for(order, sim.now)
+                if self.chaos is not None else None)
+        touching = False
         try:
             started = sim.now
             travels = [sim.process(manipulator.travel_to(rack_id))]
@@ -245,10 +253,37 @@ class RobotFleet:
                 travels.append(sim.process(cleaner.travel_to(rack_id)))
             yield sim.all_of(travels)
 
+            self.busy_links[link.id] = self.busy_links.get(link.id, 0) + 1
+            touching = True
             self.health.begin_maintenance(link, sim.now)
             touch = self.physics.reach_in(link, self.contact, sim.now)
+            if plan is not None and plan.stall_seconds > 0:
+                # The unit wedges mid-operation; it eventually recovers
+                # and continues, but the ack is this much later.
+                yield from manipulator.work(plan.stall_seconds)
+            if plan is not None and plan.crash:
+                # Aborted mid-operation: give the link back untouched,
+                # sit out the recovery, then report failure upward.
+                self.health.release_from_maintenance(link, sim.now)
+                if plan.crash_recovery_seconds > 0:
+                    yield from manipulator.work(
+                        plan.crash_recovery_seconds)
+                outcome = RepairOutcome(
+                    order=order, executor_id=self.executor_id,
+                    started_at=started, finished_at=sim.now,
+                    completed=False, needs_human=True,
+                    notes="robot crashed mid-operation",
+                    secondary_disturbed=len(touch.disturbed_links),
+                    secondary_damaged=len(touch.damaged_links))
+                self.outcomes.append(outcome)
+                done.succeed(outcome)
+                return
             completed, needs_human, notes = yield from self._perform(
                 order, link, manipulator, cleaner)
+            if plan is not None and plan.partial and completed:
+                # The repair only half-landed; the robot does not know
+                # and still reports success.
+                self.chaos.apply_partial(link, sim.now)
             self.health.release_from_maintenance(link, sim.now)
 
             outcome = RepairOutcome(
@@ -261,6 +296,12 @@ class RobotFleet:
             self.outcomes.append(outcome)
             done.succeed(outcome)
         finally:
+            if touching:
+                remaining = self.busy_links.get(link.id, 0) - 1
+                if remaining <= 0:
+                    self.busy_links.pop(link.id, None)
+                else:
+                    self.busy_links[link.id] = remaining
             self._idle_manipulators.put(manipulator)
             if cleaner is not None:
                 self._idle_cleaners.put(cleaner)

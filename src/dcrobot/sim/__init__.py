@@ -20,6 +20,7 @@ from dcrobot.sim.events import (
     Timeout,
     all_of,
     any_of,
+    defer,
 )
 from dcrobot.sim.process import Process
 from dcrobot.sim.resources import (
@@ -52,6 +53,7 @@ __all__ = [
     "trial_seed",
     "all_of",
     "any_of",
+    "defer",
     "NORMAL",
     "URGENT",
 ]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Generator, List, Optional, Tuple, Union
+from typing import Callable, Generator, List, Optional, Tuple, Union
 
 from dcrobot.sim.errors import SimulationError, StopSimulation
 from dcrobot.sim.events import NORMAL, Condition, Event, Timeout, all_of, any_of
@@ -33,6 +33,9 @@ class Simulation:
         self._heap: List[Tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
         self._active_process: Optional[Process] = None
+        #: Observers invoked with ``now`` after every processed event
+        #: (see :meth:`add_step_hook`); empty in normal operation.
+        self._step_hooks: List[Callable[[float], None]] = []
 
     def __repr__(self) -> str:
         return f"<Simulation now={self.now} pending={len(self._heap)}>"
@@ -63,6 +66,22 @@ class Simulation:
     def active_process(self) -> Optional[Process]:
         """The process currently executing, if any."""
         return self._active_process
+
+    # -- step hooks ----------------------------------------------------------
+
+    def add_step_hook(self, hook: Callable[[float], None]) -> None:
+        """Register an observer called with ``now`` after every step.
+
+        This is the attachment point for runtime invariant checkers
+        (e.g. the chaos safety monitor): they see the world after each
+        state change, not just at their own polling cadence.  Hooks must
+        not schedule events or mutate simulation state.
+        """
+        self._step_hooks.append(hook)
+
+    def remove_step_hook(self, hook: Callable[[float], None]) -> None:
+        """Unregister a hook added with :meth:`add_step_hook`."""
+        self._step_hooks.remove(hook)
 
     # -- scheduling ----------------------------------------------------------
 
@@ -96,6 +115,8 @@ class Simulation:
             # silently; crash loudly instead (set event.defused = True
             # to opt out for expected failures).
             raise event.value  # type: ignore[misc]
+        for hook in self._step_hooks:
+            hook(self.now)
 
     # -- run loop --------------------------------------------------------------
 

@@ -170,6 +170,32 @@ class Condition(Event):
             self.succeed(ConditionValue(done))
 
 
+def defer(sim: "Simulation", event: Event, delay: float) -> Event:
+    """An event mirroring ``event``, delivered ``delay`` after it fires.
+
+    The relay for chaos-injected acknowledgement latency: the underlying
+    operation completes on time, but whoever waits on the returned event
+    hears about it late.  Failures propagate immediately (a late failure
+    notification would outlive the process that could handle it).
+    """
+    if delay < 0:
+        raise ValueError(f"negative delay {delay!r}")
+    out = Event(sim)
+
+    def relay(inner: Event) -> None:
+        if inner.ok:
+            timer = sim.timeout(delay)
+            timer.callbacks.append(lambda _t: out.succeed(inner.value))
+        else:
+            out.fail(inner.value)  # type: ignore[arg-type]
+
+    if event.processed:
+        relay(event)
+    else:
+        event.callbacks.append(relay)
+    return out
+
+
 def all_of(sim: "Simulation", events: Sequence[Event]) -> Condition:
     """Event that fires once *all* ``events`` have succeeded."""
     return Condition(sim, events, lambda evs, count: count == len(evs))

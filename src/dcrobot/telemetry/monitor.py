@@ -5,6 +5,15 @@ Subscribers are callables (typically the maintenance controller's
 cooldown suppresses re-reporting the same symptom while it is being
 handled; the controller re-arms the link when a repair attempt
 completes, so persistent problems re-fire and escalate.
+
+Two hardening hooks sit between detection and delivery:
+
+* **Interceptors** — each maps one detected event to zero or more
+  delivered events.  The chaos layer uses this to model telemetry
+  dropout, duplication, and corruption without touching the detectors.
+* **Mute TTL** — with ``mute_ttl_seconds`` set, a muted link re-arms by
+  itself after the TTL.  A report whose delivery was lost (or whose
+  handler died) is then merely late, not lost forever.
 """
 
 from __future__ import annotations
@@ -17,6 +26,8 @@ from dcrobot.telemetry.detectors import DetectorParams, LinkDetector
 from dcrobot.telemetry.events import TelemetryEvent
 
 Subscriber = Callable[[TelemetryEvent], None]
+#: One detected event in, zero or more events out.
+Interceptor = Callable[[TelemetryEvent], List[TelemetryEvent]]
 
 
 class TelemetryMonitor:
@@ -24,49 +35,77 @@ class TelemetryMonitor:
 
     def __init__(self, fabric: Fabric,
                  params: Optional[DetectorParams] = None,
-                 poll_seconds: float = 60.0) -> None:
+                 poll_seconds: float = 60.0,
+                 mute_ttl_seconds: Optional[float] = None) -> None:
         if poll_seconds <= 0:
             raise ValueError(f"poll_seconds must be > 0, got {poll_seconds}")
+        if mute_ttl_seconds is not None and mute_ttl_seconds <= 0:
+            raise ValueError("mute_ttl_seconds must be > 0 when set")
         self.fabric = fabric
         self.detector = LinkDetector(params)
         self.poll_seconds = poll_seconds
+        self.mute_ttl_seconds = mute_ttl_seconds
         self.subscribers: List[Subscriber] = []
+        self.interceptors: List[Interceptor] = []
         self.events: List[TelemetryEvent] = []
-        self._muted: Dict[str, bool] = {}
+        #: link id -> time the mute was set (for TTL expiry).
+        self._muted: Dict[str, float] = {}
 
     def subscribe(self, subscriber: Subscriber) -> None:
         """Register a callback for every newly detected symptom."""
         self.subscribers.append(subscriber)
 
+    def add_interceptor(self, interceptor: Interceptor) -> None:
+        """Install a delivery-path transform (chaos injection point)."""
+        self.interceptors.append(interceptor)
+
     # -- muting (handled-symptom suppression) --------------------------------
 
-    def mute(self, link_id: str) -> None:
+    def mute(self, link_id: str, now: float = 0.0) -> None:
         """Stop reporting a link (a repair is in flight)."""
-        self._muted[link_id] = True
+        self._muted[link_id] = now
 
     def unmute(self, link_id: str) -> None:
         """Re-arm detection for a link (repair attempt finished)."""
         self._muted.pop(link_id, None)
 
-    def is_muted(self, link_id: str) -> bool:
-        return self._muted.get(link_id, False)
+    def is_muted(self, link_id: str, now: Optional[float] = None) -> bool:
+        muted_at = self._muted.get(link_id)
+        if muted_at is None:
+            return False
+        if (self.mute_ttl_seconds is not None and now is not None
+                and now - muted_at >= self.mute_ttl_seconds):
+            self.unmute(link_id)
+            return False
+        return True
 
     # -- scanning -------------------------------------------------------------
+
+    def _deliveries(self, event: TelemetryEvent) -> List[TelemetryEvent]:
+        """Run the interceptor chain over one detected event."""
+        pending = [event]
+        for interceptor in self.interceptors:
+            emitted: List[TelemetryEvent] = []
+            for item in pending:
+                emitted.extend(interceptor(item))
+            pending = emitted
+        return pending
 
     def scan(self, now: float) -> List[TelemetryEvent]:
         """One full-fleet pass; returns (and dispatches) new events."""
         new_events = []
         for link in self.fabric.links.values():
-            if self.is_muted(link.id):
+            if self.is_muted(link.id, now):
                 continue
             event = self.detector.check(link, now)
             if event is None:
                 continue
-            self.mute(link.id)  # one report per incident until re-armed
+            self.mute(link.id, now)  # one report per incident until re-armed
             self.events.append(event)
-            new_events.append(event)
-            for subscriber in self.subscribers:
-                subscriber(event)
+            for delivered in self._deliveries(event):
+                new_events.append(delivered)
+                for subscriber in self.subscribers:
+                    subscriber(delivered)
         return new_events
 
     def run(self, sim: Simulation):

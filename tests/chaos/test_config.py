@@ -1,0 +1,62 @@
+"""Unit tests for the chaos-injection configuration."""
+
+import pytest
+
+from dcrobot.chaos import ChaosConfig
+from dcrobot.chaos.config import _PROB_FIELDS
+
+
+def test_default_config_injects_nothing():
+    config = ChaosConfig()
+    assert not config.any_enabled
+    for name in _PROB_FIELDS:
+        assert getattr(config, name) == 0.0
+
+
+def test_any_enabled_flips_on_any_single_prob():
+    for name in _PROB_FIELDS:
+        config = ChaosConfig(**{name: 0.01})
+        assert config.any_enabled, name
+
+
+@pytest.mark.parametrize("name", _PROB_FIELDS)
+@pytest.mark.parametrize("bad", [-0.1, 1.5])
+def test_probabilities_must_be_in_unit_interval(name, bad):
+    with pytest.raises(ValueError, match=name):
+        ChaosConfig(**{name: bad})
+
+
+@pytest.mark.parametrize("name,bad", [
+    ("robot_stall_seconds", (-1.0, 10.0)),
+    ("robot_crash_recovery_seconds", (100.0, 10.0)),
+    ("partial_residual_oxidation", (0.5, 0.1)),
+    ("ack_delay_seconds", (-5.0, -1.0)),
+])
+def test_magnitude_ranges_must_be_ordered_and_nonnegative(name, bad):
+    with pytest.raises(ValueError, match=name):
+        ChaosConfig(**{name: bad})
+
+
+def test_scaled_multiplies_probs_and_caps_at_one():
+    config = ChaosConfig(ack_loss_prob=0.4, telemetry_drop_prob=0.1,
+                         robot_stall_seconds=(1.0, 2.0))
+    doubled = config.scaled(3.0)
+    assert doubled.ack_loss_prob == 1.0  # 1.2 capped
+    assert doubled.telemetry_drop_prob == pytest.approx(0.3)
+    # Magnitudes are not the sweep knob; they stay put.
+    assert doubled.robot_stall_seconds == (1.0, 2.0)
+
+
+def test_scaled_zero_disables_everything():
+    assert not ChaosConfig.moderate().scaled(0.0).any_enabled
+
+
+def test_scaled_rejects_negative_factor():
+    with pytest.raises(ValueError, match="factor"):
+        ChaosConfig().scaled(-1.0)
+
+
+def test_moderate_preset_turns_every_injector_on():
+    config = ChaosConfig.moderate()
+    for name in _PROB_FIELDS:
+        assert 0.0 < getattr(config, name) <= 1.0, name

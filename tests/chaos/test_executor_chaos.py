@@ -1,0 +1,132 @@
+"""Unit tests for acknowledgement chaos at the executor boundary."""
+
+import numpy as np
+
+from dcrobot.chaos import ChaosConfig, ChaosFaultKind, ChaoticExecutor
+from dcrobot.core.actions import RepairAction, WorkOrder
+from dcrobot.sim import Simulation
+
+
+class InnerStub:
+    """Minimal executor: acks every order after a fixed delay."""
+
+    executor_id = "inner"
+    capabilities = frozenset({RepairAction.RESEAT})
+
+    def __init__(self, sim, ack_after=100.0):
+        self.sim = sim
+        self.ack_after = ack_after
+        self.submitted = []
+
+    def submit(self, order):
+        self.submitted.append(order)
+        done = self.sim.event()
+
+        def finish():
+            yield self.sim.timeout(self.ack_after)
+            done.succeed(f"outcome-{order.order_id}")
+
+        self.sim.process(finish())
+        return done
+
+    def can_execute(self, action):
+        return action in self.capabilities
+
+    def covers(self, rack_id):
+        return True
+
+    def announce_touches(self, order):
+        return ["neighbour"]
+
+
+def wrap(sim, inner, **probs):
+    return ChaoticExecutor(sim, inner, ChaosConfig(**probs),
+                           rng=np.random.default_rng(7))
+
+
+def order():
+    return WorkOrder(link_id="L1", action=RepairAction.RESEAT,
+                     created_at=0.0)
+
+
+def test_no_chaos_passes_the_inner_ack_through():
+    sim = Simulation()
+    inner = InnerStub(sim)
+    chaotic = wrap(sim, inner)
+    done = chaotic.submit(order())
+    sim.run()
+    assert done.triggered and done.ok
+    assert done.value.startswith("outcome-")
+    assert sim.now == 100.0
+    assert chaotic.lost_acks == 0 and chaotic.delayed_acks == 0
+
+
+def test_ack_loss_swallows_the_ack_but_not_the_work():
+    sim = Simulation()
+    inner = InnerStub(sim)
+    chaotic = wrap(sim, inner, ack_loss_prob=1.0)
+    done = chaotic.submit(order())
+    sim.run()
+    # The physical work still happened (the inner ack fired into the
+    # void); what the caller holds never triggers.
+    assert len(inner.submitted) == 1
+    assert sim.now == 100.0
+    assert not done.triggered
+    assert chaotic.lost_acks == 1
+    assert chaotic.log.count(ChaosFaultKind.ACK_LOST) == 1
+
+
+def test_ack_delay_defers_the_ack_value_intact():
+    sim = Simulation()
+    inner = InnerStub(sim)
+    chaotic = wrap(sim, inner, ack_delay_prob=1.0,
+                   ack_delay_seconds=(500.0, 500.0))
+    done = chaotic.submit(order())
+    sim.run()
+    assert done.triggered and done.ok
+    assert done.value.startswith("outcome-")
+    assert sim.now == 600.0  # 100s work + 500s ack delay
+    assert chaotic.delayed_acks == 1
+    assert chaotic.log.count(ChaosFaultKind.ACK_DELAYED) == 1
+
+
+def test_ack_delay_is_drawn_within_bounds():
+    sim = Simulation()
+    inner = InnerStub(sim)
+    chaotic = wrap(sim, inner, ack_delay_prob=1.0,
+                   ack_delay_seconds=(1000.0, 2000.0))
+    done = chaotic.submit(order())
+    sim.run(until=done)
+    assert 1100.0 <= sim.now <= 2100.0
+
+
+def test_executor_interface_is_delegated_untouched():
+    sim = Simulation()
+    inner = InnerStub(sim)
+    chaotic = wrap(sim, inner, ack_loss_prob=1.0)
+    assert chaotic.executor_id == "inner"
+    assert chaotic.capabilities == inner.capabilities
+    assert chaotic.can_execute(RepairAction.RESEAT)
+    assert not chaotic.can_execute(RepairAction.CLEAN)
+    assert chaotic.covers("rack-0")
+    assert chaotic.announce_touches(order()) == ["neighbour"]
+    # Unknown attributes fall through to the wrapped executor.
+    assert chaotic.submitted is inner.submitted
+
+
+def test_chaos_draws_are_seed_deterministic():
+    def run_once():
+        sim = Simulation()
+        inner = InnerStub(sim)
+        chaotic = ChaoticExecutor(
+            sim, inner,
+            ChaosConfig(ack_loss_prob=0.3, ack_delay_prob=0.3),
+            rng=np.random.default_rng(42))
+        for _ in range(20):
+            chaotic.submit(order())
+        sim.run()
+        return chaotic.lost_acks, chaotic.delayed_acks, sim.now
+
+    assert run_once() == run_once()
+    lost, delayed, _now = run_once()
+    assert lost > 0 and delayed > 0

@@ -1,0 +1,106 @@
+"""Unit tests for mid-operation robot faults (stall/crash/partial)."""
+
+import numpy as np
+
+from dcrobot.chaos import ChaosConfig, RobotChaos
+from dcrobot.chaos.robot import RobotChaosPlan
+from dcrobot.core.actions import RepairAction, WorkOrder
+from dcrobot.network import LinkState
+from dcrobot.robots import RobotFleet
+
+from tests.conftest import make_world
+
+
+def make_fleet(world, **probs):
+    fleet = RobotFleet(world.sim, world.fabric, world.health,
+                       world.physics, rng=np.random.default_rng(5))
+    if probs:
+        fleet.chaos = RobotChaos(ChaosConfig(**probs),
+                                 rng=np.random.default_rng(11))
+    return fleet
+
+
+def reseat(link):
+    return WorkOrder(link_id=link.id, action=RepairAction.RESEAT,
+                     created_at=0.0)
+
+
+def run_one(world, fleet, order):
+    done = fleet.submit(order)
+    world.sim.run(until=done)
+    return done.value
+
+
+def test_plan_is_drawn_up_front_and_crash_suppresses_partial():
+    chaos = RobotChaos(
+        ChaosConfig(robot_crash_prob=1.0, partial_completion_prob=1.0,
+                    robot_stall_prob=1.0,
+                    robot_stall_seconds=(60.0, 60.0)),
+        rng=np.random.default_rng(0))
+    plan = chaos.plan_for(reseat_order := WorkOrder(
+        link_id="L", action=RepairAction.RESEAT, created_at=0.0), 0.0)
+    assert plan.crash and not plan.partial  # no lie from a dead robot
+    assert plan.stall_seconds == 60.0
+    assert plan.any
+    assert not RobotChaosPlan().any
+    assert reseat_order.link_id == "L"
+
+
+def test_stall_delays_the_operation_by_the_stall_time():
+    baseline = make_world()
+    plain = run_one(baseline, make_fleet(baseline),
+                    reseat(baseline.links[0]))
+
+    world = make_world()
+    fleet = make_fleet(world, robot_stall_prob=1.0,
+                       robot_stall_seconds=(3600.0, 3600.0))
+    stalled = run_one(world, fleet, reseat(world.links[0]))
+
+    assert stalled.completed == plain.completed
+    assert stalled.duration >= plain.duration + 3599.0
+
+
+def test_crash_aborts_reports_failure_and_releases_the_link():
+    world = make_world()
+    fleet = make_fleet(world, robot_crash_prob=1.0,
+                       robot_crash_recovery_seconds=(1800.0, 1800.0))
+    link = world.links[0]
+    outcome = run_one(world, fleet, reseat(link))
+
+    assert not outcome.completed
+    assert outcome.needs_human
+    assert "crashed mid-operation" in outcome.notes
+    # The link was handed back before the recovery period, and the
+    # occupancy registry is clean.
+    assert link.state is not LinkState.MAINTENANCE
+    assert fleet.busy_links == {}
+    assert outcome.duration >= 1800.0
+
+
+def test_partial_completion_reports_success_but_leaves_residue():
+    world = make_world()
+    fleet = make_fleet(world, partial_completion_prob=1.0,
+                       partial_residual_oxidation=(0.5, 0.5))
+    link = world.links[0]
+    before = max(link.transceiver_at("a").oxidation,
+                 link.transceiver_at("b").oxidation)
+    outcome = run_one(world, fleet, reseat(link))
+
+    # The robot's lie: ack says completed, physics says otherwise.
+    assert outcome.completed
+    after = max(link.transceiver_at("a").oxidation,
+                link.transceiver_at("b").oxidation)
+    assert after >= before + 0.45
+
+
+def test_busy_links_tracks_the_physical_touch_window():
+    world = make_world()
+    fleet = make_fleet(world)
+    link = world.links[0]
+    seen_busy = []
+    world.sim.add_step_hook(
+        lambda now: seen_busy.append(dict(fleet.busy_links)))
+
+    run_one(world, fleet, reseat(link))
+    assert any(snapshot.get(link.id) == 1 for snapshot in seen_busy)
+    assert fleet.busy_links == {}

@@ -12,8 +12,8 @@ from dcrobot.experiments.result import ExperimentResult
 from dcrobot.metrics import Table
 
 
-def test_registry_has_all_twelve():
-    assert set(REGISTRY) == {f"e{i}" for i in range(1, 13)}
+def test_registry_has_all_experiments():
+    assert set(REGISTRY) == {f"e{i}" for i in range(1, 14)}
     assert set(DESCRIPTIONS) == set(REGISTRY)
 
 
@@ -58,6 +58,18 @@ def test_cli_list(capsys):
 
 def test_cli_unknown(capsys):
     assert main(["e99"]) == 2
+    captured = capsys.readouterr()
+    # One clean line on stderr, not a traceback, and it lists what
+    # exists (the id validation happens before any experiment runs).
+    assert "unknown experiment 'e99'" in captured.err
+    assert "e13" in captured.err
+    assert "Traceback" not in captured.err
+    assert captured.err.strip().count("\n") == 0
+
+
+def test_cli_unknown_id_uppercase_is_normalized(capsys):
+    assert main(["E99"]) == 2
+    assert "unknown experiment 'e99'" in capsys.readouterr().err
 
 
 def test_cli_runs_an_experiment(capsys):

@@ -1,0 +1,36 @@
+"""The technician pool's link-occupancy registry (safety-monitor input)."""
+
+import numpy as np
+
+from dcrobot.core.actions import Priority, RepairAction, WorkOrder
+from dcrobot.humans import TechnicianParams, TechnicianPool
+
+from tests.conftest import make_world
+
+
+def make_pool(world):
+    return TechnicianPool(
+        world.sim, world.fabric, world.health, world.physics, count=2,
+        params=TechnicianParams(
+            dispatch_median_seconds={Priority.HIGH: 60.0,
+                                     Priority.NORMAL: 60.0},
+            dispatch_sigma=0.0),
+        rng=np.random.default_rng(3))
+
+
+def test_busy_links_spans_exactly_the_physical_touch(world):
+    pool = make_pool(world)
+    link = world.links[0]
+    snapshots = []
+    world.sim.add_step_hook(
+        lambda now: snapshots.append(dict(pool.busy_links)))
+
+    done = pool.submit(WorkOrder(link.id, RepairAction.RESEAT,
+                                 created_at=0.0))
+    world.sim.run(until=done)
+
+    assert any(snapshot.get(link.id) == 1 for snapshot in snapshots)
+    assert pool.busy_links == {}  # released when the touch ended
+    # Dispatch latency precedes the touch: the earliest snapshots are
+    # empty (the technician is still travelling, not at the rack).
+    assert snapshots[0] == {}

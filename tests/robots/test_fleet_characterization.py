@@ -1,0 +1,97 @@
+"""Characterization tests for fleet paths the closed-loop suites skim:
+spares-magazine logistics, FIFO allocation, and failure bookkeeping.
+"""
+
+import numpy as np
+
+from dcrobot.core.actions import RepairAction, WorkOrder
+from dcrobot.robots import FleetConfig, RobotFleet
+
+from tests.conftest import make_world
+
+
+def make_fleet(world, seed=9, **config_overrides):
+    config = FleetConfig(**config_overrides)
+    return RobotFleet(world.sim, world.fabric, world.health,
+                      world.physics, config=config,
+                      rng=np.random.default_rng(seed))
+
+
+def replace_order(link):
+    return WorkOrder(link.id, RepairAction.REPLACE_TRANSCEIVER,
+                     created_at=0.0)
+
+
+def test_empty_magazine_costs_a_depot_round_trip():
+    stocked_world = make_world()
+    stocked_fleet = make_fleet(stocked_world)
+    stocked = stocked_world.sim.run(
+        until=stocked_fleet.submit(replace_order(stocked_world.links[0])))
+
+    empty_world = make_world()
+    empty_fleet = make_fleet(empty_world)
+    for manipulator in empty_fleet.manipulators:
+        manipulator.onboard_spares = 0
+    outcome = empty_world.sim.run(
+        until=empty_fleet.submit(replace_order(empty_world.links[0])))
+
+    assert stocked.completed and outcome.completed
+    # The restock trip is pure overhead on the same repair.
+    assert outcome.duration > stocked.duration
+    # The magazine was refilled at the depot, then one spare consumed.
+    used = [manipulator for manipulator in empty_fleet.manipulators
+            if manipulator.onboard_spares > 0]
+    assert used and all(
+        manipulator.onboard_spares
+        == manipulator.params.spare_capacity - 1
+        for manipulator in used)
+
+
+def test_successful_replace_consumes_exactly_one_spare(world):
+    fleet = make_fleet(world)
+    before = sum(manipulator.onboard_spares
+                 for manipulator in fleet.manipulators)
+    outcome = world.sim.run(
+        until=fleet.submit(replace_order(world.links[0])))
+    assert outcome.completed
+    after = sum(manipulator.onboard_spares
+                for manipulator in fleet.manipulators)
+    assert after == before - 1
+
+
+def test_fifo_allocation_serves_orders_in_arrival_order(world):
+    fleet = make_fleet(world, allocation="fifo", manipulators=1)
+    first = WorkOrder(world.links[0].id, RepairAction.RESEAT,
+                      created_at=0.0)
+    second = WorkOrder(world.links[1].id, RepairAction.RESEAT,
+                       created_at=0.0)
+    done_first = fleet.submit(first)
+    done_second = fleet.submit(second)
+    world.sim.run(until=done_second)
+    assert done_first.triggered and done_second.triggered
+    assert done_first.value.finished_at <= done_second.value.started_at
+    assert [outcome.order for outcome in fleet.outcomes] \
+        == [first, second]
+
+
+def test_capability_rejection_is_immediate_and_recorded(world):
+    fleet = make_fleet(world, cleaners=0)  # no cleaner: CLEAN impossible
+    order = WorkOrder(world.links[0].id, RepairAction.CLEAN,
+                      created_at=0.0)
+    outcome = world.sim.run(until=fleet.submit(order))
+    assert world.sim.now == 0.0  # rejected without consuming time
+    assert not outcome.completed and outcome.needs_human
+    assert "cannot perform clean" in outcome.notes
+    assert fleet.outcomes == [outcome]
+    assert fleet.busy_links == {}  # never touched the link
+
+
+def test_failed_orders_never_leak_units(world):
+    fleet = make_fleet(world, manipulators=1, cleaners=1)
+    bad = WorkOrder(world.links[0].id, RepairAction.REPLACE_CABLE,
+                    created_at=0.0)  # not a basic capability
+    world.sim.run(until=fleet.submit(bad))
+    good = WorkOrder(world.links[1].id, RepairAction.RESEAT,
+                     created_at=world.sim.now)
+    outcome = world.sim.run(until=fleet.submit(good))
+    assert outcome.completed  # the single manipulator is still free

@@ -1,0 +1,28 @@
+"""Bench E14 — journal replay / standby failover vs cold restart (§4)."""
+
+from conftest import run_once
+
+from dcrobot.experiments import e14_crash_recovery
+
+
+def test_e14_crash_recovery(benchmark):
+    result = run_once(benchmark, e14_crash_recovery.run, quick=True)
+    print()
+    print(result.render())
+
+    series = dict(result.series)
+    modes = e14_crash_recovery.MODES
+    resolution = {modes[int(index)]: rate
+                  for index, rate in series["resolution_by_mode"]}
+    orphaned = {modes[int(index)]: count
+                for index, count in series["orphaned_by_mode"]}
+
+    # Shape: journal-backed recovery (replay or standby takeover)
+    # concludes everything the uncrashed reference does and strands
+    # nothing; the journal-less cold restart silently loses the work
+    # that was in flight at the crash (its predecessor's muted links
+    # stay muted forever, invisible to redetection).
+    for mode in ("replay", "standby"):
+        assert resolution[mode] >= resolution["uncrashed"] - 1e-9
+        assert orphaned[mode] == 0.0
+    assert orphaned["coldstart"] > 0.0

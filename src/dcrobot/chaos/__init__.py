@@ -16,6 +16,7 @@ produces the same link failures with chaos on or off.
 """
 
 from dcrobot.chaos.config import ChaosConfig
+from dcrobot.chaos.controller import ControllerChaos
 from dcrobot.chaos.engine import ChaosEngine
 from dcrobot.chaos.executor import ChaoticExecutor
 from dcrobot.chaos.faults import ChaosFault, ChaosFaultKind, ChaosLog
@@ -30,6 +31,7 @@ from dcrobot.chaos.telemetry import TelemetryChaos
 __all__ = [
     "ChaosConfig",
     "ChaosEngine",
+    "ControllerChaos",
     "ChaoticExecutor",
     "ChaosFault",
     "ChaosFaultKind",

@@ -14,6 +14,9 @@ _PROB_FIELDS = (
     "telemetry_corrupt_prob",
     "ack_loss_prob",
     "ack_delay_prob",
+    "controller_crash_prob",
+    "controller_pause_prob",
+    "controller_restart_prob",
 )
 
 
@@ -46,6 +49,15 @@ class ChaosConfig:
     ack_loss_prob: float = 0.0
     ack_delay_prob: float = 0.0
     ack_delay_seconds: Tuple[float, float] = (1800.0, 21600.0)
+    #: Control-plane chaos, evaluated once per injector check interval
+    #: (see ControllerChaos).  Crash kills the primary outright (a
+    #: standby watchdog may promote a successor); pause partitions it
+    #: from the lock service so it runs on as a zombie; restart is an
+    #: immediate crash-and-recover in place.
+    controller_crash_prob: float = 0.0
+    controller_pause_prob: float = 0.0
+    controller_pause_seconds: Tuple[float, float] = (1800.0, 14400.0)
+    controller_restart_prob: float = 0.0
 
     def __post_init__(self) -> None:
         for name in _PROB_FIELDS:
@@ -55,7 +67,8 @@ class ChaosConfig:
         for name in ("robot_stall_seconds",
                      "robot_crash_recovery_seconds",
                      "partial_residual_oxidation",
-                     "ack_delay_seconds"):
+                     "ack_delay_seconds",
+                     "controller_pause_seconds"):
             low, high = getattr(self, name)
             if low < 0 or high < low:
                 raise ValueError(
@@ -91,4 +104,11 @@ class ChaosConfig:
             telemetry_corrupt_prob=0.03,
             ack_loss_prob=0.06,
             ack_delay_prob=0.08,
+            # Per check-interval (hourly), not per operation; these
+            # draw from their own RNG substream and only fire when a
+            # world opts in via ControllerChaos, so enabling them here
+            # does not perturb worlds that never attach it.
+            controller_crash_prob=0.01,
+            controller_pause_prob=0.02,
+            controller_restart_prob=0.01,
         )

@@ -1,0 +1,65 @@
+"""Control-plane fault injection: crash, pause, restart the controller.
+
+The rest of the chaos package attacks the maintenance plane's *limbs* —
+robots, telemetry, acknowledgements.  This injector attacks its *brain*:
+the maintenance controller itself dies (fail-stop crash), stalls long
+enough to lose its lease while still running (the GC-pause/partition
+zombie), or is crash-restarted in place.  All three are driven through
+the :class:`~dcrobot.core.recovery.ControllerSupervisor`, which is the
+infrastructure that would notice in a real deployment.
+
+Faults are evaluated as independent coin flips once per check interval,
+matching the per-operation style of the other injectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from dcrobot.chaos.config import ChaosConfig
+from dcrobot.chaos.faults import ChaosFaultKind, ChaosLog
+
+
+class ControllerChaos:
+    """Periodically crashes, pauses, or restarts the live controller."""
+
+    def __init__(self, sim, config: ChaosConfig, supervisor,
+                 rng: np.random.Generator, log: ChaosLog,
+                 check_seconds: float = 3600.0) -> None:
+        if check_seconds <= 0:
+            raise ValueError("check_seconds must be > 0")
+        self.sim = sim
+        self.config = config
+        self.supervisor = supervisor
+        self.rng = rng
+        self.log = log
+        self.check_seconds = check_seconds
+        self.injected = 0
+
+    def run(self):
+        """Generator process: roll the control-plane dice forever."""
+        config = self.config
+        while True:
+            yield self.sim.timeout(self.check_seconds)
+            controller = self.supervisor.controller
+            if controller.crashed:
+                continue  # already down; give recovery room to work
+            node = controller.node_id
+            if self.rng.random() < config.controller_crash_prob:
+                self.log.record(self.sim.now,
+                                ChaosFaultKind.CONTROLLER_CRASH, node)
+                self.injected += 1
+                self.supervisor.crash_primary("chaos crash")
+            elif self.rng.random() < config.controller_pause_prob:
+                duration = float(self.rng.uniform(
+                    *config.controller_pause_seconds))
+                self.log.record(self.sim.now,
+                                ChaosFaultKind.CONTROLLER_PAUSE, node,
+                                f"{duration:.0f}s partition")
+                self.injected += 1
+                self.supervisor.partition_primary(duration)
+            elif self.rng.random() < config.controller_restart_prob:
+                self.log.record(self.sim.now,
+                                ChaosFaultKind.CONTROLLER_RESTART, node)
+                self.injected += 1
+                self.supervisor.restart_primary("chaos restart")

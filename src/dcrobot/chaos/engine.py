@@ -11,6 +11,7 @@ sweep calls for.
 from __future__ import annotations
 
 from dcrobot.chaos.config import ChaosConfig
+from dcrobot.chaos.controller import ControllerChaos
 from dcrobot.chaos.executor import ChaoticExecutor
 from dcrobot.chaos.faults import ChaosLog
 from dcrobot.chaos.robot import RobotChaos
@@ -33,7 +34,9 @@ class ChaosEngine:
         self.telemetry = TelemetryChaos(
             config, chaos_streams.stream("telemetry"), self.log)
         self._ack_rng = chaos_streams.stream("ack")
+        self._controller_rng = chaos_streams.stream("controller")
         self.wrapped_executors = []
+        self.controller_chaos = None
 
     def attach_fleet(self, fleet) -> None:
         """Enable mid-operation robot faults on a fleet."""
@@ -42,6 +45,15 @@ class ChaosEngine:
     def attach_monitor(self, monitor) -> None:
         """Enable telemetry delivery faults on a monitor."""
         monitor.add_interceptor(self.telemetry)
+
+    def attach_supervisor(self, supervisor,
+                          check_seconds: float = 3600.0) -> ControllerChaos:
+        """Enable crash/pause/restart faults on the control plane."""
+        self.controller_chaos = ControllerChaos(
+            self.sim, self.config, supervisor, self._controller_rng,
+            self.log, check_seconds=check_seconds)
+        self.sim.process(self.controller_chaos.run())
+        return self.controller_chaos
 
     def wrap_executor(self, inner) -> ChaoticExecutor:
         """Wrap an executor's ack path with loss/delay chaos."""

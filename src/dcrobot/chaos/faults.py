@@ -18,6 +18,9 @@ class ChaosFaultKind(enum.Enum):
     TELEMETRY_CORRUPT = "telemetry-corrupt"
     ACK_LOST = "ack-lost"
     ACK_DELAYED = "ack-delayed"
+    CONTROLLER_CRASH = "controller-crash"
+    CONTROLLER_PAUSE = "controller-pause"
+    CONTROLLER_RESTART = "controller-restart"
 
 
 @dataclasses.dataclass(frozen=True)

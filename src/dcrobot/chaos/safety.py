@@ -102,6 +102,18 @@ class SafetyMonitor:
             self.sim.remove_step_hook(self.check)
             self._attached = False
 
+    def rebind(self, controller) -> None:
+        """Audit a successor controller after a failover.
+
+        The fabric, scheduler, ladder, and executors are shared
+        infrastructure — only the controller object is replaced.  The
+        audited-history cursors carry over (keyed by incident identity),
+        so adopted incidents are not re-audited from scratch.
+        """
+        self.controller = controller
+        self.scheduler = controller.scheduler
+        self.ladder = controller.ladder
+
     # -- checking ------------------------------------------------------------
 
     def check(self, now: float) -> None:

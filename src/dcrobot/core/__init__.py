@@ -28,6 +28,27 @@ from dcrobot.core.controller import (
     Incident,
     MaintenanceController,
 )
+from dcrobot.core.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    FileJournalStore,
+    JournalRecord,
+    MemoryJournalStore,
+    RecordKind,
+    WriteAheadJournal,
+)
+from dcrobot.core.leadership import (
+    FencedRejection,
+    FencingGuard,
+    LeaseConfig,
+    LeaseCoordinator,
+)
+from dcrobot.core.recovery import (
+    ControllerSupervisor,
+    JournalReplayError,
+    RecoveredState,
+    replay_journal,
+    restore_controller,
+)
 from dcrobot.core.escalation import (
     DEFAULT_LADDER,
     EscalationConfig,
@@ -114,4 +135,19 @@ __all__ = [
     "RewireReport",
     "RoboticRewirer",
     "StepKind",
+    "JOURNAL_SCHEMA_VERSION",
+    "RecordKind",
+    "JournalRecord",
+    "MemoryJournalStore",
+    "FileJournalStore",
+    "WriteAheadJournal",
+    "LeaseConfig",
+    "LeaseCoordinator",
+    "FencingGuard",
+    "FencedRejection",
+    "JournalReplayError",
+    "RecoveredState",
+    "replay_journal",
+    "restore_controller",
+    "ControllerSupervisor",
 ]

@@ -62,6 +62,10 @@ class WorkOrder:
     #: Links the executor announces it may physically contact (§2's
     #: pre-maintenance cable-touch report).
     announced_touches: List[str] = dataclasses.field(default_factory=list)
+    #: Leadership fencing token of the dispatching controller; executors
+    #: reject orders whose token is older than the highest they've seen
+    #: (split-brain protection).  ``None`` = leadership disabled.
+    fencing_token: int = None
     order_id: int = dataclasses.field(
         default_factory=lambda: next(_ORDER_IDS))
 
@@ -84,6 +88,9 @@ class RepairOutcome:
     #: Executor gave up and needs a different capability (e.g. a robot
     #: that cannot verify cleanliness "requests human support", §3.3.2).
     needs_human: bool = False
+    #: The executor refused the order outright (stale fencing token):
+    #: no physical work happened, and the dispatcher is deposed.
+    rejected: bool = False
     notes: str = ""
     #: Collateral damage of the physical contact, if any.
     secondary_disturbed: int = 0

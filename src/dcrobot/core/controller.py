@@ -29,6 +29,7 @@ import numpy as np
 from dcrobot.core.actions import Priority, RepairAction, RepairOutcome, WorkOrder
 from dcrobot.core.automation import AutomationLevel, LevelSpec, spec_for
 from dcrobot.core.escalation import EscalationLadder
+from dcrobot.core.journal import RecordKind, WriteAheadJournal
 from dcrobot.core.policy import PlanRequest, ReactivePolicy
 from dcrobot.core.resilience import CircuitBreaker
 from dcrobot.core.scheduler import ImpactAwareScheduler
@@ -56,6 +57,9 @@ class Incident:
     closed_at: Optional[float] = None
     unresolvable_reason: Optional[str] = None
     in_flight: bool = False
+    #: Attempts made before a controller crash; the outcome objects died
+    #: with the old process, but the budget they consumed did not.
+    prior_attempts: int = 0
 
     @property
     def time_to_repair(self) -> Optional[float]:
@@ -66,7 +70,7 @@ class Incident:
 
     @property
     def attempt_count(self) -> int:
-        return len(self.attempts)
+        return self.prior_attempts + len(self.attempts)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -100,12 +104,17 @@ class ControllerConfig:
     #: Chaos hardening (timeouts, retries, circuit breaking); ``None``
     #: keeps the legacy trusting behaviour.
     resilience: Optional["ResilienceConfig"] = None
+    #: Cadence of journal snapshots (bounds replay work after a crash);
+    #: 0 disables snapshotting, leaving full-journal replay.
+    snapshot_interval_seconds: float = 6 * 3600.0
 
     def __post_init__(self) -> None:
         if self.verification_delay_seconds < 0:
             raise ValueError("verification delay must be >= 0")
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if self.snapshot_interval_seconds < 0:
+            raise ValueError("snapshot interval must be >= 0")
 
 
 class MaintenanceController:
@@ -119,7 +128,9 @@ class MaintenanceController:
                  level: AutomationLevel = AutomationLevel.L0_NO_AUTOMATION,
                  humans=None, fleet=None,
                  config: Optional[ControllerConfig] = None,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 journal: Optional[WriteAheadJournal] = None,
+                 node_id: str = "primary") -> None:
         self.sim = sim
         self.fabric = fabric
         self.health = health
@@ -133,6 +144,8 @@ class MaintenanceController:
         self.fleet = fleet
         self.config = config or ControllerConfig()
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.journal = journal
+        self.node_id = node_id
         if humans is None and fleet is None:
             raise ValueError("need at least one executor")
 
@@ -172,6 +185,18 @@ class MaintenanceController:
         #: the graceful automation-level degradation counter.
         self.degraded_dispatches = 0
 
+        #: Leadership fencing token attached to every order this node
+        #: dispatches; ``None`` until a lease hands one out (or forever,
+        #: when leadership is disabled).
+        self.fencing_token: Optional[int] = None
+        #: Set once this controller dies (crash injection) or discovers
+        #: it is a deposed zombie (an executor refused its token).
+        self.crashed = False
+        self.crash_reason: Optional[str] = None
+        #: In-flight incidents adopted from a predecessor's journal.
+        self.recovered_incident_count = 0
+        self._processes: List = []
+
         monitor.subscribe(self.on_event)
 
     def __repr__(self) -> str:
@@ -182,8 +207,147 @@ class MaintenanceController:
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
-        """Launch the proactive policy loop."""
-        self.sim.process(self._policy_loop())
+        """Launch the proactive policy loop (and snapshotting)."""
+        self._spawn(self._policy_loop())
+        if self.journal is not None and self.config.snapshot_interval_seconds:
+            self._spawn(self._snapshot_loop())
+
+    def _spawn(self, generator):
+        """Launch a controller-owned process, tracked so :meth:`crash`
+        can kill it mid-yield."""
+        self._processes = [p for p in self._processes if p.is_alive]
+        proc = self.sim.process(generator)
+        self._processes.append(proc)
+        return proc
+
+    def crash(self, reason: str = "crash") -> None:
+        """Kill this controller: every owned process dies mid-yield and
+        the telemetry subscription is dropped.
+
+        In-memory state is deliberately *not* cleaned up — that is the
+        failure being modelled.  Muted links stay muted, claimed orders
+        stay claimed, open incidents go nowhere.  Only the journal (on
+        its own durable store) survives; :mod:`dcrobot.core.recovery`
+        rebuilds a successor from it.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_reason = reason
+        self.monitor.unsubscribe(self.on_event)
+        active = self.sim.active_process
+        for proc in self._processes:
+            if proc is active or not proc.is_alive:
+                continue
+            proc.defused = True
+            proc.interrupt(f"controller {reason}")
+        self._processes = []
+
+    def _demote(self) -> None:
+        """An executor refused our fencing token: a newer primary holds
+        the lease and this node is a zombie.  Self-fence immediately —
+        the only safe move (§ split-brain) is to stop doing anything."""
+        self.crash(reason="fenced by newer primary")
+
+    # -- durability ----------------------------------------------------------
+
+    def _journal(self, kind: RecordKind, **payload) -> None:
+        """Write-ahead append (no-op when journalling is disabled)."""
+        if self.journal is not None:
+            self.journal.append(self.sim.now, kind, **payload)
+
+    def _snapshot_loop(self):
+        while True:
+            yield self.sim.timeout(self.config.snapshot_interval_seconds)
+            self.journal.snapshot(self.sim.now, self.snapshot_state())
+
+    def _incident_payload(self, incident: Incident) -> Dict[str, object]:
+        return {
+            "link_id": incident.link_id,
+            "opened_at": incident.opened_at,
+            "symptom": incident.symptom,
+            "priority": incident.priority.name,
+            "attempt_count": incident.attempt_count,
+            "attempt_history": [[t, action.value]
+                                for t, action in incident.attempt_history],
+            "in_flight": incident.in_flight,
+            "resolved": incident.resolved,
+            "closed_at": incident.closed_at,
+            "unresolvable_reason": incident.unresolvable_reason,
+        }
+
+    def _claim_payload(self, claim: ActiveOrder) -> Dict[str, object]:
+        order = claim.order
+        return {
+            "order_id": order.order_id,
+            "link_id": order.link_id,
+            "action": order.action.value,
+            "priority": order.priority.name,
+            "symptom": order.symptom,
+            "created_at": order.created_at,
+            "announced_touches": list(order.announced_touches),
+            "fencing_token": order.fencing_token,
+            "executor_id": claim.executor_id,
+            "dispatched_at": claim.dispatched_at,
+            "deadline": claim.deadline,
+            "proactive": claim.proactive,
+        }
+
+    def _breaker_payload(self) -> Optional[Dict[str, object]]:
+        breaker = self.fleet_breaker
+        if breaker is None:
+            return None
+        return {
+            "state": breaker.state.value,
+            "consecutive_failures": breaker.consecutive_failures,
+            "opened_at": breaker.opened_at,
+            "trips": breaker.trips,
+        }
+
+    def _journal_breaker(self, before) -> None:
+        """Record a breaker state change (compared against ``before``)."""
+        breaker = self.fleet_breaker
+        if breaker is None or breaker.state is before:
+            return
+        payload = self._breaker_payload()
+        self._journal(RecordKind.BREAKER_TRANSITION, **payload)
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """The controller's full logical state as plain data.
+
+        Everything a successor needs to carry on: open incidents,
+        in-flight claims, per-link repair history (escalation-ladder
+        input), concluded incidents (reporting continuity), counters,
+        and breaker state.
+        """
+        return {
+            "node_id": self.node_id,
+            "time": self.sim.now,
+            "fencing_token": self.fencing_token,
+            "open_incidents": [self._incident_payload(incident)
+                               for incident
+                               in self.open_incidents.values()],
+            "closed_incidents": [self._incident_payload(incident)
+                                 for incident in self.closed_incidents],
+            "unresolved_incidents": [self._incident_payload(incident)
+                                     for incident
+                                     in self.unresolved_incidents],
+            "active_orders": [self._claim_payload(claim)
+                              for claims in self.active_orders.values()
+                              for claim in claims],
+            "repair_history": {
+                link_id: [[t, action.value] for t, action in entries]
+                for link_id, entries in self.repair_history.items()},
+            "counters": {
+                "timeout_count": self.timeout_count,
+                "retry_count": self.retry_count,
+                "late_ack_count": self.late_ack_count,
+                "idempotent_skips": self.idempotent_skips,
+                "degraded_dispatches": self.degraded_dispatches,
+                "supervision_seconds": self.supervision_seconds,
+            },
+            "breaker": self._breaker_payload(),
+        }
 
     # -- ownership bookkeeping ----------------------------------------------
 
@@ -194,10 +358,16 @@ class MaintenanceController:
                             executor_id=self._executor_id(executor),
                             dispatched_at=self.sim.now,
                             deadline=deadline, proactive=proactive)
+        self._journal(RecordKind.ORDER_DISPATCHED,
+                      **self._claim_payload(claim))
         self.active_orders.setdefault(order.link_id, []).append(claim)
         return claim
 
     def _release(self, claim: ActiveOrder) -> None:
+        self._journal(RecordKind.ORDER_CONCLUDED,
+                      order_id=claim.order.order_id,
+                      link_id=claim.link_id,
+                      proactive=claim.proactive)
         claims = self.active_orders.get(claim.link_id, [])
         if claim in claims:
             claims.remove(claim)
@@ -225,12 +395,19 @@ class MaintenanceController:
 
     def on_event(self, event: TelemetryEvent) -> None:
         """Telemetry callback: open or continue an incident."""
+        if self.crashed:
+            return
         request = self.policy.on_symptom(event)
         if request is None:
             self.monitor.unmute(event.link_id)
             return
         incident = self.open_incidents.get(event.link_id)
         if incident is None:
+            self._journal(RecordKind.INCIDENT_OPENED,
+                          link_id=event.link_id,
+                          opened_at=event.time,
+                          symptom=event.symptom.value,
+                          priority=request.priority.name)
             incident = Incident(link_id=event.link_id,
                                 opened_at=event.time,
                                 symptom=event.symptom.value,
@@ -239,7 +416,7 @@ class MaintenanceController:
         if incident.in_flight:
             return  # attempt already running; outcome loop handles it
         incident.in_flight = True
-        self.sim.process(self._attempt(incident, request))
+        self._spawn(self._attempt(incident, request))
 
     def _select_executor(self, action: RepairAction, link):
         """Pick the executor per automation level and capability."""
@@ -250,12 +427,16 @@ class MaintenanceController:
                           and self.fleet.can_execute(action)
                           and rack_id is not None
                           and self.fleet.covers(rack_id))
-        if robots_allowed and self.fleet_breaker is not None \
-                and not self.fleet_breaker.allows(self.sim.now):
-            # Graceful degradation: the fleet is benched, fall back to
-            # the technician pool (effectively a lower automation level).
-            self.degraded_dispatches += 1
-            robots_allowed = False
+        if robots_allowed and self.fleet_breaker is not None:
+            before = self.fleet_breaker.state
+            allowed = self.fleet_breaker.allows(self.sim.now)
+            self._journal_breaker(before)
+            if not allowed:
+                # Graceful degradation: the fleet is benched, fall back
+                # to the technician pool (effectively a lower
+                # automation level).
+                self.degraded_dispatches += 1
+                robots_allowed = False
         if robots_allowed:
             return self.fleet
         if self.humans is not None and self.humans.can_execute(action):
@@ -301,20 +482,31 @@ class MaintenanceController:
             yield from self._attempt_resilient(incident, link, history,
                                                action, executor)
 
+    def _make_order(self, link, action: RepairAction, priority: Priority,
+                    symptom: str, executor) -> WorkOrder:
+        """Build a work order carrying this node's fencing token."""
+        probe = WorkOrder(link.id, action, self.sim.now)
+        return WorkOrder(link_id=link.id, action=action,
+                         created_at=self.sim.now, priority=priority,
+                         symptom=symptom,
+                         announced_touches=executor.announce_touches(probe),
+                         fencing_token=self.fencing_token)
+
     # -- legacy single-shot attempt (no timeout, no retry) -------------------
 
     def _attempt_once(self, incident: Incident, link, history,
                       action: RepairAction, executor):
         sim = self.sim
-        order = WorkOrder(link_id=link.id, action=action,
-                          created_at=sim.now, priority=incident.priority,
-                          symptom=incident.symptom,
-                          announced_touches=executor.announce_touches(
-                              WorkOrder(link.id, action, sim.now)))
+        order = self._make_order(link, action, incident.priority,
+                                 incident.symptom, executor)
         self.scheduler.before_repair(order)
         claim = self._claim(order, executor)
         outcome = yield executor.submit(order)
         self._release(claim)
+        if outcome.rejected:
+            self.scheduler.after_repair(order)
+            self._demote()
+            return
         self._account(executor, outcome)
         incident.attempts.append(outcome)
         incident.attempt_history.append((sim.now, action))
@@ -324,16 +516,15 @@ class MaintenanceController:
                 and executor is not self.humans:
             # §3.3.2: the robot requests human support; same action,
             # human hands.
-            retry = WorkOrder(link_id=link.id, action=action,
-                              created_at=sim.now,
-                              priority=incident.priority,
-                              symptom=incident.symptom,
-                              announced_touches=self.humans.
-                              announce_touches(
-                                  WorkOrder(link.id, action, sim.now)))
+            retry = self._make_order(link, action, incident.priority,
+                                     incident.symptom, self.humans)
             retry_claim = self._claim(retry, self.humans)
             outcome = yield self.humans.submit(retry)
             self._release(retry_claim)
+            if outcome.rejected:
+                self.scheduler.after_repair(order)
+                self._demote()
+                return
             incident.attempts.append(outcome)
             incident.attempt_history.append((sim.now, action))
             history.append((sim.now, action))
@@ -358,12 +549,8 @@ class MaintenanceController:
                 retry_index += 1
                 continue
 
-            order = WorkOrder(link_id=link.id, action=action,
-                              created_at=sim.now,
-                              priority=incident.priority,
-                              symptom=incident.symptom,
-                              announced_touches=executor.announce_touches(
-                                  WorkOrder(link.id, action, sim.now)))
+            order = self._make_order(link, action, incident.priority,
+                                     incident.symptom, executor)
             self.scheduler.before_repair(order)
             deadline = sim.now + self._timeout_for(executor)
             claim = self._claim(order, executor, deadline=deadline)
@@ -372,6 +559,9 @@ class MaintenanceController:
             self.scheduler.after_repair(order)
             self._release(claim)
 
+            if outcome is not None and outcome.rejected:
+                self._demote()
+                return
             if outcome is None:
                 outcome = self._timeout_outcome(order, executor)
                 self._record_breaker(executor, success=False)
@@ -387,6 +577,8 @@ class MaintenanceController:
                     and executor is not self.humans:
                 follow = yield from self._human_follow_up(
                     incident, link, history, action)
+                if self.crashed:
+                    return  # follow-up was fenced; we are a zombie
                 if follow is not None:
                     outcome = follow
 
@@ -427,19 +619,17 @@ class MaintenanceController:
     def _backoff(self, retry_policy, retry_index: int):
         """Generator: sleep one jittered exponential-backoff period."""
         self.retry_count += 1
-        yield self.sim.timeout(
-            retry_policy.jittered_backoff(retry_index, self.rng))
+        delay = float(retry_policy.jittered_backoff(retry_index, self.rng))
+        self._journal(RecordKind.RETRY_SCHEDULED,
+                      retry_index=retry_index, delay=delay)
+        yield self.sim.timeout(delay)
 
     def _human_follow_up(self, incident: Incident, link, history,
                          action: RepairAction):
         """§3.3.2 robot-requests-human-support follow-up, with timeout."""
         sim = self.sim
-        retry = WorkOrder(link_id=link.id, action=action,
-                          created_at=sim.now,
-                          priority=incident.priority,
-                          symptom=incident.symptom,
-                          announced_touches=self.humans.announce_touches(
-                              WorkOrder(link.id, action, sim.now)))
+        retry = self._make_order(link, action, incident.priority,
+                                 incident.symptom, self.humans)
         self.scheduler.before_repair(retry)
         deadline = sim.now + self._timeout_for(self.humans)
         claim = self._claim(retry, self.humans, deadline=deadline)
@@ -447,6 +637,9 @@ class MaintenanceController:
             self.humans.submit(retry), retry, self.humans)
         self.scheduler.after_repair(retry)
         self._release(claim)
+        if outcome is not None and outcome.rejected:
+            self._demote()
+            return None
         if outcome is None:
             outcome = self._timeout_outcome(retry, self.humans)
         else:
@@ -480,6 +673,9 @@ class MaintenanceController:
 
     def _timeout_outcome(self, order: WorkOrder,
                          executor) -> RepairOutcome:
+        self._journal(RecordKind.ORDER_TIMED_OUT,
+                      order_id=order.order_id, link_id=order.link_id,
+                      executor_id=self._executor_id(executor))
         self.timeout_count += 1
         self.lost_ack_orders.append(order)
         return RepairOutcome(
@@ -502,10 +698,12 @@ class MaintenanceController:
     def _record_breaker(self, executor, success: bool) -> None:
         if self.fleet_breaker is None or executor is not self.fleet:
             return
+        before = self.fleet_breaker.state
         if success:
             self.fleet_breaker.record_success(self.sim.now)
         else:
             self.fleet_breaker.record_failure(self.sim.now)
+        self._journal_breaker(before)
 
     # -- verification tail (shared by both attempt paths) --------------------
 
@@ -540,6 +738,8 @@ class MaintenanceController:
         incident.resolved = True
         incident.closed_at = self.sim.now
         incident.in_flight = False
+        self._journal(RecordKind.INCIDENT_CLOSED,
+                      **self._incident_payload(incident))
         self.open_incidents.pop(incident.link_id, None)
         self.closed_incidents.append(incident)
         self.monitor.unmute(incident.link_id)
@@ -547,6 +747,8 @@ class MaintenanceController:
     def _mark_unresolvable(self, incident: Incident, reason: str) -> None:
         incident.unresolvable_reason = reason
         incident.in_flight = False
+        self._journal(RecordKind.INCIDENT_UNRESOLVABLE,
+                      **self._incident_payload(incident))
         self.open_incidents.pop(incident.link_id, None)
         self.unresolved_incidents.append(incident)
         # The link stays muted: re-reporting an unfixable link would
@@ -564,7 +766,7 @@ class MaintenanceController:
                 if request.link_id in self._proactive_pending:
                     continue
                 self._proactive_pending.add(request.link_id)
-                sim.process(self._proactive(request))
+                self._spawn(self._proactive(request))
 
     def _proactive(self, request: PlanRequest):
         sim = self.sim
@@ -584,12 +786,8 @@ class MaintenanceController:
             executor = self._select_executor(action, link)
             if executor is None:
                 return
-            order = WorkOrder(link_id=link.id, action=action,
-                              created_at=sim.now,
-                              priority=request.priority,
-                              symptom=request.reason,
-                              announced_touches=executor.announce_touches(
-                                  WorkOrder(link.id, action, sim.now)))
+            order = self._make_order(link, action, request.priority,
+                                     request.reason, executor)
             self.scheduler.before_repair(order)
             claim = self._claim(order, executor, proactive=True)
             if self.resilience is None:
@@ -599,6 +797,9 @@ class MaintenanceController:
                     executor.submit(order), order, executor)
             self.scheduler.after_repair(order)
             self._release(claim)
+            if outcome is not None and outcome.rejected:
+                self._demote()
+                return
             if outcome is None:
                 self._timeout_outcome(order, executor)
                 self._record_breaker(executor, success=False)

@@ -1,0 +1,170 @@
+"""Lease-based active/standby failover for the maintenance controller.
+
+A self-maintaining datacenter cannot depend on an unmaintained
+controller: when the primary dies, a standby must take over — and a
+primary that merely *looked* dead (GC pause, partition from the lock
+service) must not keep dispatching repairs alongside its successor.
+The classic machinery:
+
+* :class:`LeaseCoordinator` — the external lock service (etcd/ZooKeeper
+  stand-in).  One node holds a TTL lease; acquisition hands out a
+  **monotonically increasing fencing token**.  The coordinator is
+  infrastructure: it does not crash when a controller does.
+* :class:`FencingGuard` — sits at each executor (robot fleet,
+  technician pool).  It admits a work order only if its fencing token
+  is at least the highest the executor has seen, so orders from a
+  deposed primary are rejected instead of double-dispatching a repair.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from dcrobot.core.journal import RecordKind, WriteAheadJournal
+
+
+@dataclasses.dataclass(frozen=True)
+class LeaseConfig:
+    """Lease timing: how fast a dead primary is detected."""
+
+    #: Lease lifetime; a primary silent this long is considered dead.
+    ttl_seconds: float = 900.0
+    #: Heartbeat (renewal) cadence; must give several tries per TTL.
+    heartbeat_seconds: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be > 0")
+        if not 0 < self.heartbeat_seconds < self.ttl_seconds:
+            raise ValueError(
+                "heartbeat_seconds must be in (0, ttl_seconds)")
+
+
+class LeaseCoordinator:
+    """The lock service: one lease, monotonic fencing tokens."""
+
+    def __init__(self, config: Optional[LeaseConfig] = None,
+                 journal: Optional[WriteAheadJournal] = None) -> None:
+        self.config = config or LeaseConfig()
+        self.journal = journal
+        self.holder: Optional[str] = None
+        self.expires_at: float = float("-inf")
+        #: The last token handed out; the next acquisition gets +1.
+        self.fencing_token: int = 0
+        #: (time, node, token) acquisition log, for reporting.
+        self.acquisitions: List[Tuple[float, str, int]] = []
+
+    def __repr__(self) -> str:
+        return (f"<LeaseCoordinator holder={self.holder!r} "
+                f"token={self.fencing_token}>")
+
+    def holder_at(self, now: float) -> Optional[str]:
+        """The current lease holder, or None if the lease expired."""
+        if self.holder is not None and now < self.expires_at:
+            return self.holder
+        return None
+
+    def is_held_by(self, node_id: str, now: float) -> bool:
+        return self.holder_at(now) == node_id
+
+    def try_acquire(self, node_id: str, now: float) -> Optional[int]:
+        """Acquire the lease; returns the new fencing token, or None.
+
+        Succeeds when the lease is free, expired, or already held by
+        ``node_id`` (re-acquisition after a restart) — and always hands
+        out a *fresh* token, so even a same-node restart is fenced
+        against its own pre-crash orders still in executor queues.
+        """
+        current = self.holder_at(now)
+        if current is not None and current != node_id:
+            return None
+        previous = self.holder
+        self.holder = node_id
+        self.expires_at = now + self.config.ttl_seconds
+        self.fencing_token += 1
+        self.acquisitions.append((now, node_id, self.fencing_token))
+        if self.journal is not None:
+            if previous is not None and previous != node_id:
+                self.journal.append(now, RecordKind.LEASE_LOST,
+                                    node=previous,
+                                    taken_by=node_id)
+            self.journal.append(now, RecordKind.LEASE_ACQUIRED,
+                                node=node_id,
+                                token=self.fencing_token,
+                                expires_at=self.expires_at)
+        return self.fencing_token
+
+    def renew(self, node_id: str, now: float) -> bool:
+        """Extend the lease; False if ``node_id`` no longer holds it."""
+        if not self.is_held_by(node_id, now):
+            return False
+        self.expires_at = now + self.config.ttl_seconds
+        return True
+
+    def release(self, node_id: str, now: float) -> bool:
+        """Voluntarily give up the lease (clean shutdown)."""
+        if self.holder != node_id:
+            return False
+        self.holder = None
+        self.expires_at = float("-inf")
+        if self.journal is not None:
+            self.journal.append(now, RecordKind.LEASE_LOST,
+                                node=node_id, taken_by=None)
+        return True
+
+
+@dataclasses.dataclass(frozen=True)
+class FencedRejection:
+    """One work order refused for carrying a stale fencing token."""
+
+    time: float
+    order_id: int
+    link_id: str
+    token: Optional[int]
+    highest_seen: int
+
+
+class FencingGuard:
+    """Per-executor stale-token filter (split-brain protection).
+
+    Executors remember the highest fencing token they have seen; an
+    order carrying a lower token comes from a deposed primary and is
+    rejected.  Orders without a token (leadership disabled) pass — the
+    guard only bites once a fenced control plane is in play.
+    """
+
+    def __init__(self) -> None:
+        self.highest_seen: int = 0
+        self.rejections: List[FencedRejection] = []
+
+    def __repr__(self) -> str:
+        return (f"<FencingGuard highest={self.highest_seen} "
+                f"rejected={len(self.rejections)}>")
+
+    def advance(self, token: int) -> None:
+        """A new primary announces its token at takeover (the fencing
+        handshake): from here on, older tokens are refused even before
+        the new primary's first dispatch."""
+        self.highest_seen = max(self.highest_seen, int(token))
+
+    def admit(self, token: Optional[int], *, time: float = 0.0,
+              order_id: int = -1, link_id: str = "") -> bool:
+        """Whether an order with this token may execute."""
+        if token is None:
+            return True
+        if token < self.highest_seen:
+            self.rejections.append(FencedRejection(
+                time=time, order_id=order_id, link_id=link_id,
+                token=token, highest_seen=self.highest_seen))
+            return False
+        self.highest_seen = token
+        return True
+
+
+__all__ = [
+    "LeaseConfig",
+    "LeaseCoordinator",
+    "FencingGuard",
+    "FencedRejection",
+]

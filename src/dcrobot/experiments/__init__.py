@@ -1,7 +1,7 @@
 """Experiment harness (S12): every paper claim as a runnable experiment.
 
 Each experiment module exposes ``run(quick=True, seed=0) ->
-ExperimentResult``; the registry maps experiment ids (``e1`` .. ``e13``)
+ExperimentResult``; the registry maps experiment ids (``e1`` .. ``e14``)
 to those functions.  Run one from the command line::
 
     python -m dcrobot.experiments e1 [--full] [--seed N]
@@ -23,6 +23,7 @@ from dcrobot.experiments import (
     e11_mobility_scopes,
     e12_gpu_cluster,
     e13_chaos_resilience,
+    e14_crash_recovery,
 )
 from dcrobot.experiments.parallel import (
     Execution,
@@ -54,6 +55,7 @@ _MODULES = (
     e11_mobility_scopes,
     e12_gpu_cluster,
     e13_chaos_resilience,
+    e14_crash_recovery,
 )
 
 #: Experiment id -> run function.

@@ -17,10 +17,14 @@ from dcrobot.experiments.parallel import (
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m dcrobot.experiments",
-        description="Reproduce the paper's experiments (E1-E13).")
+        description="Reproduce the paper's experiments (E1-E14).")
     parser.add_argument(
-        "experiment",
-        help="experiment id (e1..e13), 'all', or 'list'")
+        "experiment", nargs="?",
+        help="experiment id (e1..e14), 'all', or 'list'")
+    parser.add_argument(
+        "--list", action="store_true", dest="list_experiments",
+        help="print each experiment id with its one-line description "
+             "and exit")
     parser.add_argument("--full", action="store_true",
                         help="full-scale run (slower, paper-grade)")
     parser.add_argument("--seed", type=int, default=0)
@@ -47,14 +51,25 @@ def execution_from_args(args: argparse.Namespace) -> Execution:
     return Execution(jobs=args.jobs, trials=args.trials, cache=cache)
 
 
-def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+def _ordered_ids():
+    """Registry ids in numeric order (e2 before e10)."""
+    return sorted(REGISTRY, key=lambda eid: (len(eid), eid))
 
-    if args.experiment == "list":
-        for experiment_id in sorted(REGISTRY):
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_experiments or args.experiment == "list":
+        for experiment_id in _ordered_ids():
             title, anchor = DESCRIPTIONS[experiment_id]
             print(f"{experiment_id:>4}  {title}  [{anchor}]")
         return 0
+    if args.experiment is None:
+        parser.print_usage(sys.stderr)
+        print("error: an experiment id (or --list) is required",
+              file=sys.stderr)
+        return 2
 
     execution = execution_from_args(args)
     try:
@@ -63,7 +78,7 @@ def main(argv=None) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    targets = (sorted(REGISTRY) if args.experiment == "all"
+    targets = (_ordered_ids() if args.experiment == "all"
                else [args.experiment.lower()])
     # Validate up front so a typo fails with one clean line before any
     # experiment runs — and so a KeyError raised *inside* an experiment

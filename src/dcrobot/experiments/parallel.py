@@ -33,6 +33,8 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from dcrobot.core.journal import JOURNAL_SCHEMA_VERSION
+
 #: Default on-disk cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".dcrobot_cache"
 
@@ -204,11 +206,17 @@ class TrialCache:
 def cache_key(experiment_id: str, params: Dict[str, Any],
               seed: int, version: Optional[str] = None,
               trial_fn: Optional[TrialFn] = None) -> str:
-    """The stable identity of one trial's result."""
+    """The stable identity of one trial's result.
+
+    The journal schema version is part of the identity: a schema bump
+    changes what crash-recovery trials replay (and therefore their
+    results) even when no source file hashed into ``code_version()``
+    moved, e.g. when cached results travel between checkouts.
+    """
     fn_id = (f"{trial_fn.__module__}.{trial_fn.__qualname__}"
              if trial_fn is not None else "")
     return stable_hash((experiment_id, fn_id, _canonical(params),
-                        int(seed),
+                        int(seed), JOURNAL_SCHEMA_VERSION,
                         version if version is not None
                         else code_version()))
 

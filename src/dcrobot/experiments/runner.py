@@ -20,6 +20,9 @@ from dcrobot.core.actions import RepairAction
 from dcrobot.core.automation import AutomationLevel, spec_for
 from dcrobot.core.controller import ControllerConfig, MaintenanceController
 from dcrobot.core.escalation import EscalationConfig, EscalationLadder
+from dcrobot.core.journal import WriteAheadJournal
+from dcrobot.core.leadership import FencingGuard, LeaseConfig, LeaseCoordinator
+from dcrobot.core.recovery import ControllerSupervisor
 from dcrobot.core.policy import (
     NullPolicy,
     ProactivePolicy,
@@ -104,6 +107,20 @@ class WorldConfig:
     safety_check_interval_seconds: float = 300.0
     #: A claim older than this is a leaked ("stuck") work order.
     stuck_after_seconds: float = 7.0 * DAY
+    #: Give the controller a write-ahead journal (crash recoverability).
+    journal: bool = False
+    #: Lease-based active/standby failover with fencing tokens; implies
+    #: a supervisor that promotes a successor when the lease expires.
+    leadership: bool = False
+    lease_config: Optional[LeaseConfig] = None
+    #: Attach the control-plane chaos injector (crash/pause/restart,
+    #: rates from the chaos config).  Requires ``chaos``.
+    controller_chaos: bool = False
+    controller_chaos_check_seconds: float = 3600.0
+    #: Force a ControllerSupervisor even without journal/leadership —
+    #: the journal-less cold-restart baseline still needs the restart
+    #: machinery it is being measured without.
+    supervise: bool = False
 
     @property
     def horizon_seconds(self) -> float:
@@ -129,10 +146,20 @@ class RunResult:
     spares_consumed_cables: int = 0
     chaos_engine: Optional[ChaosEngine] = None
     safety: Optional[SafetyMonitor] = None
+    supervisor: Optional[ControllerSupervisor] = None
+    journal: Optional[WriteAheadJournal] = None
+    coordinator: Optional[LeaseCoordinator] = None
 
     @property
     def fabric(self):
         return self.topology.fabric
+
+    @property
+    def live_controller(self) -> MaintenanceController:
+        """The controller currently in charge (post-failover aware)."""
+        if self.supervisor is not None:
+            return self.supervisor.controller
+        return self.controller
 
     @property
     def horizon_seconds(self) -> float:
@@ -144,7 +171,7 @@ class RunResult:
         return link_availability(self.fabric, 0.0, self.horizon_seconds)
 
     def repair_stats(self) -> Optional[RepairTimeStats]:
-        times = self.controller.repair_times()
+        times = self.live_controller.repair_times()
         return repair_time_stats(times) if times else None
 
     def amplification(self) -> AmplificationStats:
@@ -163,9 +190,10 @@ class RunResult:
             disturbed_links_from_cascade,
         )
 
-        incidents = (self.controller.closed_incidents
-                     + self.controller.unresolved_incidents
-                     + list(self.controller.open_incidents.values()))
+        controller = self.live_controller
+        incidents = (controller.closed_incidents
+                     + controller.unresolved_incidents
+                     + list(controller.open_incidents.values()))
         return attribute_incidents(
             incidents, self.injector.log,
             disturbed_links_from_cascade(self.cascade.reports))
@@ -187,7 +215,7 @@ class RunResult:
             horizon_seconds=self.horizon_seconds,
             technician_labor_seconds=(
                 self.humans.labor_seconds if self.humans else 0.0),
-            supervision_seconds=self.controller.supervision_seconds,
+            supervision_seconds=self.live_controller.supervision_seconds,
             robot_count=self.robot_count(),
             robot_busy_seconds=self.robot_busy_seconds(),
             transceivers_consumed=self.spares_consumed_transceivers,
@@ -275,15 +303,34 @@ def build_world(config: WorldConfig) -> RunResult:
         if humans is not None:
             controller_humans = chaos_engine.wrap_executor(humans)
 
-    controller = MaintenanceController(
-        sim, fabric, health, monitor,
-        policy=_make_policy(config, topology),
-        ladder=EscalationLadder(config.escalation),
-        scheduler=ImpactAwareScheduler(config=config.scheduler_config),
-        level=config.level, humans=controller_humans,
-        fleet=controller_fleet,
-        config=config.controller_config or ControllerConfig(),
-        rng=np.random.default_rng(config.seed + 10))
+    journal = WriteAheadJournal() if config.journal else None
+    coordinator = None
+    if config.leadership:
+        coordinator = LeaseCoordinator(config.lease_config, journal)
+        # Fencing guards live at the *real* executors (not the chaos
+        # wrappers): physical intake is where split-brain must stop.
+        for executor in (fleet, humans):
+            if executor is not None:
+                executor.fence = FencingGuard()
+
+    ladder = EscalationLadder(config.escalation)
+    scheduler = ImpactAwareScheduler(config=config.scheduler_config)
+    policy = _make_policy(config, topology)
+    controller_config = config.controller_config or ControllerConfig()
+
+    def controller_factory(node_id: str) -> MaintenanceController:
+        """Build a controller on the shared infrastructure.  Successors
+        (standby promotion, restart) come from the same factory."""
+        return MaintenanceController(
+            sim, fabric, health, monitor,
+            policy=policy, ladder=ladder, scheduler=scheduler,
+            level=config.level, humans=controller_humans,
+            fleet=controller_fleet,
+            config=controller_config,
+            rng=np.random.default_rng(config.seed + 10),
+            journal=journal, node_id=node_id)
+
+    controller = controller_factory("primary")
 
     safety = None
     if config.safety:
@@ -294,6 +341,13 @@ def build_world(config: WorldConfig) -> RunResult:
             check_interval_seconds=config.safety_check_interval_seconds,
             stuck_after_seconds=config.stuck_after_seconds).attach()
 
+    supervisor = None
+    if (config.journal or config.leadership
+            or config.controller_chaos or config.supervise):
+        supervisor = ControllerSupervisor(
+            sim, controller, controller_factory,
+            coordinator=coordinator, journal=journal, safety=safety)
+
     sim.process(health.run(sim))
     sim.process(monitor.run(sim))
     sim.process(dust.run(sim))
@@ -303,13 +357,24 @@ def build_world(config: WorldConfig) -> RunResult:
     else:
         injector.start(sim)
     controller.start()
+    if supervisor is not None:
+        supervisor.start()
+    if config.controller_chaos:
+        if chaos_engine is None or supervisor is None:
+            raise ValueError(
+                "controller_chaos requires a chaos config")
+        chaos_engine.attach_supervisor(
+            supervisor,
+            check_seconds=config.controller_chaos_check_seconds)
 
     return RunResult(config=config, topology=topology, sim=sim,
                      environment=environment, health=health,
                      cascade=cascade, injector=injector,
                      monitor=monitor, controller=controller,
                      humans=humans, fleet=fleet,
-                     chaos_engine=chaos_engine, safety=safety)
+                     chaos_engine=chaos_engine, safety=safety,
+                     supervisor=supervisor, journal=journal,
+                     coordinator=coordinator)
 
 
 def run_world(config: WorldConfig) -> RunResult:
@@ -379,6 +444,20 @@ class WorldSummary:
     #: resolution-rate acceptance metric.
     mature_incidents: int = 0
     mature_concluded: int = 0
+    #: -- crash-recovery observables (zero without a supervisor) ------
+    controller_crashes: int = 0
+    controller_partitions: int = 0
+    failovers: int = 0
+    recoveries: int = 0
+    adopted_orders: int = 0
+    fenced_rejections: int = 0
+    journal_records: int = 0
+    journal_snapshots: int = 0
+    recovered_incidents: int = 0
+    #: Links muted by telemetry that no live incident, claim, or
+    #: unresolvable case accounts for: repairs silently *lost* by a
+    #: controller death (the journal-less baseline's failure mode).
+    orphaned_muted_links: int = 0
 
     @property
     def resolved_or_escalated_rate(self) -> float:
@@ -414,9 +493,28 @@ class WorldSummary:
             else 0.0
 
 
+def _orphaned_muted_links(result: RunResult, controller) -> int:
+    """Muted links the live controller no longer knows anything about.
+
+    The monitor mutes a link while an incident is being worked so
+    detections do not double-fire.  A live controller always unmutes on
+    close (or deliberately leaves unresolvable links muted).  When a
+    controller dies without a journal, its in-flight incidents vanish —
+    and their links stay muted forever, invisible to redetection.  This
+    counts those silently-lost repairs.
+    """
+    if result.monitor is None:
+        return 0
+    known = set(controller.open_incidents)
+    known.update(controller.active_orders)
+    known.update(incident.link_id
+                 for incident in controller.unresolved_incidents)
+    return len(set(result.monitor._muted) - known)
+
+
 def summarize_world(result: RunResult) -> WorldSummary:
     """Condense a run world into its :class:`WorldSummary`."""
-    controller = result.controller
+    controller = result.live_controller
     availability = result.availability()
     amplification = result.amplification()
     cutoff = result.horizon_seconds - 4.0 * DAY
@@ -469,7 +567,28 @@ def summarize_world(result: RunResult) -> WorldSummary:
         breaker_trips=(controller.fleet_breaker.trips
                        if controller.fleet_breaker else 0),
         mature_incidents=mature_concluded + mature_open,
-        mature_concluded=mature_concluded)
+        mature_concluded=mature_concluded,
+        controller_crashes=(result.supervisor.crashes
+                            if result.supervisor else 0),
+        controller_partitions=(result.supervisor.partitions
+                               if result.supervisor else 0),
+        failovers=(result.supervisor.failovers
+                   if result.supervisor else 0),
+        recoveries=(result.supervisor.recoveries
+                    if result.supervisor else 0),
+        adopted_orders=(result.supervisor.adopted_order_count
+                        if result.supervisor else 0),
+        fenced_rejections=sum(
+            len(executor.fence.rejections)
+            for executor in (result.fleet, result.humans)
+            if executor is not None
+            and getattr(executor, "fence", None) is not None),
+        journal_records=(result.journal.record_count
+                         if result.journal else 0),
+        journal_snapshots=(result.journal.snapshot_count
+                           if result.journal else 0),
+        recovered_incidents=controller.recovered_incident_count,
+        orphaned_muted_links=_orphaned_muted_links(result, controller))
 
 
 def world_trial(params: Dict, seed: int) -> WorldSummary:

@@ -94,6 +94,16 @@ class TechnicianPool:
         self._pool = PriorityResource(sim, capacity=count)
         #: Completed outcomes, oldest first.
         self.outcomes: List[RepairOutcome] = []
+        #: Leadership fencing guard (set by the world builder when
+        #: failover is enabled); orders with stale tokens are refused.
+        self.fence = None
+        #: Orders refused for carrying a stale fencing token.
+        self.rejected_orders: List[WorkOrder] = []
+        #: order id -> completion event: the ticket system is ground
+        #: truth that survives a controller crash, so a recovered
+        #: controller can re-attach to in-flight tickets instead of
+        #: filing the repair a second time.
+        self.pending_acks: Dict[int, Event] = {}
         #: Total hands-on person-seconds (travel + work) for costing.
         self.labor_seconds = 0.0
         #: link id -> number of technicians physically at it right now
@@ -113,6 +123,19 @@ class TechnicianPool:
         """Queue a work order; the returned event fires with the
         :class:`RepairOutcome` when the repair attempt completes."""
         done = self.sim.event()
+        if self.fence is not None and not self.fence.admit(
+                order.fencing_token, time=self.sim.now,
+                order_id=order.order_id, link_id=order.link_id):
+            # Split-brain protection: this ticket came from a deposed
+            # primary.  Refuse at intake, before dispatch.
+            self.rejected_orders.append(order)
+            done.succeed(RepairOutcome(
+                order=order, executor_id=self.executor_id,
+                started_at=self.sim.now, finished_at=self.sim.now,
+                completed=False, rejected=True,
+                notes="stale fencing token: dispatching primary deposed"))
+            return done
+        self.pending_acks[order.order_id] = done
         self.sim.process(self._execute(order, done))
         return done
 

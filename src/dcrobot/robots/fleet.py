@@ -98,6 +98,16 @@ class RobotFleet:
         self.outcomes: List[RepairOutcome] = []
         #: Orders rejected because no unit's scope covers the target.
         self.unreachable_orders: List[WorkOrder] = []
+        #: Leadership fencing guard (set by the world builder when
+        #: failover is enabled); orders with stale tokens are refused.
+        self.fence = None
+        #: Orders refused for carrying a stale fencing token.
+        self.rejected_orders: List[WorkOrder] = []
+        #: order id -> completion event: the fleet's work-order queue is
+        #: ground truth that survives a controller crash, so a recovered
+        #: controller can re-attach to in-flight orders instead of
+        #: dispatching the repair a second time.
+        self.pending_acks: Dict[int, Event] = {}
         #: Mid-operation fault planner (set by the chaos engine).
         self.chaos = None
         #: link id -> number of operations physically touching it now
@@ -175,6 +185,19 @@ class RobotFleet:
     def submit(self, order: WorkOrder) -> Event:
         """Queue an order; event fires with the RepairOutcome."""
         done = self.sim.event()
+        if self.fence is not None and not self.fence.admit(
+                order.fencing_token, time=self.sim.now,
+                order_id=order.order_id, link_id=order.link_id):
+            # Split-brain protection: this order was dispatched by a
+            # deposed primary.  Refuse before any robot moves.
+            self.rejected_orders.append(order)
+            done.succeed(RepairOutcome(
+                order=order, executor_id=self.executor_id,
+                started_at=self.sim.now, finished_at=self.sim.now,
+                completed=False, rejected=True,
+                notes="stale fencing token: dispatching primary deposed"))
+            return done
+        self.pending_acks[order.order_id] = done
         self.sim.process(self._execute(order, done))
         return done
 

@@ -55,6 +55,11 @@ class TelemetryMonitor:
         """Register a callback for every newly detected symptom."""
         self.subscribers.append(subscriber)
 
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        """Drop a callback (a dead controller must stop hearing)."""
+        if subscriber in self.subscribers:
+            self.subscribers.remove(subscriber)
+
     def add_interceptor(self, interceptor: Interceptor) -> None:
         """Install a delivery-path transform (chaos injection point)."""
         self.interceptors.append(interceptor)

@@ -1,0 +1,110 @@
+"""Control-plane fault injection: the crash/pause/restart injector."""
+
+import numpy as np
+import pytest
+
+from dcrobot.chaos import (
+    ChaosConfig,
+    ChaosEngine,
+    ChaosFaultKind,
+    ChaosLog,
+    ControllerChaos,
+)
+from dcrobot.sim.engine import Simulation
+from dcrobot.sim.rng import RandomStreams
+
+
+class FakeController:
+    def __init__(self):
+        self.crashed = False
+        self.node_id = "primary"
+
+
+class FakeSupervisor:
+    """Records the injector's calls; restart revives the controller."""
+
+    def __init__(self):
+        self.controller = FakeController()
+        self.crashes = 0
+        self.restarts = 0
+        self.partitions = []
+
+    def crash_primary(self, reason=""):
+        self.crashes += 1
+        self.controller.crashed = True
+
+    def partition_primary(self, duration):
+        self.partitions.append(duration)
+
+    def restart_primary(self, reason=""):
+        self.restarts += 1
+        self.controller.crashed = False
+
+
+def injector(sim, supervisor, **config):
+    return ControllerChaos(sim, ChaosConfig(**config), supervisor,
+                           np.random.default_rng(0), ChaosLog(),
+                           check_seconds=100.0)
+
+
+def test_crash_fires_once_then_yields_to_recovery():
+    sim = Simulation()
+    supervisor = FakeSupervisor()
+    chaos = injector(sim, supervisor, controller_crash_prob=1.0)
+    sim.process(chaos.run())
+    sim.run(until=1000.0)
+
+    # The first check kills the controller; while it stays down the
+    # injector skips its rolls (recovery gets room to work).
+    assert supervisor.crashes == 1
+    assert chaos.injected == 1
+    assert chaos.log.count(ChaosFaultKind.CONTROLLER_CRASH) == 1
+
+
+def test_restart_fires_every_check_on_a_revived_controller():
+    sim = Simulation()
+    supervisor = FakeSupervisor()
+    chaos = injector(sim, supervisor, controller_restart_prob=1.0)
+    sim.process(chaos.run())
+    sim.run(until=1000.0)
+
+    # restart_primary revives the controller, so every check rolls.
+    assert supervisor.restarts == 9
+    assert chaos.log.count(ChaosFaultKind.CONTROLLER_RESTART) == 9
+
+
+def test_pause_partitions_for_a_sampled_duration():
+    sim = Simulation()
+    supervisor = FakeSupervisor()
+    chaos = injector(sim, supervisor, controller_pause_prob=1.0,
+                     controller_pause_seconds=(500.0, 500.0))
+    sim.process(chaos.run())
+    sim.run(until=400.0)
+
+    # The paused controller keeps running (a zombie, not a corpse), so
+    # later checks keep rolling.
+    assert supervisor.partitions == [500.0, 500.0, 500.0]
+    assert supervisor.crashes == 0
+    assert chaos.log.count(ChaosFaultKind.CONTROLLER_PAUSE) == 3
+    faults = chaos.log.faults
+    assert faults[0].target == "primary"
+    assert "500s" in faults[0].detail
+
+
+def test_check_interval_must_be_positive():
+    with pytest.raises(ValueError, match="check_seconds"):
+        ControllerChaos(Simulation(), ChaosConfig(), FakeSupervisor(),
+                        np.random.default_rng(0), ChaosLog(),
+                        check_seconds=0.0)
+
+
+def test_engine_attach_supervisor_registers_the_injector():
+    sim = Simulation()
+    engine = ChaosEngine(sim, ChaosConfig(controller_crash_prob=1.0),
+                         RandomStreams(7))
+    supervisor = FakeSupervisor()
+    chaos = engine.attach_supervisor(supervisor, check_seconds=50.0)
+    assert engine.controller_chaos is chaos
+    sim.run(until=200.0)
+    assert supervisor.crashes == 1
+    assert engine.summary().get("controller-crash") == 1

@@ -1,0 +1,105 @@
+"""Lease coordination and fencing: the split-brain protections."""
+
+import pytest
+
+from dcrobot.core.journal import RecordKind, WriteAheadJournal
+from dcrobot.core.leadership import (
+    FencingGuard,
+    LeaseConfig,
+    LeaseCoordinator,
+)
+
+
+def coordinator(**overrides):
+    defaults = dict(ttl_seconds=900.0, heartbeat_seconds=300.0)
+    defaults.update(overrides)
+    return LeaseCoordinator(LeaseConfig(**defaults))
+
+
+def test_lease_config_validates_timing():
+    with pytest.raises(ValueError, match="ttl"):
+        LeaseConfig(ttl_seconds=0.0)
+    with pytest.raises(ValueError, match="heartbeat"):
+        LeaseConfig(ttl_seconds=100.0, heartbeat_seconds=100.0)
+
+
+def test_acquire_renew_and_expiry():
+    lease = coordinator()
+    token = lease.try_acquire("primary", now=0.0)
+    assert token == 1
+    assert lease.holder_at(899.0) == "primary"
+    assert lease.renew("primary", now=500.0)
+    assert lease.holder_at(1300.0) == "primary"  # renewed to 1400
+    assert lease.holder_at(1400.0) is None       # silent -> expired
+    assert not lease.renew("primary", now=1400.0)
+
+
+def test_live_lease_blocks_other_nodes():
+    lease = coordinator()
+    lease.try_acquire("primary", now=0.0)
+    assert lease.try_acquire("standby", now=100.0) is None
+    # ...until it expires.
+    assert lease.try_acquire("standby", now=901.0) == 2
+
+
+def test_tokens_are_monotonic_even_for_same_node_reacquisition():
+    lease = coordinator()
+    assert lease.try_acquire("primary", now=0.0) == 1
+    # A restarted primary re-acquires its own lease but MUST get a
+    # fresh token: its pre-crash orders are still in executor queues.
+    assert lease.try_acquire("primary", now=10.0) == 2
+    assert lease.try_acquire("standby", now=1000.0) == 3
+    assert [token for _, _, token in lease.acquisitions] == [1, 2, 3]
+
+
+def test_release_frees_the_lease():
+    lease = coordinator()
+    lease.try_acquire("primary", now=0.0)
+    assert not lease.release("standby", now=1.0)
+    assert lease.release("primary", now=1.0)
+    assert lease.holder_at(2.0) is None
+    assert lease.try_acquire("standby", now=2.0) == 2
+
+
+def test_acquisitions_are_journalled():
+    journal = WriteAheadJournal()
+    lease = LeaseCoordinator(LeaseConfig(), journal)
+    lease.try_acquire("primary", now=0.0)
+    lease.try_acquire("standby", now=2000.0)  # expired takeover
+    kinds = [record.kind for record in journal.records()]
+    assert kinds == [RecordKind.LEASE_ACQUIRED,
+                     RecordKind.LEASE_LOST,
+                     RecordKind.LEASE_ACQUIRED]
+    last = journal.records()[-1]
+    assert last.payload["node"] == "standby"
+    assert last.payload["token"] == 2
+
+
+def test_guard_admits_tokenless_orders():
+    guard = FencingGuard()
+    guard.advance(5)
+    assert guard.admit(None)  # leadership disabled: nothing to fence
+    assert guard.rejections == []
+
+
+def test_guard_rejects_stale_tokens_and_records_them():
+    guard = FencingGuard()
+    assert guard.admit(3, time=10.0, order_id=1, link_id="l1")
+    assert guard.highest_seen == 3
+    assert not guard.admit(2, time=20.0, order_id=2, link_id="l2")
+    rejection = guard.rejections[0]
+    assert (rejection.order_id, rejection.token,
+            rejection.highest_seen) == (2, 2, 3)
+    # Equal and newer tokens pass.
+    assert guard.admit(3, time=30.0)
+    assert guard.admit(7, time=40.0)
+    assert guard.highest_seen == 7
+
+
+def test_advance_fences_before_the_first_successor_dispatch():
+    guard = FencingGuard()
+    assert guard.admit(1, time=0.0)  # the old primary's normal traffic
+    guard.advance(2)                 # takeover handshake
+    # The zombie's next order is refused even though the successor has
+    # not dispatched anything yet.
+    assert not guard.admit(1, time=5.0, order_id=9, link_id="lz")

@@ -1,0 +1,185 @@
+"""Journal replay and controller state restoration."""
+
+import pytest
+
+from dcrobot.core.journal import RecordKind, WriteAheadJournal
+from dcrobot.core.recovery import (
+    JournalReplayError,
+    replay_journal,
+    restore_controller,
+)
+from tests.core.test_controller_resilience import (
+    ScriptedExecutor,
+    break_and_report,
+    build,
+    fast_resilience,
+)
+from tests.conftest import make_world
+
+
+def _opened(journal, time, link_id, symptom="link-down"):
+    journal.append(time, RecordKind.INCIDENT_OPENED, link_id=link_id,
+                   opened_at=time, symptom=symptom, priority="NORMAL")
+
+
+def _dispatched(journal, time, order_id, link_id, action="reseat",
+                executor_id="stub-humans", proactive=False):
+    journal.append(time, RecordKind.ORDER_DISPATCHED, order_id=order_id,
+                   link_id=link_id, action=action, priority="NORMAL",
+                   symptom="link-down", created_at=time,
+                   announced_touches=[], fencing_token=None,
+                   executor_id=executor_id, dispatched_at=time,
+                   deadline=None, proactive=proactive)
+
+
+def _concluded(journal, time, order_id, link_id, proactive=False):
+    journal.append(time, RecordKind.ORDER_CONCLUDED, order_id=order_id,
+                   link_id=link_id, proactive=proactive)
+
+
+def test_replay_of_empty_journal_is_empty_state():
+    state = replay_journal(WriteAheadJournal())
+    assert state.open_incidents == []
+    assert state.active_orders == {}
+    assert state.fencing_token is None
+    assert state.replayed_records == 0
+
+
+def test_replay_folds_an_incident_lifecycle():
+    journal = WriteAheadJournal()
+    _opened(journal, 10.0, "link-1")
+    _dispatched(journal, 20.0, 1, "link-1", action="reseat")
+    _concluded(journal, 80.0, 1, "link-1")
+    _dispatched(journal, 100.0, 2, "link-1", action="clean")
+
+    state = replay_journal(journal)
+    assert len(state.open_incidents) == 1
+    incident = state.open_incidents[0]
+    # The concluded order became a consumed attempt; the in-flight one
+    # is waiting in active_orders for adoption.
+    assert incident["attempt_count"] == 1
+    assert incident["attempt_history"] == [[80.0, "reseat"]]
+    assert list(state.active_orders) == [2]
+    assert state.active_orders[2]["action"] == "clean"
+    assert state.repair_history == {"link-1": [(80.0, "reseat")]}
+
+
+def test_replay_moves_closed_and_unresolvable_incidents():
+    journal = WriteAheadJournal()
+    _opened(journal, 1.0, "link-1")
+    _opened(journal, 2.0, "link-2")
+    journal.append(50.0, RecordKind.INCIDENT_CLOSED, link_id="link-1",
+                   opened_at=1.0, symptom="link-down",
+                   priority="NORMAL", attempt_count=1,
+                   attempt_history=[[40.0, "reseat"]], in_flight=False,
+                   resolved=True, closed_at=50.0,
+                   unresolvable_reason=None)
+    journal.append(60.0, RecordKind.INCIDENT_UNRESOLVABLE,
+                   link_id="link-2", opened_at=2.0, symptom="link-down",
+                   priority="NORMAL", attempt_count=8,
+                   attempt_history=[], in_flight=False, resolved=False,
+                   closed_at=None,
+                   unresolvable_reason="attempt budget exhausted")
+    state = replay_journal(journal)
+    assert state.open_incidents == []
+    assert state.closed_incidents[0]["link_id"] == "link-1"
+    assert state.unresolved_incidents[0]["link_id"] == "link-2"
+
+
+def test_replay_counts_timeouts_retries_and_lease_tokens():
+    journal = WriteAheadJournal()
+    journal.append(1.0, RecordKind.ORDER_TIMED_OUT, order_id=1,
+                   link_id="l")
+    journal.append(2.0, RecordKind.RETRY_SCHEDULED, order_id=1,
+                   link_id="l", retry_index=0, delay_seconds=120.0)
+    journal.append(3.0, RecordKind.LEASE_ACQUIRED, node="primary",
+                   token=4, expires_at=903.0)
+    state = replay_journal(journal)
+    assert state.counters["timeout_count"] == 1
+    assert state.counters["retry_count"] == 1
+    assert state.fencing_token == 4
+
+
+def test_replay_starts_from_the_latest_snapshot():
+    journal = WriteAheadJournal()
+    _opened(journal, 1.0, "pre-snapshot-link")
+    journal.snapshot(100.0, {
+        "node_id": "primary", "time": 100.0, "fencing_token": None,
+        "open_incidents": [], "closed_incidents": [],
+        "unresolved_incidents": [], "active_orders": [],
+        "repair_history": {}, "counters": {"timeout_count": 5},
+        "breaker": None})
+    _opened(journal, 150.0, "post-snapshot-link")
+
+    state = replay_journal(journal)
+    # The pre-snapshot record is compacted away by the snapshot; only
+    # the tail is folded on top of the snapshot state.
+    assert [p["link_id"] for p in state.open_incidents] \
+        == ["post-snapshot-link"]
+    assert state.counters["timeout_count"] == 5
+    assert state.replayed_records == 1
+    assert state.snapshot_seq == 1
+
+
+def test_replay_refuses_a_foreign_schema_version():
+    journal = WriteAheadJournal()
+    journal.append(1.0, RecordKind.SNAPSHOT, schema_version=999,
+                   state={})
+    with pytest.raises(JournalReplayError, match="schema"):
+        replay_journal(journal)
+
+
+def test_restore_round_trips_a_live_controller(world):
+    """Crash a controller mid-flight; a successor restored from its
+    journal carries the incident, the claim (same order id), and the
+    counters."""
+    journal = WriteAheadJournal()
+    monitor, humans, _f, controller = build(
+        world, fast_resilience(), humans_script=("lost", "fix"))
+    controller.journal = journal
+    link = world.links[0]
+    break_and_report(world, controller, link)
+    # Run past the first human-order timeout (at 1200s) into the
+    # retry's in-flight window (redispatch at 1320s, ack at 1380s):
+    # timed out once, one retry scheduled, second order in flight.
+    world.sim.run(until=1350.0)
+    assert controller.timeout_count == 1
+    original_claim = next(iter(controller.active_orders[link.id]))
+    controller.crash("test crash")
+
+    fresh_world_monitor = monitor  # shared infrastructure survives
+    successor = build(world, fast_resilience(),
+                      humans_script=("fix",))[3]
+    successor.monitor = fresh_world_monitor
+    successor.journal = journal
+    state = replay_journal(journal)
+    adopted = restore_controller(successor, state,
+                                 {"stub-humans": humans})
+
+    assert successor.timeout_count == 1
+    assert successor.retry_count == 1
+    assert successor.recovered_incident_count == 1
+    incident = successor.open_incidents[link.id]
+    assert incident.in_flight
+    # The consumed attempt budget survived even though the outcome
+    # objects died with the old controller.
+    assert incident.attempt_count >= 1
+    [(claim, adopted_incident, executor)] = adopted
+    assert claim.order.order_id == original_claim.order.order_id
+    assert adopted_incident is incident
+    assert executor is humans
+
+
+def test_restore_skips_orders_whose_executor_is_gone(world):
+    journal = WriteAheadJournal()
+    _opened(journal, 1.0, world.links[0].id)
+    _dispatched(journal, 2.0, 1, world.links[0].id,
+                executor_id="departed-executor")
+    successor = build(world, fast_resilience())[3]
+    state = replay_journal(journal)
+    adopted = restore_controller(successor, state, {})
+    assert adopted == []
+    assert successor.active_orders == {}
+    # The incident itself is still recovered (telemetry re-arm deals
+    # with the link).
+    assert world.links[0].id in successor.open_incidents

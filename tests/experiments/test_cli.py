@@ -74,3 +74,28 @@ def test_cli_no_cache_runs(tmp_path, capsys):
     assert main(["e3", "--seed", "1", "--no-cache"]) == 0
     output = capsys.readouterr().out
     assert "(0 cached)" in output
+
+
+def test_list_flag_prints_ids_with_descriptions(capsys):
+    from dcrobot.experiments import DESCRIPTIONS
+
+    assert main(["--list"]) == 0
+    output = capsys.readouterr().out
+    lines = [line for line in output.splitlines() if line.strip()]
+    assert len(lines) == len(DESCRIPTIONS)
+    for experiment_id, (title, _anchor) in DESCRIPTIONS.items():
+        assert any(experiment_id in line and title in line
+                   for line in lines)
+    # Numeric ordering: e2 before e10.
+    assert lines.index(next(l for l in lines if l.startswith("  e2"))) \
+        < lines.index(next(l for l in lines if l.startswith(" e10")))
+
+
+def test_list_positional_still_works(capsys):
+    assert main(["list"]) == 0
+    assert "e14" in capsys.readouterr().out
+
+
+def test_missing_experiment_argument_errors(capsys):
+    assert main([]) == 2
+    assert "required" in capsys.readouterr().err

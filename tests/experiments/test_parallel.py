@@ -160,6 +160,18 @@ def test_cache_key_depends_on_code_version():
     assert current != cache_key("e1", params, 1)
 
 
+def test_cache_key_depends_on_the_journal_schema_version(monkeypatch):
+    import dcrobot.experiments.parallel as parallel
+
+    params = {"x": 1}
+    current = cache_key("e1", params, 0, "pinned-version")
+    monkeypatch.setattr(parallel, "JOURNAL_SCHEMA_VERSION",
+                        parallel.JOURNAL_SCHEMA_VERSION + 1)
+    # A schema bump changes what crash-recovery trials replay, so it
+    # must invalidate cached results even with the code digest pinned.
+    assert cache_key("e1", params, 0, "pinned-version") != current
+
+
 def test_stable_hash_handles_experiment_params():
     config = WorldConfig(horizon_days=2.0, seed=4)
     assert stable_hash({"config": config}) \

@@ -1,0 +1,66 @@
+"""Repair-time statistics, duration formatting, and MTBF."""
+
+import pytest
+
+from dcrobot.metrics.mttr import (
+    format_duration,
+    mtbf_seconds,
+    repair_time_stats,
+)
+
+
+def test_stats_require_at_least_one_sample():
+    with pytest.raises(ValueError, match="no repair times"):
+        repair_time_stats([])
+
+
+def test_stats_summarize_percentiles():
+    stats = repair_time_stats(list(range(1, 101)))
+    assert stats.count == 100
+    assert stats.mean == pytest.approx(50.5)
+    assert stats.p50 == pytest.approx(50.5)
+    assert stats.p95 == pytest.approx(95.05)
+    assert stats.p99 == pytest.approx(99.01)
+    assert stats.max == 100.0
+
+
+def test_stats_single_sample_is_degenerate():
+    stats = repair_time_stats([42.0])
+    assert (stats.mean, stats.p50, stats.p95, stats.p99, stats.max) \
+        == (42.0, 42.0, 42.0, 42.0, 42.0)
+
+
+def test_stats_repr_is_humane():
+    text = repr(repair_time_stats([90.0, 90.0]))
+    assert "n=2" in text
+    assert "p50=1.5m" in text
+
+
+def test_format_duration_picks_the_right_unit():
+    assert format_duration(42.0) == "42s"
+    assert format_duration(59.9) == "60s"
+    assert format_duration(90.0) == "1.5m"
+    assert format_duration(2.5 * 3600.0) == "2.5h"
+    assert format_duration(3.5 * 86400.0) == "3.5d"
+
+
+def test_format_duration_rejects_negatives():
+    with pytest.raises(ValueError, match="negative"):
+        format_duration(-1.0)
+
+
+def test_mtbf_per_link():
+    # 10 faults across 100 links over a day: one fault per link every
+    # 10 days of link-time.
+    assert mtbf_seconds(10, 100, 86400.0) == pytest.approx(864000.0)
+
+
+def test_mtbf_with_no_faults_is_infinite():
+    assert mtbf_seconds(0, 100, 86400.0) == float("inf")
+
+
+def test_mtbf_rejects_degenerate_denominators():
+    with pytest.raises(ValueError, match="positive"):
+        mtbf_seconds(1, 0, 86400.0)
+    with pytest.raises(ValueError, match="positive"):
+        mtbf_seconds(1, 100, 0.0)

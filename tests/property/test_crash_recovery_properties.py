@@ -1,0 +1,139 @@
+"""Property-based tests: kill the controller at an arbitrary step.
+
+The crash-anywhere hypothesis: for any crash time, a journal-backed
+recovery produces zero safety-invariant violations, zero
+double-dispatched repairs, and the same incident conclusions as the
+run that was never crashed.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from dcrobot.chaos import SafetyMonitor
+from dcrobot.core.journal import WriteAheadJournal
+
+from tests.conftest import make_world
+from tests.core.test_supervisor_failover import (
+    _at,
+    break_link,
+    build_recoverable,
+)
+
+#: Four hours: three staggered incidents resolve with wide slack even
+#: after a standby takeover's full lease-expiry dead window.
+HORIZON = 14400.0
+BREAK_TIMES = (200.0, 900.0, 1600.0)
+
+
+def _symptom(incident):
+    return str(getattr(incident.symptom, "value", incident.symptom))
+
+
+def _campaign(crash_at=None, leadership=False, fail_stop=False):
+    """One stub-world fault campaign, optionally crashed at ``crash_at``.
+
+    ``fail_stop`` kills the primary outright (the lease watchdog must
+    promote a standby); otherwise the crash is an in-place restart.
+    """
+    world = make_world(links=4, seed=17)
+    _m, humans, supervisor = build_recoverable(
+        world, journal=WriteAheadJournal(), leadership=leadership)
+    safety = SafetyMonitor(world.sim, supervisor.controller,
+                           executors=[humans])
+    safety.attach()
+    supervisor.safety = safety
+    for when, link in zip(BREAK_TIMES, world.links):
+        world.sim.process(_at(world.sim, when,
+                              lambda link=link: break_link(world, link)))
+    if crash_at is not None:
+        kill = (supervisor.crash_primary if fail_stop
+                else supervisor.restart_primary)
+        world.sim.process(_at(world.sim, crash_at,
+                              lambda: kill("property crash")))
+    world.sim.run(until=HORIZON)
+    controller = supervisor.controller
+    conclusions = sorted(
+        (incident.link_id, incident.resolved,
+         incident.unresolvable_reason, _symptom(incident))
+        for incident in (controller.closed_incidents
+                         + controller.unresolved_incidents))
+    submits = Counter(order.link_id for order in humans.submitted)
+    return safety.report(), submits, conclusions, supervisor, humans
+
+
+#: The uncrashed references, computed once per leadership flavour.
+_BASELINE = {}
+
+
+def _baseline(leadership=False):
+    if leadership not in _BASELINE:
+        _BASELINE[leadership] = _campaign(leadership=leadership)
+    return _BASELINE[leadership]
+
+
+def test_the_uncrashed_reference_is_clean():
+    report, submits, conclusions, _, _ = _baseline()
+    assert report.clean
+    assert sum(submits.values()) == len(BREAK_TIMES)
+    assert len(conclusions) == len(BREAK_TIMES)
+    assert all(resolved for _, resolved, _, _ in conclusions)
+
+
+@given(crash_at=st.floats(min_value=600.0,
+                          max_value=HORIZON - 3600.0,
+                          allow_nan=False))
+@settings(max_examples=12, deadline=None)
+def test_restart_anywhere_is_invisible_in_the_conclusions(crash_at):
+    _, ref_submits, ref_conclusions, _, _ = _baseline()
+    report, submits, conclusions, supervisor, _h = _campaign(
+        crash_at=crash_at)
+    assert report.total_violations == 0
+    assert submits == ref_submits  # zero double-dispatched repairs
+    assert conclusions == ref_conclusions
+    assert supervisor.crashes == 1
+    assert supervisor.recoveries == 1
+
+
+@given(crash_at=st.floats(min_value=600.0,
+                          max_value=HORIZON - 3600.0,
+                          allow_nan=False))
+@settings(max_examples=8, deadline=None)
+def test_standby_takeover_anywhere_preserves_every_repair(crash_at):
+    _, ref_submits, ref_conclusions, _, _ = _baseline(leadership=True)
+    report, submits, conclusions, supervisor, humans = _campaign(
+        crash_at=crash_at, leadership=True, fail_stop=True)
+    assert report.total_violations == 0
+    assert submits == ref_submits
+    assert conclusions == ref_conclusions
+    assert supervisor.failovers == 1
+    # Fencing verified: the fail-stop primary never dispatched after
+    # deposal, and every physical order carried the successor's
+    # strictly newer token.
+    assert humans.rejected_orders == []
+    assert supervisor.controller.fencing_token == 2
+    assert humans.fence.highest_seen == 2
+
+
+def test_split_brain_partition_never_double_repairs():
+    """The zombie variant: a partitioned primary keeps dispatching and
+    must be stopped by the fence, not by luck."""
+    world = make_world(links=4, seed=17)
+    _m, humans, supervisor = build_recoverable(
+        world, journal=WriteAheadJournal(), leadership=True)
+    safety = SafetyMonitor(world.sim, supervisor.controller,
+                           executors=[humans])
+    safety.attach()
+    supervisor.safety = safety
+    world.sim.process(_at(world.sim, 1000.0,
+                          lambda: supervisor.partition_primary(7200.0)))
+    world.sim.process(_at(
+        world.sim, 2400.0,
+        lambda: break_link(world, world.links[0])))
+    world.sim.run(until=HORIZON)
+
+    assert safety.report().total_violations == 0
+    assert Counter(order.link_id for order in humans.submitted) \
+        == {world.links[0].id: 1}
+    assert len(humans.rejected_orders) == 1

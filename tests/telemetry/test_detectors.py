@@ -1,0 +1,115 @@
+"""Symptom detectors: debounce, severity ordering, loss persistence."""
+
+import pytest
+
+from dcrobot.network.enums import LinkState
+from dcrobot.telemetry.detectors import DetectorParams, LinkDetector
+from dcrobot.telemetry.events import Symptom
+
+from tests.conftest import make_world
+
+
+def fast_params(**overrides):
+    defaults = dict(down_grace_seconds=300.0, flap_transitions=4,
+                    flap_window_seconds=3600.0, loss_threshold=1e-5,
+                    loss_persistence_seconds=600.0)
+    defaults.update(overrides)
+    return DetectorParams(**defaults)
+
+
+@pytest.fixture
+def link():
+    return make_world(links=1).links[0]
+
+
+def test_params_validation():
+    with pytest.raises(ValueError, match="down_grace_seconds"):
+        DetectorParams(down_grace_seconds=-1.0)
+    with pytest.raises(ValueError, match="flap_transitions"):
+        DetectorParams(flap_transitions=1)
+    with pytest.raises(ValueError, match="flap_window_seconds"):
+        DetectorParams(flap_window_seconds=0.0)
+    with pytest.raises(ValueError, match="loss_persistence_seconds"):
+        DetectorParams(loss_persistence_seconds=-5.0)
+
+
+def test_healthy_link_is_silent(link):
+    assert LinkDetector(fast_params()).check(link, 100.0) is None
+
+
+def test_down_fires_only_after_the_grace_period(link):
+    detector = LinkDetector(fast_params())
+    link.set_state(100.0, LinkState.DOWN)
+    # A technician brushing the bundle disturbs a link for minutes;
+    # ticketing inside the grace window would storm the plane.
+    assert detector.check(link, 200.0) is None
+    event = detector.check(link, 400.0)
+    assert event is not None
+    assert event.symptom is Symptom.LINK_DOWN
+    assert event.link_id == link.id
+    assert "down for 300s" in event.detail
+
+
+def test_maintenance_state_is_never_a_symptom(link):
+    detector = LinkDetector(fast_params())
+    link.set_state(100.0, LinkState.MAINTENANCE)
+    assert detector.check(link, 86400.0) is None
+
+
+def test_flapping_is_counted_in_the_sliding_window(link):
+    detector = LinkDetector(fast_params())
+    for time in (100.0, 200.0, 300.0, 400.0):
+        state = (LinkState.DOWN if link.state is LinkState.UP
+                 else LinkState.UP)
+        link.set_state(time, state)
+    event = detector.check(link, 450.0)
+    assert event is not None
+    assert event.symptom is Symptom.LINK_FLAPPING
+    # Outside the window the same history stops counting.
+    assert detector.check(link, 400.0 + 3601.0) is None
+
+
+def test_a_bouncing_down_link_reports_the_flap_diagnosis(link):
+    # Down past the grace period *and* recently bouncing: the flap is
+    # the more actionable diagnosis, so it wins the severity tie.
+    detector = LinkDetector(fast_params())
+    for time in (100.0, 200.0, 300.0, 400.0):
+        state = (LinkState.DOWN if link.state is LinkState.UP
+                 else LinkState.UP)
+        link.set_state(time, state)
+    link.set_state(500.0, LinkState.DOWN)
+    event = detector.check(link, 900.0)
+    assert event is not None
+    assert event.symptom is Symptom.LINK_FLAPPING
+    assert "now down" in event.detail
+
+
+def test_high_loss_requires_persistence(link):
+    detector = LinkDetector(fast_params())
+    link.loss_rate = 1e-3
+    assert detector.check(link, 100.0) is None  # starts the clock
+    assert detector.check(link, 400.0) is None  # not persistent yet
+    event = detector.check(link, 700.0)
+    assert event is not None
+    assert event.symptom is Symptom.HIGH_LOSS
+    assert "1.00e-03" in event.detail
+
+
+def test_loss_recovery_resets_the_persistence_clock(link):
+    detector = LinkDetector(fast_params())
+    link.loss_rate = 1e-3
+    assert detector.check(link, 100.0) is None
+    link.loss_rate = 0.0
+    assert detector.check(link, 400.0) is None  # recovered: clock reset
+    link.loss_rate = 1e-3
+    assert detector.check(link, 800.0) is None  # persistence starts over
+    assert detector.check(link, 1400.0) is not None
+
+
+def test_a_down_link_never_reports_loss(link):
+    detector = LinkDetector(fast_params(down_grace_seconds=0.0))
+    link.loss_rate = 1e-3
+    link.set_state(100.0, LinkState.DOWN)
+    event = detector.check(link, 100.0)
+    assert event is not None
+    assert event.symptom is Symptom.LINK_DOWN

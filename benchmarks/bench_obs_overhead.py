@@ -1,0 +1,31 @@
+"""Bench the observability layer's cost on a real E13 trial.
+
+Two macro-benchmarks of the same hardened-controller chaos world: one
+with the default :data:`~dcrobot.obs.NULL_OBS` (every site behind a
+dead ``if obs.enabled:`` guard) and one fully traced.  Compare the two
+rows to see what tracing costs; ``tests/obs/test_overhead.py`` is the
+CI-enforced <2% version of the same comparison.
+"""
+
+from conftest import run_once
+
+from dcrobot.experiments.e13_chaos_resilience import _trial
+
+PARAMS = {"mode": "hardened", "chaos_scale": 1.0,
+          "failure_scale": 4.0, "horizon_days": 8.0}
+
+
+def test_e13_trial_null_obs(benchmark):
+    result = run_once(benchmark, _trial, dict(PARAMS), 11)
+    assert result["trace"] is None
+    assert result["metrics"] is None
+
+
+def test_e13_trial_traced(benchmark):
+    params = dict(PARAMS, observe=True)
+    result = run_once(benchmark, _trial, params, 11)
+    assert result["trace"], "traced run must export spans"
+    names = {span["name"] for span in result["trace"]}
+    assert {"world", "incident", "dispatch"} <= names
+    assert "dcrobot_incidents_opened_total" \
+        in result["metrics"]["metrics"]

@@ -24,10 +24,10 @@ class ChaosEngine:
     """Factory and registry for one simulation's chaos injectors."""
 
     def __init__(self, sim: Simulation, config: ChaosConfig,
-                 streams: RandomStreams) -> None:
+                 streams: RandomStreams, obs=None) -> None:
         self.sim = sim
         self.config = config
-        self.log = ChaosLog()
+        self.log = ChaosLog(obs=obs)
         chaos_streams = streams.spawn("chaos")
         self.robot = RobotChaos(config, chaos_streams.stream("robot"),
                                 self.log)

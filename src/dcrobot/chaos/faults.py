@@ -6,6 +6,8 @@ import dataclasses
 import enum
 from typing import Dict, List
 
+from dcrobot.obs import NULL_OBS
+
 
 class ChaosFaultKind(enum.Enum):
     """The maintenance-plane fault classes the chaos layer injects."""
@@ -37,16 +39,20 @@ class ChaosFault:
 class ChaosLog:
     """Append-only fault log shared by all injectors of one engine."""
 
-    def __init__(self) -> None:
+    def __init__(self, obs=NULL_OBS) -> None:
         self.faults: List[ChaosFault] = []
         self.counts: Dict[ChaosFaultKind, int] = {
             kind: 0 for kind in ChaosFaultKind}
+        self.obs = obs if obs is not None else NULL_OBS
 
     def record(self, time: float, kind: ChaosFaultKind, target: str,
                detail: str = "") -> ChaosFault:
         fault = ChaosFault(time, kind, target, detail)
         self.faults.append(fault)
         self.counts[kind] += 1
+        if self.obs.enabled:
+            self.obs.count("dcrobot_chaos_faults_total",
+                           kind=kind.value)
         return fault
 
     def count(self, kind: ChaosFaultKind) -> int:

@@ -133,12 +133,27 @@ class SafetyMonitor:
         keys_now = {key for key, _ in current}
         for key, detail in current:
             if key not in self._active_keys:
-                self.violations.append(InvariantViolation(
+                self._record(InvariantViolation(
                     time=now, kind=key[0], target=key[1], detail=detail))
         self._active_keys = keys_now
 
         # History audits record directly (the cursor prevents repeats).
         self._check_escalation_monotone(now)
+
+    def _record(self, violation: InvariantViolation) -> None:
+        """Append one violation (and surface it to observability)."""
+        self.violations.append(violation)
+        obs = self.controller.obs
+        if obs.enabled:
+            target = violation.target
+            if violation.kind == self.DRAIN_ORPHAN:
+                # The target is a raw (process-global) order id; spans
+                # carry the per-trace ordinal to stay reproducible.
+                target = f"order-{obs.ordinal('order', int(target))}"
+            obs.tracer.record("safety.violation", kind=violation.kind,
+                              target=target)
+            obs.count("dcrobot_safety_violations_total",
+                      kind=violation.kind)
 
     def _touched_by_executor(self, link_id: str) -> bool:
         return any(link_id in getattr(executor, "busy_links", ())
@@ -200,7 +215,7 @@ class SafetyMonitor:
                     continue
                 rank = ladder.index(action)
                 if rank < prev_rank:
-                    self.violations.append(InvariantViolation(
+                    self._record(InvariantViolation(
                         time=now, kind=self.ESCALATION_REGRESSION,
                         target=incident.link_id,
                         detail=f"{action.value} (stage {rank}) after "

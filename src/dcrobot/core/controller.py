@@ -34,6 +34,7 @@ from dcrobot.core.policy import PlanRequest, ReactivePolicy
 from dcrobot.core.resilience import CircuitBreaker
 from dcrobot.core.scheduler import ImpactAwareScheduler
 from dcrobot.failures.health import HealthModel
+from dcrobot.obs import NULL_OBS
 from dcrobot.network.enums import LinkState
 from dcrobot.network.inventory import Fabric
 from dcrobot.sim.engine import Simulation
@@ -130,7 +131,7 @@ class MaintenanceController:
                  config: Optional[ControllerConfig] = None,
                  rng: Optional[np.random.Generator] = None,
                  journal: Optional[WriteAheadJournal] = None,
-                 node_id: str = "primary") -> None:
+                 node_id: str = "primary", obs=NULL_OBS) -> None:
         self.sim = sim
         self.fabric = fabric
         self.health = health
@@ -146,6 +147,7 @@ class MaintenanceController:
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.journal = journal
         self.node_id = node_id
+        self.obs = obs if obs is not None else NULL_OBS
         if humans is None and fleet is None:
             raise ValueError("need at least one executor")
 
@@ -168,9 +170,13 @@ class MaintenanceController:
         self.active_orders: Dict[str, List[ActiveOrder]] = {}
         self.resilience = self.config.resilience
         self.fleet_breaker: Optional[CircuitBreaker] = (
-            CircuitBreaker(self.resilience.breaker)
+            CircuitBreaker(self.resilience.breaker, obs=self.obs)
             if self.resilience is not None and fleet is not None
             else None)
+        #: Live trace spans: per-incident lifecycle spans and
+        #: per-order execute spans (empty unless obs is enabled).
+        self._incident_spans: Dict[str, object] = {}
+        self._order_spans: Dict[int, object] = {}
         #: Orders whose acknowledgement never arrived in time.
         self.lost_ack_orders: List[WorkOrder] = []
         #: Acknowledgements that arrived after their timeout fired.
@@ -234,6 +240,10 @@ class MaintenanceController:
             return
         self.crashed = True
         self.crash_reason = reason
+        if self.obs.enabled:
+            self.obs.tracer.record("controller.crash", reason=reason,
+                                   node_id=self.node_id)
+            self.obs.count("dcrobot_controller_crashes_total")
         self.monitor.unsubscribe(self.on_event)
         active = self.sim.active_process
         for proc in self._processes:
@@ -255,11 +265,20 @@ class MaintenanceController:
         """Write-ahead append (no-op when journalling is disabled)."""
         if self.journal is not None:
             self.journal.append(self.sim.now, kind, **payload)
+            if self.obs.enabled:
+                self.obs.tracer.record("journal.append", kind=kind.value)
+                self.obs.count("dcrobot_journal_appends_total",
+                               kind=kind.value)
 
     def _snapshot_loop(self):
         while True:
             yield self.sim.timeout(self.config.snapshot_interval_seconds)
             self.journal.snapshot(self.sim.now, self.snapshot_state())
+            if self.obs.enabled:
+                self.obs.tracer.record(
+                    "journal.snapshot",
+                    open_incidents=len(self.open_incidents))
+                self.obs.count("dcrobot_journal_snapshots_total")
 
     def _incident_payload(self, incident: Incident) -> Dict[str, object]:
         return {
@@ -361,6 +380,25 @@ class MaintenanceController:
         self._journal(RecordKind.ORDER_DISPATCHED,
                       **self._claim_payload(claim))
         self.active_orders.setdefault(order.link_id, []).append(claim)
+        if self.obs.enabled:
+            parent = self._incident_spans.get(order.link_id)
+            # The raw order id is a process-global counter; spans carry
+            # the per-trace ordinal so exports reproduce bit-for-bit.
+            order_seq = self.obs.ordinal("order", order.order_id)
+            self.obs.tracer.record(
+                "dispatch", parent=parent, order_id=order_seq,
+                link_id=order.link_id, action=order.action.value,
+                executor=claim.executor_id, proactive=claim.proactive)
+            self._order_spans[order.order_id] = \
+                self.obs.tracer.start_span(
+                    "execute", parent=parent, order_id=order_seq,
+                    link_id=order.link_id, executor=claim.executor_id)
+            self.obs.count("dcrobot_dispatches_total",
+                           executor=claim.executor_id)
+            self.obs.gauge(
+                "dcrobot_active_orders",
+                sum(len(claims)
+                    for claims in self.active_orders.values()))
         return claim
 
     def _release(self, claim: ActiveOrder) -> None:
@@ -373,6 +411,13 @@ class MaintenanceController:
             claims.remove(claim)
         if not claims:
             self.active_orders.pop(claim.link_id, None)
+        if self.obs.enabled:
+            self.obs.tracer.end_span(
+                self._order_spans.pop(claim.order.order_id, None))
+            self.obs.gauge(
+                "dcrobot_active_orders",
+                sum(len(claims)
+                    for claims in self.active_orders.values()))
 
     def inflight_order_ids(self) -> Set[int]:
         """Order ids of every currently claimed work order."""
@@ -413,6 +458,16 @@ class MaintenanceController:
                                 symptom=event.symptom.value,
                                 priority=request.priority)
             self.open_incidents[event.link_id] = incident
+            if self.obs.enabled:
+                self._incident_spans[event.link_id] = \
+                    self.obs.tracer.start_span(
+                        "incident", link_id=event.link_id,
+                        symptom=incident.symptom,
+                        priority=incident.priority.name)
+                self.obs.count("dcrobot_incidents_opened_total",
+                               symptom=incident.symptom)
+                self.obs.gauge("dcrobot_open_incidents",
+                               len(self.open_incidents))
         if incident.in_flight:
             return  # attempt already running; outcome loop handles it
         incident.in_flight = True
@@ -436,6 +491,9 @@ class MaintenanceController:
                 # to the technician pool (effectively a lower
                 # automation level).
                 self.degraded_dispatches += 1
+                if self.obs.enabled:
+                    self.obs.count(
+                        "dcrobot_degraded_dispatches_total")
                 robots_allowed = False
         if robots_allowed:
             return self.fleet
@@ -471,6 +529,13 @@ class MaintenanceController:
             self._mark_unresolvable(
                 incident, f"no executor for {action.value}")
             return
+        if self.obs.enabled:
+            self.obs.tracer.record(
+                "plan",
+                parent=self._incident_spans.get(incident.link_id),
+                link_id=link.id, action=action.value,
+                executor=self._executor_id(executor),
+                attempt=incident.attempt_count)
 
         if executor is self.fleet and self.spec.approval_latency_seconds:
             yield sim.timeout(self.spec.approval_latency_seconds)
@@ -590,6 +655,9 @@ class MaintenanceController:
                 self.health.evaluate_link(link, sim.now)
                 if self._is_healthy(link):
                     self.idempotent_skips += 1
+                    if self.obs.enabled:
+                        self.obs.count(
+                            "dcrobot_idempotent_skips_total")
                     break
             if incident.attempt_count >= self.config.max_attempts:
                 break
@@ -622,6 +690,10 @@ class MaintenanceController:
         delay = float(retry_policy.jittered_backoff(retry_index, self.rng))
         self._journal(RecordKind.RETRY_SCHEDULED,
                       retry_index=retry_index, delay=delay)
+        if self.obs.enabled:
+            self.obs.tracer.record("retry.backoff",
+                                   retry_index=retry_index, delay=delay)
+            self.obs.count("dcrobot_work_order_retries_total")
         yield self.sim.timeout(delay)
 
     def _human_follow_up(self, incident: Incident, link, history,
@@ -677,6 +749,9 @@ class MaintenanceController:
                       order_id=order.order_id, link_id=order.link_id,
                       executor_id=self._executor_id(executor))
         self.timeout_count += 1
+        if self.obs.enabled:
+            self.obs.count("dcrobot_work_order_timeouts_total",
+                           executor=self._executor_id(executor))
         self.lost_ack_orders.append(order)
         return RepairOutcome(
             order=order, executor_id=self._executor_id(executor),
@@ -690,6 +765,8 @@ class MaintenanceController:
             return
         outcome = event.value
         self.late_ack_count += 1
+        if self.obs.enabled:
+            self.obs.count("dcrobot_late_acks_total")
         self.late_outcomes.append(outcome)
         self._account(executor, outcome)
         if outcome.completed:
@@ -710,9 +787,17 @@ class MaintenanceController:
     def _verify_and_close(self, incident: Incident, link,
                           action: RepairAction):
         sim = self.sim
+        verify_span = None
+        if self.obs.enabled:
+            verify_span = self.obs.tracer.start_span(
+                "verify",
+                parent=self._incident_spans.get(incident.link_id),
+                link_id=link.id, action=action.value)
         yield sim.timeout(self.config.verification_delay_seconds)
         self.health.evaluate_link(link, sim.now)
         effective = self._is_healthy(link)
+        if verify_span is not None:
+            self.obs.tracer.end_span(verify_span, healthy=effective)
         self.policy.record_repair(link, action, effective, sim.now)
 
         if effective:
@@ -742,6 +827,8 @@ class MaintenanceController:
                       **self._incident_payload(incident))
         self.open_incidents.pop(incident.link_id, None)
         self.closed_incidents.append(incident)
+        if self.obs.enabled:
+            self._conclude(incident, outcome="resolved")
         self.monitor.unmute(incident.link_id)
 
     def _mark_unresolvable(self, incident: Incident, reason: str) -> None:
@@ -751,8 +838,31 @@ class MaintenanceController:
                       **self._incident_payload(incident))
         self.open_incidents.pop(incident.link_id, None)
         self.unresolved_incidents.append(incident)
+        if self.obs.enabled:
+            self._conclude(incident, outcome="unresolvable",
+                           reason=reason)
         # The link stays muted: re-reporting an unfixable link would
         # spin forever; operators see it in unresolved_incidents.
+
+    def _conclude(self, incident: Incident, outcome: str,
+                  **attributes) -> None:
+        """Trace + metrics tail shared by close and unresolvable."""
+        span = self._incident_spans.pop(incident.link_id, None)
+        self.obs.tracer.record(
+            "conclude", parent=span, link_id=incident.link_id,
+            outcome=outcome, attempts=incident.attempt_count,
+            **attributes)
+        self.obs.tracer.end_span(span, outcome=outcome)
+        self.obs.count(f"dcrobot_incidents_{outcome}_total",
+                       symptom=incident.symptom)
+        if incident.time_to_repair is not None:
+            self.obs.observe("dcrobot_incident_mttr_seconds",
+                             incident.time_to_repair,
+                             symptom=incident.symptom)
+        self.obs.observe("dcrobot_incident_attempts",
+                         incident.attempt_count)
+        self.obs.gauge("dcrobot_open_incidents",
+                       len(self.open_incidents))
 
     # -- proactive path -------------------------------------------------------------
 

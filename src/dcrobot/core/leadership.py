@@ -22,6 +22,7 @@ import dataclasses
 from typing import List, Optional, Tuple
 
 from dcrobot.core.journal import RecordKind, WriteAheadJournal
+from dcrobot.obs import NULL_OBS
 
 
 @dataclasses.dataclass(frozen=True)
@@ -45,9 +46,11 @@ class LeaseCoordinator:
     """The lock service: one lease, monotonic fencing tokens."""
 
     def __init__(self, config: Optional[LeaseConfig] = None,
-                 journal: Optional[WriteAheadJournal] = None) -> None:
+                 journal: Optional[WriteAheadJournal] = None,
+                 obs=NULL_OBS) -> None:
         self.config = config or LeaseConfig()
         self.journal = journal
+        self.obs = obs if obs is not None else NULL_OBS
         self.holder: Optional[str] = None
         self.expires_at: float = float("-inf")
         #: The last token handed out; the next acquisition gets +1.
@@ -84,6 +87,9 @@ class LeaseCoordinator:
         self.expires_at = now + self.config.ttl_seconds
         self.fencing_token += 1
         self.acquisitions.append((now, node_id, self.fencing_token))
+        if self.obs.enabled:
+            self.obs.count("dcrobot_lease_acquisitions_total",
+                           node=node_id)
         if self.journal is not None:
             if previous is not None and previous != node_id:
                 self.journal.append(now, RecordKind.LEASE_LOST,
@@ -134,9 +140,10 @@ class FencingGuard:
     guard only bites once a fenced control plane is in play.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs=NULL_OBS) -> None:
         self.highest_seen: int = 0
         self.rejections: List[FencedRejection] = []
+        self.obs = obs if obs is not None else NULL_OBS
 
     def __repr__(self) -> str:
         return (f"<FencingGuard highest={self.highest_seen} "
@@ -157,6 +164,8 @@ class FencingGuard:
             self.rejections.append(FencedRejection(
                 time=time, order_id=order_id, link_id=link_id,
                 token=token, highest_seen=self.highest_seen))
+            if self.obs.enabled:
+                self.obs.count("dcrobot_fenced_rejections_total")
             return False
         self.highest_seen = token
         return True

@@ -214,6 +214,18 @@ def restore_controller(controller: MaintenanceController,
         breaker.opened_at = state.breaker["opened_at"]
         breaker.trips = state.breaker["trips"]
 
+    if controller.obs.enabled:
+        # Recovered incidents get fresh lifecycle spans (the
+        # predecessor's span handles died with it): subsequent
+        # plan/verify/conclude spans re-attach to the trace tree.
+        for incident in controller.open_incidents.values():
+            controller._incident_spans[incident.link_id] = \
+                controller.obs.tracer.start_span(
+                    "incident", link_id=incident.link_id,
+                    symptom=incident.symptom,
+                    priority=incident.priority.name, recovered=True)
+        controller.obs.count("dcrobot_recovered_incidents_total",
+                             len(state.open_incidents))
     adopted = []
     for payload in state.active_orders.values():
         executor = executors.get(payload["executor_id"])
@@ -358,14 +370,34 @@ class ControllerSupervisor:
             if token is None:  # somebody else holds a live lease
                 return self.controller
 
+        obs = self.controller.obs
+        promote_span = None
+        if obs.enabled:
+            promote_span = obs.tracer.start_span(
+                "failover.promote", node_id=node_id,
+                fencing_token=token)
+            obs.count("dcrobot_failovers_total")
+
         successor = self.factory(node_id)
         successor.fencing_token = token
 
         adopted = []
         if self.journal is not None:
+            replay_span = None
+            if obs.enabled:
+                replay_span = obs.tracer.start_span(
+                    "recovery.replay", parent=promote_span)
             state = replay_journal(self.journal)
             adopted = restore_controller(successor, state,
                                          self._executor_map())
+            if obs.enabled:
+                obs.tracer.end_span(
+                    replay_span,
+                    replayed_records=state.replayed_records,
+                    snapshot_seq=state.snapshot_seq,
+                    open_incidents=len(state.open_incidents),
+                    adopted_orders=len(adopted))
+                obs.count("dcrobot_recoveries_total")
             self._rearm_telemetry(successor, adopted)
         # Fencing handshake: executors learn the new token *before* the
         # successor's first dispatch, so a zombie predecessor cannot
@@ -386,6 +418,10 @@ class ControllerSupervisor:
         self.failovers += 1
         if self.journal is not None:
             self.recoveries += 1
+        if obs.enabled:
+            obs.count("dcrobot_adopted_orders_total", len(adopted))
+            obs.tracer.end_span(promote_span,
+                                adopted_orders=len(adopted))
         return successor
 
     def _rearm_telemetry(self, successor: MaintenanceController,

@@ -24,6 +24,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from dcrobot.obs import NULL_OBS
+
 
 @dataclasses.dataclass(frozen=True)
 class RetryPolicy:
@@ -110,8 +112,10 @@ class BreakerPolicy:
 class CircuitBreaker:
     """Tracks one executor's reliability and gates dispatch to it."""
 
-    def __init__(self, policy: Optional[BreakerPolicy] = None) -> None:
+    def __init__(self, policy: Optional[BreakerPolicy] = None,
+                 obs=NULL_OBS) -> None:
         self.policy = policy or BreakerPolicy()
+        self.obs = obs if obs is not None else NULL_OBS
         self.state = BreakerState.CLOSED
         self.consecutive_failures = 0
         self.opened_at: Optional[float] = None
@@ -130,6 +134,11 @@ class CircuitBreaker:
             return
         self.state = state
         self.transitions.append((now, state))
+        if self.obs.enabled:
+            self.obs.tracer.record("breaker.transition",
+                                   state=state.value)
+            self.obs.count("dcrobot_breaker_transitions_total",
+                           state=state.value)
 
     def allows(self, now: float) -> bool:
         """Whether a new order may be dispatched to the executor.

@@ -7,6 +7,7 @@ to those functions.  Run one from the command line::
     python -m dcrobot.experiments e1 [--full] [--seed N]
 """
 
+import inspect
 from typing import Callable, Dict, Optional
 
 from dcrobot.experiments import (
@@ -73,12 +74,15 @@ DESCRIPTIONS: Dict[str, tuple] = {
 def run_experiment(experiment_id: str, quick: bool = True,
                    seed: int = 0,
                    execution: Optional[Execution] = None,
-                   ) -> ExperimentResult:
-    """Run one experiment by id (``e1`` .. ``e13``).
+                   observe: bool = False) -> ExperimentResult:
+    """Run one experiment by id (``e1`` .. ``e14``).
 
     ``execution`` selects worker count, Monte-Carlo replicates, and
     the trial cache (see :class:`dcrobot.experiments.parallel.Execution`);
-    ``None`` keeps the serial, uncached default.
+    ``None`` keeps the serial, uncached default.  ``observe`` asks the
+    experiment to trace one designated trial and attach the trace and
+    metrics snapshot to the result; experiments without observability
+    support raise ``ValueError``.
     """
     try:
         runner = REGISTRY[experiment_id.lower()]
@@ -86,7 +90,17 @@ def run_experiment(experiment_id: str, quick: bool = True,
         raise KeyError(
             f"unknown experiment {experiment_id!r}; "
             f"available: {sorted(REGISTRY)}") from None
-    return runner(quick=quick, seed=seed, execution=execution)
+    kwargs = {"quick": quick, "seed": seed, "execution": execution}
+    if observe:
+        if "observe" not in inspect.signature(runner).parameters:
+            supported = sorted(
+                key for key, fn in REGISTRY.items()
+                if "observe" in inspect.signature(fn).parameters)
+            raise ValueError(
+                f"experiment {experiment_id!r} does not support "
+                f"observability; use one of: {supported}")
+        kwargs["observe"] = True
+    return runner(**kwargs)
 
 
 __all__ = [

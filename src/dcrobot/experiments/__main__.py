@@ -43,6 +43,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
         help=f"trial-cache location (default {DEFAULT_CACHE_DIR})")
+    parser.add_argument(
+        "--trace-out", metavar="PATH",
+        help="trace one designated trial and write its spans as JSONL "
+             "(implies observability; single experiment only)")
+    parser.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write the observed trial's metrics snapshot "
+             "(.prom/.txt = Prometheus text, else JSON; "
+             "implies observability; single experiment only)")
     return parser
 
 
@@ -89,15 +98,37 @@ def main(argv=None) -> int:
               f"available: {', '.join(sorted(REGISTRY))} "
               f"(or 'all', 'list')", file=sys.stderr)
         return 2
+    observe = bool(args.trace_out or args.metrics_out)
+    if observe and len(targets) != 1:
+        print("error: --trace-out/--metrics-out need a single "
+              "experiment, not 'all'", file=sys.stderr)
+        return 2
     for experiment_id in targets:
         started = time.time()
-        result = run_experiment(experiment_id,
-                                quick=not args.full,
-                                seed=args.seed,
-                                execution=execution)
+        try:
+            result = run_experiment(experiment_id,
+                                    quick=not args.full,
+                                    seed=args.seed,
+                                    execution=execution,
+                                    observe=observe)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         print(result.render())
         print(f"[{experiment_id} finished in "
               f"{time.time() - started:.1f}s]\n")
+        if args.trace_out:
+            if result.save_trace_jsonl(args.trace_out):
+                print(f"[trace written to {args.trace_out}]")
+            else:
+                print(f"warning: {experiment_id} returned no trace",
+                      file=sys.stderr)
+        if args.metrics_out:
+            if result.save_metrics(args.metrics_out):
+                print(f"[metrics written to {args.metrics_out}]")
+            else:
+                print(f"warning: {experiment_id} returned no metrics",
+                      file=sys.stderr)
     return 0
 
 

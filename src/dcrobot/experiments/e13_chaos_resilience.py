@@ -60,6 +60,7 @@ def _world_config(params: Dict, seed: int) -> WorldConfig:
         # not merely a slow ticket.
         stuck_after_seconds=5.0 * DAY,
         mute_ttl_seconds=2.0 * DAY if hardened else None,
+        observe=bool(params.get("observe", False)),
         controller_config=ControllerConfig(
             resilience=ResilienceConfig() if hardened else None))
 
@@ -81,11 +82,14 @@ def _trial(params: Dict, seed: int) -> Dict:
         "idempotent_skips": summary.idempotent_skips,
         "breaker_trips": summary.breaker_trips,
         "chaos_faults": sum(summary.chaos_fault_counts.values()),
+        "trace": summary.trace,
+        "metrics": summary.metrics,
     }
 
 
 def run(quick: bool = True, seed: int = 0,
-        execution: Optional[Execution] = None) -> ExperimentResult:
+        execution: Optional[Execution] = None,
+        observe: bool = False) -> ExperimentResult:
     scales = (0.0, 1.0, 2.0, 4.0)
     horizon_days = 20.0 if quick else 45.0
     failure_scale = 4.0
@@ -97,11 +101,22 @@ def run(quick: bool = True, seed: int = 0,
          "horizon_days": horizon_days}
         for scale in scales for mode in MODES
     ]
+    if observe:
+        # One designated trial point carries the trace/metrics export:
+        # the hardened controller at the 1x chaos operating point.
+        for params in param_sets:
+            if params["mode"] == "hardened" \
+                    and params["chaos_scale"] == 1.0:
+                params["observe"] = True
     groups = run_trials(EXPERIMENT_ID, _trial, param_sets,
                         base_seed=seed, execution=execution,
                         result=result)
     by_key = {(group.params["chaos_scale"], group.params["mode"]): group
               for group in groups}
+    if observe:
+        observed = by_key[(1.0, "hardened")].value
+        result.trace = observed.get("trace")
+        result.metrics = observed.get("metrics")
 
     table = Table(
         ["chaos scale", "mode", "incidents", "concluded %",

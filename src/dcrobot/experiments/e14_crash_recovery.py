@@ -68,7 +68,8 @@ def _world_config(params: Dict, seed: int) -> WorldConfig:
         leadership=mode == "standby",
         # The coldstart baseline still needs a supervisor (that is the
         # restart machinery); the journal flag is what it lacks.
-        supervise=mode == "coldstart")
+        supervise=mode == "coldstart",
+        observe=bool(params.get("observe", False)))
 
 
 def _saboteur(result, supervisor, mode: str, arm_at: float):
@@ -128,11 +129,14 @@ def _trial(params: Dict, seed: int) -> Dict:
         "journal_snapshots": summary.journal_snapshots,
         "violations": summary.invariant_violations,
         "availability_nines": summary.availability_nines,
+        "trace": summary.trace,
+        "metrics": summary.metrics,
     }
 
 
 def run(quick: bool = True, seed: int = 0,
-        execution: Optional[Execution] = None) -> ExperimentResult:
+        execution: Optional[Execution] = None,
+        observe: bool = False) -> ExperimentResult:
     horizon_days = 20.0 if quick else 45.0
     failure_scale = 6.0
     result = ExperimentResult(EXPERIMENT_ID, TITLE, PAPER_ANCHOR)
@@ -142,10 +146,20 @@ def run(quick: bool = True, seed: int = 0,
          "horizon_days": horizon_days}
         for mode in MODES
     ]
+    if observe:
+        # The replay mode is the interesting trace: crash, journal
+        # replay, in-flight order adoption — all spanned.
+        for params in param_sets:
+            if params["mode"] == "replay":
+                params["observe"] = True
     groups = run_trials(EXPERIMENT_ID, _trial, param_sets,
                         base_seed=seed, execution=execution,
                         result=result)
     by_mode = {group.params["mode"]: group for group in groups}
+    if observe:
+        observed = by_mode["replay"].value
+        result.trace = observed.get("trace")
+        result.metrics = observed.get("metrics")
 
     table = Table(
         ["mode", "incidents", "concluded %", "orphaned links",

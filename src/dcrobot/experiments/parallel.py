@@ -34,6 +34,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from dcrobot.core.journal import JOURNAL_SCHEMA_VERSION
+from dcrobot.obs.export import OBS_SCHEMA_VERSION
 
 #: Default on-disk cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".dcrobot_cache"
@@ -211,12 +212,15 @@ def cache_key(experiment_id: str, params: Dict[str, Any],
     The journal schema version is part of the identity: a schema bump
     changes what crash-recovery trials replay (and therefore their
     results) even when no source file hashed into ``code_version()``
-    moved, e.g. when cached results travel between checkouts.
+    moved, e.g. when cached results travel between checkouts.  The obs
+    schema version rides along for the same reason: observed trials
+    carry trace/metrics exports whose shape it governs.
     """
     fn_id = (f"{trial_fn.__module__}.{trial_fn.__qualname__}"
              if trial_fn is not None else "")
     return stable_hash((experiment_id, fn_id, _canonical(params),
                         int(seed), JOURNAL_SCHEMA_VERSION,
+                        OBS_SCHEMA_VERSION,
                         version if version is not None
                         else code_version()))
 

@@ -6,7 +6,7 @@ import csv
 import dataclasses
 import io
 import json
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from dcrobot.metrics.report import Table
 
@@ -35,6 +35,10 @@ class ExperimentResult:
     notes: List[str] = dataclasses.field(default_factory=list)
     #: Per-trial wall-clock telemetry from the parallel executor.
     timings: List[TrialTiming] = dataclasses.field(default_factory=list)
+    #: Span dicts from the designated observed trial (``observe=True``).
+    trace: Optional[List[dict]] = None
+    #: Metrics snapshot from the designated observed trial.
+    metrics: Optional[dict] = None
 
     def add_table(self, table: Table) -> None:
         self.tables.append(table)
@@ -124,3 +128,28 @@ class ExperimentResult:
         """Write the tables as CSV."""
         with open(path, "w", encoding="utf-8", newline="") as handle:
             handle.write(self.tables_to_csv())
+
+    def save_trace_jsonl(self, path: str) -> bool:
+        """Write the observed trial's trace as JSONL spans.
+
+        Returns ``False`` (writing nothing) when the experiment was not
+        run with observability enabled.
+        """
+        if self.trace is None:
+            return False
+        from dcrobot.obs.export import write_trace_jsonl
+        write_trace_jsonl(self.trace, path)
+        return True
+
+    def save_metrics(self, path: str) -> bool:
+        """Write the observed trial's metrics snapshot.
+
+        Format follows the extension: ``.prom``/``.txt`` gets
+        Prometheus text exposition, anything else JSON.  Returns
+        ``False`` when there is no snapshot to write.
+        """
+        if self.metrics is None:
+            return False
+        from dcrobot.obs.export import write_metrics
+        write_metrics(self.metrics, path)
+        return True

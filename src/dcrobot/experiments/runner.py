@@ -54,6 +54,8 @@ from dcrobot.metrics.mttr import (
     repair_time_stats,
 )
 from dcrobot.network.enums import FormFactor
+from dcrobot.obs import NULL_OBS, observability_for_seed
+from dcrobot.obs.export import metrics_snapshot
 from dcrobot.robots.fleet import FleetConfig, RobotFleet
 from dcrobot.sim.engine import Simulation
 from dcrobot.sim.rng import RandomStreams
@@ -121,6 +123,9 @@ class WorldConfig:
     #: the journal-less cold-restart baseline still needs the restart
     #: machinery it is being measured without.
     supervise: bool = False
+    #: Attach the observability layer (incident-lifecycle tracing +
+    #: metrics registry); off by default so trials pay nothing for it.
+    observe: bool = False
 
     @property
     def horizon_seconds(self) -> float:
@@ -149,6 +154,8 @@ class RunResult:
     supervisor: Optional[ControllerSupervisor] = None
     journal: Optional[WriteAheadJournal] = None
     coordinator: Optional[LeaseCoordinator] = None
+    #: The observability bundle (``NULL_OBS`` unless config.observe).
+    obs: object = NULL_OBS
 
     @property
     def fabric(self):
@@ -246,6 +253,13 @@ def build_world(config: WorldConfig) -> RunResult:
         cables=config.spare_cables)
 
     sim = Simulation()
+    obs = NULL_OBS
+    if config.observe:
+        obs = observability_for_seed(config.seed,
+                                     clock=lambda: sim.now)
+        obs.tracer.open_root("world", seed=config.seed,
+                             horizon_days=config.horizon_days,
+                             level=config.level.name)
     environment = Environment()
     health = HealthModel(
         fabric, environment,
@@ -266,7 +280,8 @@ def build_world(config: WorldConfig) -> RunResult:
                            rng=np.random.default_rng(config.seed + 9))
     monitor = TelemetryMonitor(fabric, params=config.detector_params,
                                poll_seconds=config.monitor_poll_seconds,
-                               mute_ttl_seconds=config.mute_ttl_seconds)
+                               mute_ttl_seconds=config.mute_ttl_seconds,
+                               obs=obs)
 
     spec = spec_for(config.level)
     humans = None
@@ -295,7 +310,7 @@ def build_world(config: WorldConfig) -> RunResult:
     controller_humans, controller_fleet = humans, fleet
     if config.chaos is not None:
         chaos_engine = ChaosEngine(sim, config.chaos,
-                                   RandomStreams(config.seed))
+                                   RandomStreams(config.seed), obs=obs)
         chaos_engine.attach_monitor(monitor)
         if fleet is not None:
             chaos_engine.attach_fleet(fleet)
@@ -306,12 +321,13 @@ def build_world(config: WorldConfig) -> RunResult:
     journal = WriteAheadJournal() if config.journal else None
     coordinator = None
     if config.leadership:
-        coordinator = LeaseCoordinator(config.lease_config, journal)
+        coordinator = LeaseCoordinator(config.lease_config, journal,
+                                       obs=obs)
         # Fencing guards live at the *real* executors (not the chaos
         # wrappers): physical intake is where split-brain must stop.
         for executor in (fleet, humans):
             if executor is not None:
-                executor.fence = FencingGuard()
+                executor.fence = FencingGuard(obs=obs)
 
     ladder = EscalationLadder(config.escalation)
     scheduler = ImpactAwareScheduler(config=config.scheduler_config)
@@ -328,7 +344,7 @@ def build_world(config: WorldConfig) -> RunResult:
             fleet=controller_fleet,
             config=controller_config,
             rng=np.random.default_rng(config.seed + 10),
-            journal=journal, node_id=node_id)
+            journal=journal, node_id=node_id, obs=obs)
 
     controller = controller_factory("primary")
 
@@ -374,7 +390,7 @@ def build_world(config: WorldConfig) -> RunResult:
                      humans=humans, fleet=fleet,
                      chaos_engine=chaos_engine, safety=safety,
                      supervisor=supervisor, journal=journal,
-                     coordinator=coordinator)
+                     coordinator=coordinator, obs=obs)
 
 
 def run_world(config: WorldConfig) -> RunResult:
@@ -458,6 +474,11 @@ class WorldSummary:
     #: unresolvable case accounts for: repairs silently *lost* by a
     #: controller death (the journal-less baseline's failure mode).
     orphaned_muted_links: int = 0
+    #: -- observability exports (None unless config.observe) ----------
+    #: Exported span dicts (plain data, picklable across workers).
+    trace: Optional[list] = None
+    #: Exported metrics snapshot (see obs.export.metrics_snapshot).
+    metrics: Optional[dict] = None
 
     @property
     def resolved_or_escalated_rate(self) -> float:
@@ -588,7 +609,21 @@ def summarize_world(result: RunResult) -> WorldSummary:
         journal_snapshots=(result.journal.snapshot_count
                            if result.journal else 0),
         recovered_incidents=controller.recovered_incident_count,
-        orphaned_muted_links=_orphaned_muted_links(result, controller))
+        orphaned_muted_links=_orphaned_muted_links(result, controller),
+        trace=_export_trace(result), metrics=_export_metrics(result))
+
+
+def _export_trace(result: RunResult) -> Optional[list]:
+    if not result.obs.enabled:
+        return None
+    result.obs.tracer.finish()
+    return [span.to_dict() for span in result.obs.tracer.spans]
+
+
+def _export_metrics(result: RunResult) -> Optional[dict]:
+    if not result.obs.enabled:
+        return None
+    return metrics_snapshot(result.obs.metrics)
 
 
 def world_trial(params: Dict, seed: int) -> WorldSummary:
@@ -597,4 +632,6 @@ def world_trial(params: Dict, seed: int) -> WorldSummary:
     so :func:`dcrobot.experiments.parallel.run_trials` can ship it to
     worker processes."""
     config = dataclasses.replace(params["config"], seed=seed)
+    if params.get("observe"):
+        config = dataclasses.replace(config, observe=True)
     return summarize_world(run_world(config))

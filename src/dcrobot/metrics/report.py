@@ -1,9 +1,10 @@
 """Plain-text result tables — the benches print these to mirror how the
-paper's evaluation rows would read."""
+paper's evaluation rows would read — plus a worked example reducing an
+exported trace to the paper's MTTR metric."""
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 class Table:
@@ -57,3 +58,36 @@ class Table:
 
     def __str__(self) -> str:
         return self.render()
+
+
+def trace_mttr_table(spans: Sequence[dict]) -> Table:
+    """Worked example: mean-time-to-repair straight from a trace.
+
+    Takes the span dicts of a ``--trace-out`` export (skip the header
+    line, ``json.loads`` each remaining line) and reduces the
+    ``incident`` spans — whose duration is detection to conclusion —
+    to per-symptom repair-time rows.  This is the bridge between the
+    observability layer's trace export and the paper's headline MTTR
+    metric; the same reduction works on any tool that ingests the
+    JSONL.
+    """
+    by_symptom: Dict[str, List[float]] = {}
+    for span in spans:
+        if span.get("name") != "incident" or span.get("end") is None:
+            continue
+        attributes = span.get("attributes", {})
+        if attributes.get("outcome") != "resolved":
+            continue
+        by_symptom.setdefault(
+            str(attributes.get("symptom", "unknown")), []).append(
+                span["end"] - span["start"])
+    table = Table(
+        ["symptom", "resolved", "mean hours", "max hours"],
+        title="MTTR by symptom (reduced from the trace export)")
+    for symptom in sorted(by_symptom):
+        durations = by_symptom[symptom]
+        table.add_row(
+            symptom, len(durations),
+            f"{sum(durations) / len(durations) / 3600.0:.2f}",
+            f"{max(durations) / 3600.0:.2f}")
+    return table

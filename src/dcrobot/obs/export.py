@@ -1,0 +1,145 @@
+"""Exporters: JSON-lines traces, JSON + Prometheus-text metrics.
+
+Everything here operates on *plain data* (span dicts, metric
+snapshots) as well as live tracers/registries, so worker processes can
+ship exports across a process boundary and the experiments CLI can
+write them without holding the world.
+
+``OBS_SCHEMA_VERSION`` stamps every export and participates in the
+trial cache key (same pattern as ``JOURNAL_SCHEMA_VERSION``): bump it
+whenever the export shape changes so cached trials with stale exports
+are invalidated.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Union
+
+from dcrobot.obs.metrics import Histogram, MetricsRegistry
+from dcrobot.obs.trace import Span, Tracer
+
+#: Bump on any change to the trace/metrics export shape.
+OBS_SCHEMA_VERSION = 1
+
+SpanData = Union[Span, dict]
+
+
+def span_dicts(spans: List[SpanData]) -> List[dict]:
+    """Normalise a span list (Span objects or dicts) to plain dicts."""
+    return [span.to_dict() if isinstance(span, Span) else span
+            for span in spans]
+
+
+def trace_to_jsonl(trace: Union[Tracer, List[SpanData]]) -> str:
+    """One JSON object per line: a header, then every span in
+    span-id order.  ``sort_keys`` + compact separators make the bytes
+    a pure function of the span data (golden-testable)."""
+    spans = span_dicts(trace.spans if isinstance(trace, Tracer)
+                       else trace)
+    spans = sorted(spans, key=lambda span: span["span_id"])
+    trace_id = spans[0]["trace_id"] if spans else ""
+    header = {"kind": "trace", "schema_version": OBS_SCHEMA_VERSION,
+              "trace_id": trace_id, "span_count": len(spans)}
+    lines = [json.dumps(header, sort_keys=True,
+                        separators=(",", ":"))]
+    lines.extend(json.dumps(span, sort_keys=True,
+                            separators=(",", ":"))
+                 for span in spans)
+    return "\n".join(lines) + "\n"
+
+
+def write_trace_jsonl(trace: Union[Tracer, List[SpanData]],
+                      path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(trace_to_jsonl(trace))
+
+
+def metrics_snapshot(registry: MetricsRegistry) -> dict:
+    """A plain, deterministic dict of every instrument's samples."""
+    metrics: Dict[str, dict] = {}
+    for name, instrument in registry.instruments():
+        entry: dict = {"kind": instrument.kind, "help": instrument.help}
+        if isinstance(instrument, Histogram):
+            entry["buckets"] = list(instrument.uppers)
+            entry["samples"] = [
+                {"labels": dict(key), "count": state.count,
+                 "sum": state.sum,
+                 "bucket_counts": list(state.bucket_counts)}
+                for key, state in instrument.samples()]
+        else:
+            entry["samples"] = [
+                {"labels": dict(key), "value": value}
+                for key, value in instrument.samples()]
+        metrics[name] = entry
+    return {"kind": "metrics", "schema_version": OBS_SCHEMA_VERSION,
+            "metrics": metrics}
+
+
+def metrics_to_json(snapshot: Union[MetricsRegistry, dict]) -> str:
+    if isinstance(snapshot, MetricsRegistry):
+        snapshot = metrics_snapshot(snapshot)
+    return json.dumps(snapshot, sort_keys=True, indent=2) + "\n"
+
+
+def _format_value(value: float) -> str:
+    """Prometheus float formatting: integers render bare."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{str(value)}"' for key, value in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def metrics_to_prometheus(
+        snapshot: Union[MetricsRegistry, dict]) -> str:
+    """The Prometheus text exposition format (v0.0.4)."""
+    if isinstance(snapshot, MetricsRegistry):
+        snapshot = metrics_snapshot(snapshot)
+    lines: List[str] = []
+    for name in sorted(snapshot["metrics"]):
+        entry = snapshot["metrics"][name]
+        if entry.get("help"):
+            lines.append(f"# HELP {name} {entry['help']}")
+        lines.append(f"# TYPE {name} {entry['kind']}")
+        if entry["kind"] == "histogram":
+            uppers = [*entry["buckets"], float("inf")]
+            for sample in entry["samples"]:
+                labels = sample["labels"]
+                running = 0
+                for upper, bucket in zip(uppers,
+                                         sample["bucket_counts"]):
+                    running += bucket
+                    le = "+Inf" if upper == float("inf") \
+                        else _format_value(upper)
+                    text = _label_text({**labels, "le": le})
+                    lines.append(f"{name}_bucket{text} {running}")
+                base = _label_text(labels)
+                lines.append(
+                    f"{name}_sum{base} "
+                    f"{_format_value(sample['sum'])}")
+                lines.append(f"{name}_count{base} {sample['count']}")
+        else:
+            for sample in entry["samples"]:
+                text = _label_text(sample["labels"])
+                lines.append(
+                    f"{name}{text} {_format_value(sample['value'])}")
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics(snapshot: Union[MetricsRegistry, dict],
+                  path: str) -> None:
+    """Write a metrics snapshot; ``.prom``/``.txt`` suffixes get the
+    Prometheus text format, everything else JSON."""
+    if path.endswith((".prom", ".txt")):
+        text = metrics_to_prometheus(snapshot)
+    else:
+        text = metrics_to_json(snapshot)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

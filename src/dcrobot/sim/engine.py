@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Callable, Generator, List, Optional, Tuple, Union
 
 from dcrobot.sim.errors import SimulationError, StopSimulation
@@ -36,6 +37,10 @@ class Simulation:
         #: Observers invoked with ``now`` after every processed event
         #: (see :meth:`add_step_hook`); empty in normal operation.
         self._step_hooks: List[Callable[[float], None]] = []
+        #: Optional :class:`dcrobot.obs.profile.SimProfiler` (duck
+        #: typed: anything with ``record_event``/``record_callback``).
+        #: ``None`` keeps the hot path branch-predictable and free.
+        self.profiler = None
 
     def __repr__(self) -> str:
         return f"<Simulation now={self.now} pending={len(self._heap)}>"
@@ -104,11 +109,24 @@ class Simulation:
         if when < self.now:
             raise SimulationError(
                 f"time went backwards: {when} < {self.now}")
+        advance = when - self.now
         self.now = when
         callbacks = event.callbacks
         event.callbacks = None  # mark processed
-        for callback in callbacks:
-            callback(event)
+        if self.profiler is None:
+            for callback in callbacks:
+                callback(event)
+        else:
+            step_started = time.perf_counter()
+            for callback in callbacks:
+                started = time.perf_counter()
+                callback(event)
+                self.profiler.record_callback(
+                    _callback_label(callback),
+                    time.perf_counter() - started)
+            self.profiler.record_event(
+                type(event).__name__,
+                time.perf_counter() - step_started, advance)
         if not callbacks and event.triggered and not event.ok \
                 and not getattr(event, "defused", False):
             # A failure nobody is waiting on would otherwise vanish
@@ -166,6 +184,21 @@ class Simulation:
             raise until.value  # type: ignore[misc]
         raise SimulationError(
             "schedule ran dry before the awaited event triggered")
+
+
+def _callback_label(callback) -> str:
+    """A stable human-readable label for a step callback.
+
+    ``Process._resume`` bound methods are attributed to the process
+    generator's function name (the thing a profiler reader actually
+    recognises); everything else falls back to the callable's
+    qualified name.
+    """
+    owner = getattr(callback, "__self__", None)
+    generator = getattr(owner, "_generator", None)
+    if generator is not None:
+        return getattr(generator, "__name__", type(owner).__name__)
+    return getattr(callback, "__qualname__", repr(callback))
 
 
 class _StopMarker:

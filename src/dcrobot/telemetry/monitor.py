@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from dcrobot.network.inventory import Fabric
+from dcrobot.obs import NULL_OBS
 from dcrobot.sim.engine import Simulation
 from dcrobot.telemetry.detectors import DetectorParams, LinkDetector
 from dcrobot.telemetry.events import TelemetryEvent
@@ -36,7 +37,8 @@ class TelemetryMonitor:
     def __init__(self, fabric: Fabric,
                  params: Optional[DetectorParams] = None,
                  poll_seconds: float = 60.0,
-                 mute_ttl_seconds: Optional[float] = None) -> None:
+                 mute_ttl_seconds: Optional[float] = None,
+                 obs=NULL_OBS) -> None:
         if poll_seconds <= 0:
             raise ValueError(f"poll_seconds must be > 0, got {poll_seconds}")
         if mute_ttl_seconds is not None and mute_ttl_seconds <= 0:
@@ -48,6 +50,7 @@ class TelemetryMonitor:
         self.subscribers: List[Subscriber] = []
         self.interceptors: List[Interceptor] = []
         self.events: List[TelemetryEvent] = []
+        self.obs = obs if obs is not None else NULL_OBS
         #: link id -> time the mute was set (for TTL expiry).
         self._muted: Dict[str, float] = {}
 
@@ -107,6 +110,13 @@ class TelemetryMonitor:
                 continue
             self.mute(link.id, now)  # one report per incident until re-armed
             self.events.append(event)
+            if self.obs.enabled:
+                self.obs.tracer.record("detect", link_id=link.id,
+                                       symptom=event.symptom.value)
+                self.obs.count("dcrobot_telemetry_events_total",
+                               symptom=event.symptom.value)
+                self.obs.gauge("dcrobot_muted_links",
+                               len(self._muted))
             for delivered in self._deliveries(event):
                 new_events.append(delivered)
                 for subscriber in self.subscribers:

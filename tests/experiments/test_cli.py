@@ -99,3 +99,89 @@ def test_list_positional_still_works(capsys):
 def test_missing_experiment_argument_errors(capsys):
     assert main([]) == 2
     assert "required" in capsys.readouterr().err
+
+
+# -- observability flags ----------------------------------------------------
+
+def _fake_observed_run(with_exports=True):
+    from dcrobot.experiments.result import ExperimentResult
+
+    def fake_run(experiment_id, quick=True, seed=0, execution=None,
+                 observe=False):
+        result = ExperimentResult(experiment_id, "fake", "none")
+        if observe and with_exports:
+            result.trace = [
+                {"trace_id": "t", "span_id": 0, "parent_id": None,
+                 "name": "world", "start": 0.0, "end": 1.0,
+                 "status": "ok", "attributes": {}}]
+            result.metrics = {"kind": "metrics", "schema_version": 1,
+                              "metrics": {}}
+        return result
+
+    return fake_run
+
+
+def test_trace_and_metrics_out_flags_parse(tmp_path):
+    args = build_parser().parse_args(
+        ["e13", "--trace-out", "t.jsonl", "--metrics-out", "m.prom"])
+    assert args.trace_out == "t.jsonl"
+    assert args.metrics_out == "m.prom"
+    assert build_parser().parse_args(["e13"]).trace_out is None
+
+
+def test_trace_out_rejects_all(tmp_path, capsys):
+    assert main(["all", "--trace-out",
+                 str(tmp_path / "t.jsonl")]) == 2
+    assert "single experiment" in capsys.readouterr().err
+
+
+def test_trace_out_on_unsupported_experiment_errors(tmp_path, capsys):
+    # e3 has no observe support; run_experiment refuses before running.
+    assert main(["e3", "--trace-out", str(tmp_path / "t.jsonl")]) == 2
+    err = capsys.readouterr().err
+    assert "does not support" in err
+    assert "e13" in err  # points at the experiments that do
+
+
+def test_trace_and_metrics_out_write_files(tmp_path, monkeypatch,
+                                           capsys):
+    import json
+
+    import dcrobot.experiments.__main__ as cli
+
+    monkeypatch.setattr(cli, "run_experiment", _fake_observed_run())
+    trace_path = tmp_path / "trace.jsonl"
+    metrics_path = tmp_path / "metrics.prom"
+    assert cli.main(["e3", "--no-cache",
+                     "--trace-out", str(trace_path),
+                     "--metrics-out", str(metrics_path)]) == 0
+    output = capsys.readouterr().out
+    assert f"[trace written to {trace_path}]" in output
+    assert f"[metrics written to {metrics_path}]" in output
+    header = json.loads(trace_path.read_text().splitlines()[0])
+    assert header["kind"] == "trace"
+    assert header["span_count"] == 1
+    assert metrics_path.exists()
+
+
+def test_warns_when_experiment_returns_no_exports(tmp_path,
+                                                  monkeypatch,
+                                                  capsys):
+    import dcrobot.experiments.__main__ as cli
+
+    monkeypatch.setattr(cli, "run_experiment",
+                        _fake_observed_run(with_exports=False))
+    assert cli.main(["e3", "--no-cache",
+                     "--trace-out", str(tmp_path / "t.jsonl")]) == 0
+    captured = capsys.readouterr()
+    assert "returned no trace" in captured.err
+    assert not (tmp_path / "t.jsonl").exists()
+
+
+def test_run_experiment_observe_requires_support():
+    import pytest as _pytest
+
+    from dcrobot.experiments import run_experiment
+
+    with _pytest.raises(ValueError, match="does not support"):
+        run_experiment("e1", observe=True)

@@ -1,0 +1,130 @@
+"""Tests for the JSONL trace and Prometheus/JSON metrics exporters."""
+
+import json
+
+from dcrobot.obs.export import (
+    OBS_SCHEMA_VERSION,
+    metrics_snapshot,
+    metrics_to_json,
+    metrics_to_prometheus,
+    trace_to_jsonl,
+    write_metrics,
+    write_trace_jsonl,
+)
+from dcrobot.obs.metrics import MetricsRegistry
+from dcrobot.obs.trace import Tracer
+
+
+def _sample_tracer():
+    tracer = Tracer(trace_id="abc123")
+    tracer.open_root("world", seed=7)
+    span = tracer.start_span("incident", link_id="l1")
+    tracer.record("plan", parent=span, action="reseat")
+    tracer.end_span(span)
+    tracer.finish()
+    return tracer
+
+
+def _sample_registry():
+    registry = MetricsRegistry()
+    registry.counter("dcrobot_dispatches_total",
+                     help="orders dispatched").inc(3.0, executor="robots")
+    registry.counter("dcrobot_dispatches_total").inc(executor="humans")
+    registry.gauge("dcrobot_open_incidents").set(2.0)
+    histogram = registry.histogram("mttr", buckets=(10.0, 100.0))
+    histogram.observe(5.0)
+    histogram.observe(50.0)
+    histogram.observe(500.0)
+    return registry
+
+
+def test_trace_jsonl_header_and_span_lines():
+    text = trace_to_jsonl(_sample_tracer())
+    lines = text.splitlines()
+    header = json.loads(lines[0])
+    assert header == {"kind": "trace",
+                      "schema_version": OBS_SCHEMA_VERSION,
+                      "trace_id": "abc123", "span_count": 3}
+    spans = [json.loads(line) for line in lines[1:]]
+    assert [span["span_id"] for span in spans] == [0, 1, 2]
+    assert [span["name"] for span in spans] \
+        == ["world", "incident", "plan"]
+    assert text.endswith("\n")
+
+
+def test_trace_jsonl_accepts_plain_span_dicts():
+    tracer = _sample_tracer()
+    as_dicts = [span.to_dict() for span in tracer.spans]
+    assert trace_to_jsonl(as_dicts) == trace_to_jsonl(tracer)
+
+
+def test_trace_jsonl_empty():
+    header = json.loads(trace_to_jsonl([]).splitlines()[0])
+    assert header["span_count"] == 0
+    assert header["trace_id"] == ""
+
+
+def test_write_trace_jsonl_round_trips(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    write_trace_jsonl(_sample_tracer(), str(path))
+    assert path.read_text() == trace_to_jsonl(_sample_tracer())
+
+
+def test_metrics_snapshot_shape():
+    snapshot = metrics_snapshot(_sample_registry())
+    assert snapshot["kind"] == "metrics"
+    assert snapshot["schema_version"] == OBS_SCHEMA_VERSION
+    metrics = snapshot["metrics"]
+    counter = metrics["dcrobot_dispatches_total"]
+    assert counter["kind"] == "counter"
+    assert counter["help"] == "orders dispatched"
+    assert {s["labels"]["executor"]: s["value"]
+            for s in counter["samples"]} \
+        == {"humans": 1.0, "robots": 3.0}
+    histogram = metrics["mttr"]
+    assert histogram["buckets"] == [10.0, 100.0]
+    (sample,) = histogram["samples"]
+    assert sample["bucket_counts"] == [1, 1, 1]
+    assert sample["count"] == 3
+    assert sample["sum"] == 555.0
+
+
+def test_metrics_json_is_deterministic():
+    assert metrics_to_json(_sample_registry()) \
+        == metrics_to_json(_sample_registry())
+    parsed = json.loads(metrics_to_json(_sample_registry()))
+    assert parsed["kind"] == "metrics"
+
+
+def test_metrics_prometheus_text_format():
+    text = metrics_to_prometheus(_sample_registry())
+    lines = text.splitlines()
+    assert "# HELP dcrobot_dispatches_total orders dispatched" in lines
+    assert "# TYPE dcrobot_dispatches_total counter" in lines
+    assert 'dcrobot_dispatches_total{executor="robots"} 3' in lines
+    assert "# TYPE dcrobot_open_incidents gauge" in lines
+    assert "dcrobot_open_incidents 2" in lines
+    # Cumulative buckets with the implicit +Inf.
+    assert 'mttr_bucket{le="10"} 1' in lines
+    assert 'mttr_bucket{le="100"} 2' in lines
+    assert 'mttr_bucket{le="+Inf"} 3' in lines
+    assert "mttr_sum 555" in lines
+    assert "mttr_count 3" in lines
+
+
+def test_prometheus_accepts_snapshot_dicts():
+    registry = _sample_registry()
+    assert metrics_to_prometheus(metrics_snapshot(registry)) \
+        == metrics_to_prometheus(registry)
+
+
+def test_write_metrics_picks_format_by_extension(tmp_path):
+    registry = _sample_registry()
+    prom = tmp_path / "metrics.prom"
+    txt = tmp_path / "metrics.txt"
+    other = tmp_path / "metrics.json"
+    for path in (prom, txt, other):
+        write_metrics(registry, str(path))
+    assert prom.read_text() == metrics_to_prometheus(registry)
+    assert txt.read_text() == metrics_to_prometheus(registry)
+    json.loads(other.read_text())  # JSON fallback

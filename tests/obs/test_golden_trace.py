@@ -1,0 +1,116 @@
+"""Golden-trace tests: the observability exports are locked bytes.
+
+Each golden runs a real experiment trial (E13's hardened controller
+under 1x chaos; E14's crash-and-journal-replay run) at a pinned seed
+and small horizon, exports the trace as JSONL and the metrics as JSON,
+and compares byte-for-byte against the snapshots in ``tests/golden/``.
+
+Regenerate intentionally with::
+
+    GOLDEN_REGEN=1 PYTHONPATH=src python -m pytest tests/obs/test_golden_trace.py
+
+A diff here means the instrumentation, the export encoding, or the
+world's behaviour changed — all three are release-noteworthy.  Bump
+``OBS_SCHEMA_VERSION`` when the export *shape* changed.
+"""
+
+import json
+import os
+
+import pytest
+
+from dcrobot.experiments.e13_chaos_resilience import _trial as e13_trial
+from dcrobot.experiments.e14_crash_recovery import _trial as e14_trial
+from dcrobot.obs.export import metrics_to_json, trace_to_jsonl
+from dcrobot.obs.trace import trace_id_from_seed
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "golden")
+
+#: (name, trial fn, params, seed) — pinned; do not change casually.
+CASES = {
+    "e13": (e13_trial,
+            {"mode": "hardened", "chaos_scale": 1.0,
+             "failure_scale": 4.0, "horizon_days": 8.0,
+             "observe": True},
+            5),
+    "e14": (e14_trial,
+            {"mode": "replay", "failure_scale": 6.0,
+             "horizon_days": 12.0, "observe": True},
+            3),
+}
+
+
+def _exports(name):
+    trial, params, seed = CASES[name]
+    result = trial(dict(params), seed)
+    return (trace_to_jsonl(result["trace"]),
+            metrics_to_json(result["metrics"]),
+            result)
+
+
+def _golden_path(filename):
+    return os.path.join(GOLDEN_DIR, filename)
+
+
+def _check_or_regen(filename, text):
+    path = _golden_path(filename)
+    if os.environ.get("GOLDEN_REGEN"):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return
+    assert os.path.exists(path), (
+        f"missing golden {filename}; regenerate with GOLDEN_REGEN=1")
+    with open(path, "r", encoding="utf-8") as handle:
+        golden = handle.read()
+    assert text == golden, (
+        f"{filename} drifted from the golden snapshot; if the change "
+        f"is intentional, regenerate with GOLDEN_REGEN=1")
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_trace_and_metrics_match_golden(name):
+    trace_text, metrics_text, _result = _exports(name)
+    _check_or_regen(f"{name}_trace.jsonl", trace_text)
+    _check_or_regen(f"{name}_metrics.json", metrics_text)
+
+
+def test_rerun_is_bit_identical():
+    first_trace, first_metrics, _ = _exports("e14")
+    second_trace, second_metrics, _ = _exports("e14")
+    assert first_trace == second_trace
+    assert first_metrics == second_metrics
+
+
+def test_trace_id_matches_the_pinned_seed():
+    trace_text, _metrics, _result = _exports("e13")
+    header = json.loads(trace_text.splitlines()[0])
+    assert header["trace_id"] == trace_id_from_seed(CASES["e13"][2])
+
+
+def test_observation_does_not_change_behaviour():
+    """Observed and unobserved runs must agree on every outcome."""
+    trial, params, seed = CASES["e13"]
+    observed = trial(dict(params), seed)
+    blind_params = {key: value for key, value in params.items()
+                    if key != "observe"}
+    blind = trial(blind_params, seed)
+    assert blind["trace"] is None
+    assert blind["metrics"] is None
+    for key, value in blind.items():
+        if key not in ("trace", "metrics"):
+            assert observed[key] == value, key
+
+
+def test_golden_trace_covers_the_incident_lifecycle():
+    """The e14 golden exercises every span the layer promises."""
+    trace_text, _metrics, result = _exports("e14")
+    names = {json.loads(line)["name"]
+             for line in trace_text.splitlines()[1:]}
+    expected = {"world", "detect", "incident", "plan", "dispatch",
+                "execute", "verify", "conclude", "journal.append",
+                "journal.snapshot", "controller.crash",
+                "failover.promote", "recovery.replay"}
+    assert expected <= names
+    assert result["crashes"] >= 1
+    assert result["recoveries"] >= 1

@@ -1,0 +1,54 @@
+"""Overhead regression: observability must be ~free.
+
+Disabled mode (the default) pays one ``if obs.enabled:`` guard per
+instrumentation site, so its cost is strictly below the *fully
+enabled* tracer's.  This test therefore bounds the stronger quantity:
+a traced E13 trial must run within 2% of the identical untraced trial.
+
+Timing strategy against CI noise: interleaved runs (so drift hits both
+modes equally), min-of-N per mode (min is the low-noise estimator for
+"how fast can this go"), and a couple of re-measure rounds before
+declaring a regression.
+"""
+
+import time
+
+from dcrobot.experiments.e13_chaos_resilience import _trial
+
+PARAMS = {"mode": "hardened", "chaos_scale": 1.0,
+          "failure_scale": 4.0, "horizon_days": 4.0}
+MAX_OVERHEAD = 0.02
+REPS = 4
+ROUNDS = 3
+
+
+def _timed(observe: bool) -> float:
+    params = dict(PARAMS)
+    if observe:
+        params["observe"] = True
+    started = time.perf_counter()
+    _trial(params, seed=11)
+    return time.perf_counter() - started
+
+
+def _measure_overhead() -> float:
+    plain, traced = [], []
+    for _ in range(REPS):
+        plain.append(_timed(False))
+        traced.append(_timed(True))
+    return (min(traced) - min(plain)) / min(plain)
+
+
+def test_tracing_overhead_under_two_percent():
+    _timed(False)  # warm caches/imports outside the measurement
+    _timed(True)
+    overheads = []
+    for _ in range(ROUNDS):
+        overhead = _measure_overhead()
+        overheads.append(overhead)
+        if overhead < MAX_OVERHEAD:
+            return
+    raise AssertionError(
+        f"tracing overhead {min(overheads):.1%} exceeds "
+        f"{MAX_OVERHEAD:.0%} in {ROUNDS} rounds "
+        f"(all rounds: {[f'{o:.1%}' for o in overheads]})")

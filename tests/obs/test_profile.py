@@ -1,0 +1,106 @@
+"""Tests for the sim profiler and its engine hook."""
+
+from dcrobot.obs.profile import ProfileEntry, SimProfiler
+from dcrobot.sim.engine import Simulation
+
+
+def _worker(sim, steps=3, delay=10.0):
+    for _ in range(steps):
+        yield sim.timeout(delay)
+
+
+def test_engine_defaults_to_no_profiler():
+    assert Simulation().profiler is None
+
+
+def test_attach_detach():
+    sim = Simulation()
+    profiler = SimProfiler().attach(sim)
+    assert sim.profiler is profiler
+    profiler.detach(sim)
+    assert sim.profiler is None
+    # Detaching someone else's profiler is a no-op.
+    other = SimProfiler().attach(sim)
+    profiler.detach(sim)
+    assert sim.profiler is other
+
+
+def test_profiler_accounts_steps_and_sim_time():
+    sim = Simulation()
+    sim.process(_worker(sim, steps=3, delay=10.0))
+    profiler = SimProfiler().attach(sim)
+    sim.run(until=100.0)
+    assert profiler.steps > 0
+    # run(until=) fast-forwards the clock past the last event; the
+    # profiler accounts only time advanced by actual steps.
+    assert profiler.sim_seconds == 30.0
+    timeout = profiler.event_stats["Timeout"]
+    assert timeout.count == 3
+    assert timeout.sim_seconds == 30.0
+    assert timeout.wall_seconds >= 0.0
+    assert profiler.wall_seconds >= timeout.wall_seconds
+
+
+def test_callbacks_attributed_to_generator_name():
+    sim = Simulation()
+    sim.process(_worker(sim))
+    profiler = SimProfiler().attach(sim)
+    sim.run(until=100.0)
+    assert "_worker" in profiler.callback_stats
+    assert profiler.callback_stats["_worker"].count >= 3
+
+
+def test_profiling_does_not_change_the_run():
+    plain = Simulation()
+    plain.process(_worker(plain, steps=5, delay=7.0))
+    plain.run(until=100.0)
+
+    profiled = Simulation()
+    profiled.process(_worker(profiled, steps=5, delay=7.0))
+    SimProfiler().attach(profiled)
+    profiled.run(until=100.0)
+    assert profiled.now == plain.now
+
+
+def test_hotspots_rank_by_wall_with_name_tiebreak():
+    profiler = SimProfiler()
+    profiler.record_callback("b", 0.5)
+    profiler.record_callback("a", 0.5)
+    profiler.record_callback("c", 2.0)
+    names = [name for name, _ in profiler.hotspots(top=3)]
+    assert names == ["c", "a", "b"]
+    assert len(profiler.hotspots(top=1)) == 1
+
+
+def test_report_renders_both_tables():
+    sim = Simulation()
+    sim.process(_worker(sim))
+    profiler = SimProfiler().attach(sim)
+    sim.run(until=100.0)
+    report = profiler.report(top=5)
+    assert "sim step accounting by event type" in report
+    assert "top 5 callback hotspots" in report
+    assert "Timeout" in report
+    assert "_worker" in report
+
+
+def test_profile_entry_defaults():
+    entry = ProfileEntry()
+    assert (entry.count, entry.wall_seconds, entry.sim_seconds) \
+        == (0, 0.0, 0.0)
+
+
+def test_profile_experiment_tool_runs(capsys):
+    import os
+    import sys
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__),
+                                    os.pardir, os.pardir, "tools"))
+    try:
+        import profile_experiment
+    finally:
+        sys.path.pop(0)
+    assert profile_experiment.main(
+        ["e13", "--horizon-days", "2", "--top", "3"]) == 0
+    output = capsys.readouterr().out
+    assert "callback hotspots" in output
+    assert "world: e13" in output

@@ -27,7 +27,8 @@ from types import CodeType
 from typing import Dict, Set
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-TARGETS = ("src/dcrobot/core", "src/dcrobot/chaos")
+TARGETS = ("src/dcrobot/core", "src/dcrobot/chaos",
+           "src/dcrobot/obs")
 
 
 def _target_files():

@@ -1,0 +1,30 @@
+"""Bench E15 — hall-scale columnar control loop (§2, ROADMAP north star).
+
+This is the scale acceptance gate: the columnar kernels must beat the
+legacy per-link loops by >=5x on the k=16 fat-tree while producing
+field-for-field identical world summaries on the shared seed.
+"""
+
+from conftest import run_once
+
+from dcrobot.experiments import e15_scale
+
+
+def test_e15_fabric_scale(benchmark):
+    result = run_once(benchmark, e15_scale.run, quick=True)
+    print()
+    print(result.render())
+
+    speedups = dict(result.series)["speedup_vs_links"]
+    parity = dict(result.series)["parity_vs_links"]
+
+    # Every timed legacy/columnar pair must be bit-identical — the
+    # speedup is worthless if the physics drifted.
+    assert all(identical == 1.0 for _links, identical in parity)
+
+    # The k=16 fat-tree is the largest timed pair in quick mode; the
+    # acceptance bar is a 5x wall-clock win there.
+    largest_timed = max(speedups, key=lambda pair: pair[0])
+    assert largest_timed[1] >= 5.0, (
+        f"columnar speedup {largest_timed[1]:.1f}x at "
+        f"{largest_timed[0]} links, expected >= 5x")

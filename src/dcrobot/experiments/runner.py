@@ -57,6 +57,7 @@ from dcrobot.network.enums import FormFactor
 from dcrobot.obs import NULL_OBS, observability_for_seed
 from dcrobot.obs.export import metrics_snapshot
 from dcrobot.robots.fleet import FleetConfig, RobotFleet
+from dcrobot.sim.batch import BatchTicker
 from dcrobot.sim.engine import Simulation
 from dcrobot.sim.rng import RandomStreams
 from dcrobot.telemetry.detectors import DetectorParams
@@ -126,6 +127,15 @@ class WorldConfig:
     #: Attach the observability layer (incident-lifecycle tracing +
     #: metrics registry); off by default so trials pay nothing for it.
     observe: bool = False
+    #: Drive the periodic fleet sweeps (health, telemetry, dust, aging)
+    #: through the columnar batch kernels instead of the per-link
+    #: object loops.  Bit-identical results either way; the kernels are
+    #: what make hall-scale fabrics tractable (E15).
+    vectorized: bool = True
+    #: With ``vectorized``, multiplex all periodic sweeps through one
+    #: BatchTicker process (one heap event per boundary) instead of
+    #: four independent generator processes.
+    coalesce_ticks: bool = True
 
     @property
     def horizon_seconds(self) -> float:
@@ -364,10 +374,28 @@ def build_world(config: WorldConfig) -> RunResult:
             sim, controller, controller_factory,
             coordinator=coordinator, journal=journal, safety=safety)
 
-    sim.process(health.run(sim))
-    sim.process(monitor.run(sim))
-    sim.process(dust.run(sim))
-    sim.process(aging.run(sim))
+    if config.vectorized and config.coalesce_ticks:
+        # One process, one heap event per boundary.  Registration
+        # order and first-fire times mirror the legacy processes:
+        # health ticks immediately on start, the rest sleep one period
+        # first.
+        ticker = BatchTicker(sim)
+        ticker.add(health.tick_all, config.health_tick_seconds,
+                   first_at=sim.now)
+        ticker.add(monitor.poll_all, config.monitor_poll_seconds)
+        ticker.add(dust.step_all, dust.tick_seconds)
+        ticker.add(aging.step_all, aging.tick_seconds)
+        sim.process(ticker.run(sim))
+    elif config.vectorized:
+        sim.process(health.run_vectorized(sim))
+        sim.process(monitor.run_vectorized(sim))
+        sim.process(dust.run_vectorized(sim))
+        sim.process(aging.run_vectorized(sim))
+    else:
+        sim.process(health.run(sim))
+        sim.process(monitor.run(sim))
+        sim.process(dust.run(sim))
+        sim.process(aging.run(sim))
     if config.fault_trace is not None:
         sim.process(config.fault_trace.replay(sim, injector))
     else:

@@ -37,6 +37,10 @@ class OxidationAging:
         self.tick_seconds = tick_seconds
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self._rate: Dict[str, float] = {}
+        #: Row-aligned rate cache for :meth:`step_all` (NaN = unsampled),
+        #: rebuilt from ``_rate`` whenever the fabric's row layout moves.
+        self._rate_rows = np.zeros((2, 0))
+        self._rate_rows_generation = -1
 
     def rate_for(self, unit_id: str) -> float:
         """The unit's (lazily sampled) oxidation rate per day."""
@@ -57,8 +61,73 @@ class OxidationAging:
                 growth = self.rate_for(unit.id) * fraction_of_day
                 unit.oxidation = min(1.0, unit.oxidation + growth)
 
+    # -- vectorized sweep ------------------------------------------------------
+
+    def _rebuild_rate_rows(self, state) -> None:
+        """Re-align the cached per-row rates after a structural change."""
+        n = state.n_links
+        rates = np.full((2, n), np.nan)
+        known = self._rate.get
+        for row, link in enumerate(state.links_by_row):
+            rate_a = known(link.transceiver_a.id)
+            if rate_a is not None:
+                rates[0, row] = rate_a
+            rate_b = known(link.transceiver_b.id)
+            if rate_b is not None:
+                rates[1, row] = rate_b
+        self._rate_rows = rates
+        self._rate_rows_generation = state.generation
+
+    def step_all(self, now: float) -> None:
+        """Advance corrosion on every seated transceiver, columnarily.
+
+        Bit-identical to :meth:`tick`: units whose rate has not been
+        sampled yet draw from the RNG lazily, batched in the exact
+        (link, side a→b) encounter order of the legacy loop — and only
+        while seated, which is when the legacy loop first reaches
+        ``rate_for``.  Growth is then one masked array update.
+        """
+        state = getattr(self.fabric, "state", None)
+        if state is None:
+            self.tick(now)
+            return
+        n = state.n_links
+        if n == 0:
+            return
+        if self._rate_rows_generation != state.generation:
+            self._rebuild_rate_rows(state)
+        rates = self._rate_rows
+        seated = state.seated[:, :n]
+        missing = seated & np.isnan(rates)
+        if missing.any():
+            rows = state.rows_in_insertion_order(
+                np.nonzero(missing.any(axis=0))[0])
+            pending = []
+            for row in rows:
+                link = state.links_by_row[row]
+                for side, unit in enumerate(link.transceivers()):
+                    if missing[side, row]:
+                        pending.append((side, row, unit.id))
+            draws = self.rng.lognormal(0.0, self.unit_sigma,
+                                       size=len(pending))
+            for (side, row, unit_id), draw in zip(pending, draws):
+                rate = self.mean_rate_per_day * float(draw)
+                self._rate[unit_id] = rate
+                rates[side, row] = rate
+        fraction_of_day = self.tick_seconds / 86400.0
+        ox = state.ox[:, :n]
+        ox[seated] = np.minimum(1.0, ox[seated]
+                                + rates[seated] * fraction_of_day)
+
     def run(self, sim: Simulation):
         """Generator process: corrode on a fixed cadence."""
         while True:
             yield sim.timeout(self.tick_seconds)
             self.tick(sim.now)
+
+    def run_vectorized(self, sim: Simulation):
+        """Generator process around :meth:`step_all` (same event
+        structure as :meth:`run`)."""
+        while True:
+            yield sim.timeout(self.tick_seconds)
+            self.step_all(sim.now)

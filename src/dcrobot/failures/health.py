@@ -28,6 +28,12 @@ from dcrobot.network.endface import IMPAIRMENT_THRESHOLD
 from dcrobot.network.enums import LinkState
 from dcrobot.network.inventory import Fabric
 from dcrobot.network.link import Link
+from dcrobot.network.state import (
+    DOWN_CODE,
+    MAINTENANCE_CODE,
+    STATE_OF,
+    UP_CODE,
+)
 from dcrobot.sim.engine import Simulation
 
 
@@ -64,8 +70,34 @@ class HealthModel:
         self.environment = environment
         self.params = params or HealthParams()
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        #: Gilbert-Elliott phase for links not bound to the fabric's
+        #: columnar state (standalone test fixtures); bound links keep
+        #: theirs in the registered column below.
         self._bad_state: Dict[str, bool] = {}
         self._disturbed_until: Dict[str, float] = {}
+        state = getattr(fabric, "state", None)
+        self._bad = (state.add_link_column(False)
+                     if state is not None else None)
+
+    # -- Gilbert-Elliott phase storage ---------------------------------------
+
+    def _bad_row(self, link: Link) -> Optional[int]:
+        if self._bad is not None and link._fs is self.fabric.state:
+            return link._row
+        return None
+
+    def _get_bad(self, link: Link) -> bool:
+        row = self._bad_row(link)
+        if row is None:
+            return self._bad_state.get(link.id, False)
+        return bool(self._bad.values[row])
+
+    def _set_bad(self, link: Link, value: bool) -> None:
+        row = self._bad_row(link)
+        if row is None:
+            self._bad_state[link.id] = value
+        else:
+            self._bad.values[row] = value
 
     # -- disturbance (cascade hook) ------------------------------------------
 
@@ -147,13 +179,13 @@ class HealthModel:
         if score >= params.hard_down_threshold:
             link.loss_rate = 1.0
             link.set_state(now, LinkState.DOWN)
-            self._bad_state[link.id] = True
+            self._set_bad(link, True)
             return
 
         if score < params.marginal_threshold:
             link.loss_rate = params.base_loss
             link.set_state(now, LinkState.UP)
-            self._bad_state[link.id] = False
+            self._set_bad(link, False)
             return
 
         # Marginal band: Gilbert-Elliott oscillation.
@@ -161,7 +193,7 @@ class HealthModel:
                     / (params.hard_down_threshold
                        - params.marginal_threshold))
         stress = self.environment.stress_multiplier(now)
-        in_bad = self._bad_state.get(link.id, False)
+        in_bad = self._get_bad(link)
         if in_bad:
             if self.rng.random() < params.flap_b2g_per_tick:
                 in_bad = False
@@ -170,7 +202,7 @@ class HealthModel:
                          * (0.25 + severity) * stress)
             if self.rng.random() < p_fail:
                 in_bad = True
-        self._bad_state[link.id] = in_bad
+        self._set_bad(link, in_bad)
         if in_bad:
             link.loss_rate = 1.0
             link.set_state(now, LinkState.DOWN)
@@ -189,16 +221,117 @@ class HealthModel:
     def release_from_maintenance(self, link: Link, now: float) -> None:
         """Return a link to service and immediately re-derive its state."""
         link.set_state(now, LinkState.UP)
-        self._bad_state[link.id] = False
+        self._set_bad(link, False)
         self.evaluate_link(link, now)
 
     def tick(self, now: float) -> None:
-        """Re-evaluate every link."""
+        """Re-evaluate every link (legacy per-link loop; kept as the
+        oracle the vectorized path is parity-tested against)."""
         for link in self.fabric.links.values():
             self.evaluate_link(link, now)
+
+    # -- vectorized sweep ------------------------------------------------------
+
+    def tick_all(self, now: float) -> None:
+        """Re-evaluate every link in one array sweep.
+
+        Bit-identical to :meth:`tick`: scores and masks are computed
+        columnarily, the Gilbert-Elliott draws are batched in
+        ``fabric.links`` order (``rng.random(k)`` consumes the stream
+        exactly like ``k`` sequential scalar draws), and the good-phase
+        marginal loss is computed with scalar Python pow over the
+        (small) marginal subset because ``10.0 ** ndarray`` is *not*
+        bit-identical to the scalar power the legacy path uses.
+        """
+        state = getattr(self.fabric, "state", None)
+        if state is None:
+            self.tick(now)
+            return
+        n = state.n_links
+        if n == 0:
+            return
+        params = self.params
+
+        code = state.state_code[:n]
+        active = code != MAINTENANCE_CODE
+        hard_fault = (
+            state.cable_damaged[:n]
+            | state.unit_hw_fault[0, :n] | state.unit_hw_fault[1, :n]
+            | state.unit_fw_stuck[0, :n] | state.unit_fw_stuck[1, :n]
+            | state.port_hw_fault[0, :n] | state.port_hw_fault[1, :n]
+            | state.cable_end_scratched[0, :n]
+            | state.cable_end_scratched[1, :n]
+            | ~state.seated[0, :n] | ~state.seated[1, :n]
+            | ~state.cable_attached[0, :n] | ~state.cable_attached[1, :n])
+
+        stress = self.environment.stress_multiplier(now)
+        oxidation = np.maximum(state.ox[0, :n], state.ox[1, :n])
+        score = np.maximum(0.0, oxidation - params.oxidation_onset)
+        dirt = np.maximum(
+            np.maximum(state.cable_end_worst[0, :n],
+                       state.cable_end_worst[1, :n]),
+            np.maximum(state.recept_worst[0, :n],
+                       state.recept_worst[1, :n]))
+        score = score + np.maximum(0.0, dirt - IMPAIRMENT_THRESHOLD) * stress
+        for link_id, until in self._disturbed_until.items():
+            if until > now:
+                row = state.index_of.get(link_id)
+                if row is not None:
+                    score[row] += params.disturbance_score
+        score = np.minimum(score, 1.0)
+        score[hard_fault] = 1.0
+
+        hard_down = active & (score >= params.hard_down_threshold)
+        clean = active & (score < params.marginal_threshold)
+        marginal = active & ~hard_down & ~clean
+
+        bad = self._bad.values
+        new_code = code.copy()
+        new_code[hard_down] = DOWN_CODE
+        new_code[clean] = UP_CODE
+        bad[:n][hard_down] = True
+        bad[:n][clean] = False
+
+        loss = state.loss_rate[:n]
+        loss[hard_down] = 1.0
+        loss[clean] = params.base_loss
+
+        marginal_rows = state.rows_in_insertion_order(
+            np.nonzero(marginal)[0])
+        if marginal_rows.size:
+            draws = self.rng.random(marginal_rows.size)
+            severity = ((score[marginal_rows] - params.marginal_threshold)
+                        / (params.hard_down_threshold
+                           - params.marginal_threshold))
+            p_fail = np.minimum(0.95, params.flap_g2b_per_tick
+                                * (0.25 + severity) * stress)
+            was_bad = bad[marginal_rows]
+            now_bad = np.where(was_bad,
+                               draws >= params.flap_b2g_per_tick,
+                               draws < p_fail)
+            bad[marginal_rows] = now_bad
+            new_code[marginal_rows] = np.where(now_bad, DOWN_CODE, UP_CODE)
+            loss[marginal_rows] = 1.0
+            for row, row_bad in zip(marginal_rows, now_bad):
+                if not row_bad:
+                    loss[row] = self.marginal_loss(float(score[row]))
+
+        changed = state.rows_in_insertion_order(
+            np.nonzero(active & (new_code != code))[0])
+        links_by_row = state.links_by_row
+        for row in changed:
+            links_by_row[row].set_state(now, STATE_OF[new_code[row]])
 
     def run(self, sim: Simulation):
         """Generator process: evaluate all links every tick."""
         while True:
             self.tick(sim.now)
+            yield sim.timeout(self.params.tick_seconds)
+
+    def run_vectorized(self, sim: Simulation):
+        """Generator process around :meth:`tick_all` (same event
+        structure as :meth:`run`, used when batch ticks are not
+        coalesced)."""
+        while True:
+            self.tick_all(sim.now)
             yield sim.timeout(self.params.tick_seconds)

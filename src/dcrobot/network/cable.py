@@ -54,6 +54,11 @@ class Cable:
             raise ValueError(f"core_count must be >= 1, got {core_count}")
         if kind is not CableKind.MPO and core_count > 2:
             raise ValueError(f"{kind.value} cables carry 1-2 cores")
+        #: Columnar binding while wired into a fabric link (see
+        #: :class:`~dcrobot.network.state.FabricState`); must exist
+        #: before any mirrored property is assigned below.
+        self._fs = None
+        self._row = -1
         self.id = cable_id
         self.kind = kind
         self.length_m = float(length_m)
@@ -75,6 +80,41 @@ class Cable:
     def __repr__(self) -> str:
         return (f"<Cable {self.id} {self.kind.value} {self.length_m:.1f}m "
                 f"cores={self.core_count}>")
+
+    # -- columnar mirror -------------------------------------------------------
+
+    @property
+    def damaged(self) -> bool:
+        return self._damaged
+
+    @damaged.setter
+    def damaged(self, value: bool) -> None:
+        self._damaged = value
+        fs = self._fs
+        if fs is not None:
+            fs.cable_damaged[self._row] = value
+
+    @property
+    def attached_a(self) -> bool:
+        return self._attached_a
+
+    @attached_a.setter
+    def attached_a(self, value: bool) -> None:
+        self._attached_a = value
+        fs = self._fs
+        if fs is not None:
+            fs.cable_attached[0, self._row] = value
+
+    @property
+    def attached_b(self) -> bool:
+        return self._attached_b
+
+    @attached_b.setter
+    def attached_b(self, value: bool) -> None:
+        self._attached_b = value
+        fs = self._fs
+        if fs is not None:
+            fs.cable_attached[1, self._row] = value
 
     @property
     def cleanable(self) -> bool:

@@ -37,6 +37,24 @@ class EndFace:
         self.polish = polish
         self.contamination = np.full(core_count, float(initial_contamination))
         self.scratched = np.zeros(core_count, dtype=bool)
+        #: Columnar binding while this face is on a wired link:
+        #: ``(FabricState, "cable"|"recept", side)``.  Mutators call
+        #: :meth:`_push_mirror` so the per-link worst-contamination and
+        #: scratch columns stay current for the batch kernels.
+        self._mirror = None
+        self._row = -1
+
+    def _push_mirror(self) -> None:
+        mirror = self._mirror
+        if mirror is None:
+            return
+        fs, kind, side = mirror
+        row = self._row
+        if kind == "cable":
+            fs.cable_end_worst[side, row] = self.contamination.max()
+            fs.cable_end_scratched[side, row] = bool(self.scratched.any())
+        else:
+            fs.recept_worst[side, row] = self.contamination.max()
 
     def __repr__(self) -> str:
         return (f"<EndFace cores={self.core_count} polish={self.polish.name} "
@@ -72,10 +90,12 @@ class EndFace:
             for core in cores:
                 self.contamination[core] = min(
                     self.contamination[core] + amount, 1.0)
+        self._push_mirror()
 
     def scratch(self, core: int) -> None:
         """Permanently damage a core (only replacement fixes this)."""
         self.scratched[core] = True
+        self._push_mirror()
 
     # -- maintenance operations ---------------------------------------------
 
@@ -118,14 +138,17 @@ class EndFace:
             total = self.contamination.sum() * 0.5
             share = rng.dirichlet(np.ones(self.core_count)) * total
             self.contamination = np.minimum(share, 1.0)
+            self._push_mirror()
             return
         strength = effectiveness + (0.08 if wet else 0.0)
         strength = min(strength, 0.995)
         noise = rng.uniform(0.9, 1.0, size=self.core_count)
         self.contamination = self.contamination * (1.0 - strength * noise)
         self.contamination[self.contamination < 1e-4] = 0.0
+        self._push_mirror()
 
     def replace(self) -> None:
         """Pristine end-face (cable or transceiver swapped)."""
         self.contamination[:] = 0.0
         self.scratched[:] = False
+        self._push_mirror()

@@ -24,6 +24,7 @@ from dcrobot.network.enums import (
 from dcrobot.network.ids import IdFactory
 from dcrobot.network.layout import HallLayout, Position
 from dcrobot.network.link import Link
+from dcrobot.network.state import FabricState
 from dcrobot.network.switchgear import Host, Port, Switch, SwitchRole
 from dcrobot.network.transceiver import (
     Transceiver,
@@ -58,6 +59,10 @@ class Fabric:
         self.transceivers: Dict[str, Transceiver] = {}
         self.cables: Dict[str, Cable] = {}
         self.links: Dict[str, Link] = {}
+        #: Columnar single source of truth for every wired link; the
+        #: batch kernels (health/dust/aging/telemetry/availability)
+        #: sweep these arrays instead of the object graph.
+        self.state = FabricState()
         self.bundles = BundleRegistry()
         self._ports: Dict[str, Port] = {}
         self._links_of_node: Dict[str, List[str]] = {}
@@ -200,6 +205,7 @@ class Fabric:
         link = Link(self.ids.make("link"), end_a, end_b, unit_a, unit_b,
                     cable, capacity_gbps=gbps, bundle_id=bundle.id)
         self.links[link.id] = link
+        self.state.add_link(link)
         self._links_of_node[end_a.parent_id].append(link.id)
         self._links_of_node[end_b.parent_id].append(link.id)
         return link
@@ -215,6 +221,9 @@ class Fabric:
         link = self.links.pop(link_id, None)
         if link is None:
             raise KeyError(f"unknown link {link_id}")
+        # Unbind from the columnar store first so the unplug/unseat
+        # mutations below land on plain attributes of retired inventory.
+        self.state.remove_link(link)
         for port in link.ports():
             if port.occupied:
                 port.unplug()

@@ -6,6 +6,13 @@ constituent components by the health model in
 :mod:`dcrobot.failures.health`; the link itself records the resulting
 state timeline, which is what telemetry, availability accounting, and
 flap detection consume.
+
+While wired into a fabric, a link is a thin view over a row of the
+columnar :class:`~dcrobot.network.state.FabricState`: state changes
+mirror into the arrays (so the batch kernels see them) and
+``loss_rate`` — which the health kernel writes densely — reads straight
+from its column.  A standalone link (not yet connected, or a test
+fixture) behaves exactly as before on plain attributes.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from typing import List, Optional, Tuple
 
 from dcrobot.network.cable import Cable
 from dcrobot.network.enums import LinkState
+from dcrobot.network.state import CODE_OF
 from dcrobot.network.switchgear import Port
 from dcrobot.network.transceiver import Transceiver
 
@@ -25,6 +33,10 @@ class Link:
                  transceiver_a: Transceiver, transceiver_b: Transceiver,
                  cable: Cable, capacity_gbps: float,
                  bundle_id: Optional[str] = None) -> None:
+        #: The FabricState this link is bound to (None while standalone)
+        #: and its dense row there.  Must exist before any property set.
+        self._fs = None
+        self._row = -1
         self.id = link_id
         self.port_a = port_a
         self.port_b = port_b
@@ -40,6 +52,34 @@ class Link:
         self.loss_rate = 0.0
         #: Cumulative count of UP<->non-UP transitions (flap counter).
         self.transition_count = 0
+
+    # -- columnar mirror -------------------------------------------------------
+
+    @property
+    def state(self) -> LinkState:
+        return self._state
+
+    @state.setter
+    def state(self, value: LinkState) -> None:
+        self._state = value
+        fs = self._fs
+        if fs is not None:
+            fs.state_code[self._row] = CODE_OF[value]
+
+    @property
+    def loss_rate(self) -> float:
+        fs = self._fs
+        if fs is None:
+            return self._loss_rate
+        return float(fs.loss_rate[self._row])
+
+    @loss_rate.setter
+    def loss_rate(self, value: float) -> None:
+        fs = self._fs
+        if fs is None:
+            self._loss_rate = value
+        else:
+            fs.loss_rate[self._row] = value
 
     def __repr__(self) -> str:
         return (f"<Link {self.id} {self.port_a.parent_id}<->"
@@ -79,11 +119,15 @@ class Link:
             self.port_b.transceiver_id = new_unit.id
         else:
             raise ValueError(f"side must be 'a' or 'b', got {side!r}")
+        if self._fs is not None:
+            self._fs.rebind_transceiver(self, side, old, new_unit)
         return old
 
     def replace_cable(self, new_cable: Cable) -> Cable:
         """Swap in a new cable; returns the removed one."""
         old, self.cable = self.cable, new_cable
+        if self._fs is not None:
+            self._fs.rebind_cable(self, old, new_cable)
         return old
 
     # -- state timeline -------------------------------------------------------
@@ -100,15 +144,20 @@ class Link:
         a repair taking a link out of service is not the gray failure the
         flap counter exists to catch.
         """
-        if new_state is self.state:
+        old_state = self._state
+        if new_state is old_state:
             return False
-        administrative = (LinkState.MAINTENANCE in (self.state, new_state))
-        was_up = self.state is LinkState.UP
+        administrative = (LinkState.MAINTENANCE in (old_state, new_state))
+        was_up = old_state is LinkState.UP
         is_up = new_state is LinkState.UP
-        if was_up != is_up and not administrative:
+        flapped = was_up != is_up and not administrative
+        if flapped:
             self.transition_count += 1
         self.state = new_state
         self.history.append((now, new_state))
+        fs = self._fs
+        if fs is not None:
+            fs.on_transition(self._row, now, old_state, new_state, flapped)
         return True
 
     def uptime_fraction(self, start: float, end: float) -> float:

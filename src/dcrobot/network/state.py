@@ -1,0 +1,403 @@
+"""Columnar fabric state: the numpy backbone of every per-link hot path.
+
+The ROADMAP north star asks for a simulator that runs "as fast as the
+hardware allows" on production-scale fabrics.  Python object graphs do
+not: every periodic process (health ticks, dust and oxidation
+accumulation, telemetry polling, availability accounting) used to walk
+``fabric.links.values()`` attribute by attribute, which caps the world
+at toy sizes.  :class:`FabricState` keeps the same facts as contiguous
+numpy columns — one row per wired link — so those processes become
+array kernels (`HealthModel.tick_all`, `DustProcess.step_all`,
+`OxidationAging.step_all`, `TelemetryMonitor.poll_all`, the array path
+in :func:`dcrobot.metrics.availability.link_availability`).
+
+Design rules:
+
+* **Objects stay the API.**  ``Link``/``Transceiver``/``Cable``/
+  ``Port``/``EndFace`` remain what the controller, robots, humans,
+  chaos, journal, and obs layers touch.  While a link is wired into a
+  fabric its components are *bound* to a row here: sparse writes
+  (a robot unseating a unit, the injector damaging a cable) mirror
+  through property setters, and the two dense-kernel-written fields
+  (``Link.loss_rate``, ``Transceiver.oxidation``) read straight from
+  the arrays.  Unbound objects (spares, unit-test fixtures) behave
+  exactly as before on plain attributes.
+* **Dense rows, immortal lids.**  Rows are kept dense with
+  swap-with-last removal so kernels slice ``[:n_links]`` without
+  masks.  Each binding also gets a monotonically increasing *lid*
+  (link insertion ordinal); sorting rows by lid reproduces
+  ``fabric.links`` dict order, which is what keeps batched RNG draws
+  stream-identical to the legacy per-link loops.
+* **Event-sourced flap log.**  ``set_state`` appends flap-qualifying
+  transitions (same rule as ``Link.transition_count``) to a global
+  time-sorted ``(time, lid)`` log; windowed flap counts for the whole
+  fleet are then two ``searchsorted`` calls and a ``bincount``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from dcrobot.network.enums import LinkState
+
+#: Dense integer codes for :class:`LinkState`; ``carries_traffic``
+#: states come first so ``code <= FLAPPING_CODE`` tests carrier-ness.
+STATE_OF = (LinkState.UP, LinkState.FLAPPING, LinkState.DOWN,
+            LinkState.MAINTENANCE)
+CODE_OF: Dict[LinkState, int] = {state: code
+                                 for code, state in enumerate(STATE_OF)}
+UP_CODE, FLAPPING_CODE, DOWN_CODE, MAINTENANCE_CODE = range(4)
+
+_INITIAL_CAPACITY = 64
+_FLAP_LOG_CAPACITY = 1024
+
+#: (attribute, default, dtype, per_side) for every managed column.
+#: ``per_side`` columns have shape (2, capacity): row 0 = the "a" end.
+_SPEC = (
+    ("state_code", 0, np.int8, False),
+    ("loss_rate", 0.0, np.float64, False),
+    ("down_since", np.nan, np.float64, False),
+    ("last_change", 0.0, np.float64, False),
+    ("uptime_accum", 0.0, np.float64, False),
+    ("cable_damaged", False, np.bool_, False),
+    ("cleanable", False, np.bool_, False),
+    ("lid_of_row", 0, np.int64, False),
+    ("ox", 0.0, np.float64, True),
+    ("seated", True, np.bool_, True),
+    ("unit_hw_fault", False, np.bool_, True),
+    ("unit_fw_stuck", False, np.bool_, True),
+    ("port_hw_fault", False, np.bool_, True),
+    ("cable_attached", True, np.bool_, True),
+    ("cable_end_worst", 0.0, np.float64, True),
+    ("cable_end_scratched", False, np.bool_, True),
+    ("recept_worst", 0.0, np.float64, True),
+)
+
+
+class LinkColumn:
+    """A consumer-owned per-link column that tracks fabric membership.
+
+    Processes that need private per-link state (e.g. the health model's
+    Gilbert-Elliott phase) register a column via
+    :meth:`FabricState.add_link_column`; the state keeps ``values``
+    row-aligned through link additions, removals, and capacity growth.
+    """
+
+    __slots__ = ("values", "fill")
+
+    def __init__(self, capacity: int, fill) -> None:
+        self.fill = fill
+        dtype = np.bool_ if isinstance(fill, bool) else np.float64
+        self.values = np.full(capacity, fill, dtype=dtype)
+
+
+class FabricState:
+    """Struct-of-arrays store for every link wired into one fabric."""
+
+    def __init__(self) -> None:
+        self._capacity = _INITIAL_CAPACITY
+        #: Number of live rows; every column is valid on ``[:n_links]``.
+        self.n_links = 0
+        #: Bumped on any structural change (bind/unbind/rebind) so
+        #: consumers can invalidate row-aligned caches.
+        self.generation = 0
+        self.next_lid = 0
+        #: Latest ``set_state`` timestamp ever mirrored — the guard the
+        #: availability fast path uses before trusting the accumulators.
+        self.last_transition_time = 0.0
+        self.links_by_row: List = []
+        self.index_of: Dict[str, int] = {}
+        self._row_of_lid: List[int] = []
+        for name, default, dtype, per_side in _SPEC:
+            shape = (2, self._capacity) if per_side else self._capacity
+            setattr(self, name, np.full(shape, default, dtype=dtype))
+        self._columns: List[LinkColumn] = []
+        self._flap_times = np.zeros(_FLAP_LOG_CAPACITY)
+        self._flap_lids = np.zeros(_FLAP_LOG_CAPACITY, dtype=np.int64)
+        self._flap_len = 0
+
+    def __repr__(self) -> str:
+        return (f"<FabricState links={self.n_links} "
+                f"capacity={self._capacity} gen={self.generation}>")
+
+    # -- capacity ------------------------------------------------------------
+
+    def _grow(self) -> None:
+        new_capacity = self._capacity * 2
+        n = self.n_links
+        for name, default, dtype, per_side in _SPEC:
+            shape = (2, new_capacity) if per_side else new_capacity
+            fresh = np.full(shape, default, dtype=dtype)
+            fresh[..., :n] = getattr(self, name)[..., :n]
+            setattr(self, name, fresh)
+        for column in self._columns:
+            fresh = np.full(new_capacity, column.fill,
+                            dtype=column.values.dtype)
+            fresh[:n] = column.values[:n]
+            column.values = fresh
+        self._capacity = new_capacity
+
+    def _reset_row(self, row: int) -> None:
+        for name, default, _dtype, _per_side in _SPEC:
+            getattr(self, name)[..., row] = default
+        for column in self._columns:
+            column.values[row] = column.fill
+
+    def _copy_row(self, src: int, dst: int) -> None:
+        for name, _default, _dtype, _per_side in _SPEC:
+            array = getattr(self, name)
+            array[..., dst] = array[..., src]
+        for column in self._columns:
+            column.values[dst] = column.values[src]
+
+    def add_link_column(self, fill) -> LinkColumn:
+        """Register a consumer column initialized to ``fill``."""
+        column = LinkColumn(self._capacity, fill)
+        self._columns.append(column)
+        return column
+
+    # -- binding -------------------------------------------------------------
+
+    def add_link(self, link) -> int:
+        """Bind a link (and its components) to a fresh dense row."""
+        if link.id in self.index_of:
+            raise ValueError(f"link {link.id} already bound")
+        if link._fs is not None:
+            raise ValueError(f"link {link.id} bound to another fabric")
+        if self.n_links == self._capacity:
+            self._grow()
+        row = self.n_links
+        self.n_links += 1
+        self.links_by_row.append(link)
+        self.index_of[link.id] = row
+        self._reset_row(row)
+        lid = self.next_lid
+        self.next_lid += 1
+        self.lid_of_row[row] = lid
+        self._row_of_lid.append(row)
+
+        self.state_code[row] = CODE_OF[link._state]
+        self.loss_rate[row] = link._loss_rate
+        self._replay_history(row, lid, link)
+        link._fs = self
+        link._row = row
+        self._bind_unit(row, 0, link.transceiver_a)
+        self._bind_unit(row, 1, link.transceiver_b)
+        self._bind_cable(row, link.cable)
+        self._bind_port(row, 0, link.port_a)
+        self._bind_port(row, 1, link.port_b)
+        self.generation += 1
+        return row
+
+    def _replay_history(self, row: int, lid: int, link) -> None:
+        """Derive the timeline accumulators from any pre-bind history.
+
+        Freshly wired links (the normal case) have empty histories and
+        fall straight through with the assumed-UP-since-zero defaults.
+        """
+        state = LinkState.UP
+        cursor = 0.0
+        uptime = 0.0
+        down_at = np.nan
+        for when, new_state in link.history:
+            if state.carries_traffic:
+                uptime += when - cursor
+            cursor = when
+            flapped = ((state is LinkState.UP)
+                       != (new_state is LinkState.UP)
+                       and LinkState.MAINTENANCE not in (state, new_state))
+            if flapped:
+                self._log_flap(when, lid)
+            down_at = when if new_state is LinkState.DOWN else np.nan
+            state = new_state
+            if when > self.last_transition_time:
+                self.last_transition_time = when
+        self.uptime_accum[row] = uptime
+        self.last_change[row] = cursor
+        self.down_since[row] = down_at
+
+    def _bind_unit(self, row: int, side: int, unit) -> None:
+        if unit._fs is not None:
+            raise ValueError(f"transceiver {unit.id} already bound")
+        self.ox[side, row] = unit._oxidation
+        self.seated[side, row] = unit._seated
+        self.unit_hw_fault[side, row] = unit._hw_fault
+        self.unit_fw_stuck[side, row] = unit._firmware_stuck
+        unit._fs = self
+        unit._row = row
+        unit._side = side
+        receptacle = unit.receptacle
+        if receptacle is not None:
+            receptacle._mirror = (self, "recept", side)
+            receptacle._row = row
+            receptacle._push_mirror()
+
+    def _unbind_unit(self, row: int, side: int, unit) -> None:
+        unit._oxidation = float(self.ox[side, row])
+        unit._fs = None
+        unit._row = -1
+        if unit.receptacle is not None:
+            unit.receptacle._mirror = None
+            unit.receptacle._row = -1
+
+    def _bind_cable(self, row: int, cable) -> None:
+        self.cable_damaged[row] = cable._damaged
+        self.cable_attached[0, row] = cable._attached_a
+        self.cable_attached[1, row] = cable._attached_b
+        self.cleanable[row] = cable.kind.is_separable
+        cable._fs = self
+        cable._row = row
+        for side, end in enumerate((cable.end_a, cable.end_b)):
+            if end is not None:
+                end._mirror = (self, "cable", side)
+                end._row = row
+                end._push_mirror()
+
+    def _unbind_cable(self, cable) -> None:
+        cable._fs = None
+        cable._row = -1
+        for end in (cable.end_a, cable.end_b):
+            if end is not None:
+                end._mirror = None
+                end._row = -1
+
+    def _bind_port(self, row: int, side: int, port) -> None:
+        self.port_hw_fault[side, row] = port._hw_fault
+        port._fs = self
+        port._row = row
+        port._side = side
+
+    def remove_link(self, link) -> None:
+        """Unbind a link, restoring plain-attribute behaviour, and keep
+        the rows dense by swapping the last row into the freed slot."""
+        row = self.index_of.pop(link.id, None)
+        if row is None:
+            raise KeyError(f"link {link.id} not bound")
+        removed_lid = int(self.lid_of_row[row])
+        link._loss_rate = float(self.loss_rate[row])
+        link._fs = None
+        link._row = -1
+        self._unbind_unit(row, 0, link.transceiver_a)
+        self._unbind_unit(row, 1, link.transceiver_b)
+        self._unbind_cable(link.cable)
+        for port in (link.port_a, link.port_b):
+            port._fs = None
+            port._row = -1
+        last = self.n_links - 1
+        if row != last:
+            moved = self.links_by_row[last]
+            self.links_by_row[row] = moved
+            self._copy_row(last, row)
+            self._row_of_lid[int(self.lid_of_row[row])] = row
+            self.index_of[moved.id] = row
+            self._point_row(moved, row)
+        self.links_by_row.pop()
+        self._row_of_lid[removed_lid] = -1
+        self.n_links = last
+        self.generation += 1
+
+    def _point_row(self, link, row: int) -> None:
+        """Re-aim a moved link and all its bound components at ``row``."""
+        link._row = row
+        for unit in (link.transceiver_a, link.transceiver_b):
+            unit._row = row
+            if unit.receptacle is not None:
+                unit.receptacle._row = row
+        link.cable._row = row
+        for end in (link.cable.end_a, link.cable.end_b):
+            if end is not None:
+                end._row = row
+        for port in (link.port_a, link.port_b):
+            port._row = row
+
+    # -- component replacement (repairs) -------------------------------------
+
+    def rebind_transceiver(self, link, side: str, old, new) -> None:
+        """Swap the bound unit on one side (replacement repair)."""
+        row = link._row
+        side_index = 0 if side == "a" else 1
+        self._unbind_unit(row, side_index, old)
+        self.recept_worst[side_index, row] = 0.0
+        self._bind_unit(row, side_index, new)
+        self.generation += 1
+
+    def rebind_cable(self, link, old, new) -> None:
+        """Swap the bound cable (replacement repair)."""
+        row = link._row
+        self._unbind_cable(old)
+        self.cable_end_worst[:, row] = 0.0
+        self.cable_end_scratched[:, row] = False
+        self._bind_cable(row, new)
+        self.generation += 1
+
+    # -- the state timeline ---------------------------------------------------
+
+    def on_transition(self, row: int, now: float, old_state: LinkState,
+                      new_state: LinkState, flapped: bool) -> None:
+        """Mirror one ``Link.set_state`` transition into the columns.
+
+        The uptime accumulator adds the exact ``now - last_change``
+        float terms, in the exact order, that the legacy per-link
+        ``uptime_fraction(0, end)`` walk sums — which is what makes the
+        availability fast path bit-identical.
+        """
+        if old_state.carries_traffic:
+            self.uptime_accum[row] += now - self.last_change[row]
+        self.last_change[row] = now
+        self.down_since[row] = now if new_state is LinkState.DOWN else np.nan
+        if now > self.last_transition_time:
+            self.last_transition_time = now
+        if flapped:
+            self._log_flap(now, int(self.lid_of_row[row]))
+
+    # -- flap-event log -------------------------------------------------------
+
+    def _log_flap(self, when: float, lid: int) -> None:
+        m = self._flap_len
+        if m == len(self._flap_times):
+            self._flap_times = np.concatenate(
+                [self._flap_times, np.zeros(m)])
+            self._flap_lids = np.concatenate(
+                [self._flap_lids, np.zeros(m, dtype=np.int64)])
+        if m and when < self._flap_times[m - 1]:
+            # Out-of-order timestamps only happen when tests drive
+            # set_state with hand-written clocks; insert-sorted keeps
+            # the searchsorted window queries valid regardless.
+            pos = int(np.searchsorted(self._flap_times[:m], when,
+                                      side="right"))
+            self._flap_times[pos + 1:m + 1] = self._flap_times[pos:m].copy()
+            self._flap_lids[pos + 1:m + 1] = self._flap_lids[pos:m].copy()
+            self._flap_times[pos] = when
+            self._flap_lids[pos] = lid
+        else:
+            self._flap_times[m] = when
+            self._flap_lids[m] = lid
+        self._flap_len = m + 1
+
+    def flap_counts(self, start: float, end: float) -> np.ndarray:
+        """Per-row flap-transition counts over the open window
+        ``start < t < end`` — the same strict bounds as
+        :meth:`dcrobot.network.link.Link.transitions_in_window`."""
+        n = self.n_links
+        times = self._flap_times[:self._flap_len]
+        lo = int(np.searchsorted(times, start, side="right"))
+        hi = int(np.searchsorted(times, end, side="left"))
+        if hi <= lo or n == 0:
+            return np.zeros(n, dtype=np.int64)
+        by_lid = np.bincount(self._flap_lids[lo:hi],
+                             minlength=self.next_lid)
+        return by_lid[self.lid_of_row[:n]]
+
+    # -- ordering helpers ------------------------------------------------------
+
+    def rows_in_insertion_order(self, rows: np.ndarray) -> np.ndarray:
+        """Sort a row subset into ``fabric.links`` dict order (by lid).
+
+        Batched RNG consumption must happen in this order to stay
+        stream-identical with the legacy per-link loops.
+        """
+        if len(rows) < 2:
+            return rows
+        return rows[np.argsort(self.lid_of_row[rows], kind="stable")]

@@ -24,6 +24,12 @@ class Port:
 
     def __init__(self, port_id: str, parent_id: str, index: int,
                  form_factor: FormFactor) -> None:
+        #: Columnar binding while part of a wired link (see
+        #: :class:`~dcrobot.network.state.FabricState`); must exist
+        #: before the mirrored ``hw_fault`` property is assigned.
+        self._fs = None
+        self._row = -1
+        self._side = 0
         self.id = port_id
         self.parent_id = parent_id
         self.index = index
@@ -36,6 +42,17 @@ class Port:
 
     def __repr__(self) -> str:
         return f"<Port {self.id} on {self.parent_id}>"
+
+    @property
+    def hw_fault(self) -> bool:
+        return self._hw_fault
+
+    @hw_fault.setter
+    def hw_fault(self, value: bool) -> None:
+        self._hw_fault = value
+        fs = self._fs
+        if fs is not None:
+            fs.port_hw_fault[self._side, self._row] = value
 
     @property
     def occupied(self) -> bool:

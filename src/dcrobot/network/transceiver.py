@@ -101,6 +101,13 @@ class Transceiver:
 
     def __init__(self, unit_id: str, model: TransceiverModel,
                  optical: bool = True, install_time: float = 0.0) -> None:
+        #: Columnar binding while wired into a fabric link (see
+        #: :class:`~dcrobot.network.state.FabricState`); must exist
+        #: before any mirrored property is assigned below.
+        self._fs = None
+        self._row = -1
+        self._side = 0
+        self.receptacle = EndFace(core_count=1) if optical else None
         self.id = unit_id
         self.model = model
         self.optical = optical
@@ -112,11 +119,63 @@ class Transceiver:
         self.oxidation = 0.0
         self.firmware_stuck = False
         self.hw_fault = False
-        self.receptacle = EndFace(core_count=1) if optical else None
 
     def __repr__(self) -> str:
         return (f"<Transceiver {self.id} {self.model.form_factor.label} "
                 f"state={self.state.value}>")
+
+    # -- columnar mirror -------------------------------------------------------
+    # ``oxidation`` is written densely by the aging kernel, so the
+    # array is the readable truth while bound; the sparse flags keep
+    # their plain attribute as truth and write through to the arrays.
+
+    @property
+    def oxidation(self) -> float:
+        fs = self._fs
+        if fs is None:
+            return self._oxidation
+        return float(fs.ox[self._side, self._row])
+
+    @oxidation.setter
+    def oxidation(self, value: float) -> None:
+        fs = self._fs
+        if fs is None:
+            self._oxidation = value
+        else:
+            fs.ox[self._side, self._row] = value
+
+    @property
+    def seated(self) -> bool:
+        return self._seated
+
+    @seated.setter
+    def seated(self, value: bool) -> None:
+        self._seated = value
+        fs = self._fs
+        if fs is not None:
+            fs.seated[self._side, self._row] = value
+
+    @property
+    def firmware_stuck(self) -> bool:
+        return self._firmware_stuck
+
+    @firmware_stuck.setter
+    def firmware_stuck(self, value: bool) -> None:
+        self._firmware_stuck = value
+        fs = self._fs
+        if fs is not None:
+            fs.unit_fw_stuck[self._side, self._row] = value
+
+    @property
+    def hw_fault(self) -> bool:
+        return self._hw_fault
+
+    @hw_fault.setter
+    def hw_fault(self, value: bool) -> None:
+        self._hw_fault = value
+        fs = self._fs
+        if fs is not None:
+            fs.unit_hw_fault[self._side, self._row] = value
 
     @property
     def form_factor(self) -> FormFactor:

@@ -1,0 +1,86 @@
+"""Coalesced periodic ticking for the fleet-wide batch kernels.
+
+At hall scale the periodic processes (health, telemetry, dust, aging)
+dominate the event heap: four generator resumes plus four heap pushes
+per shared boundary, every boundary, forever.  :class:`BatchTicker`
+replaces them with *one* process that wakes at the earliest due
+boundary and runs every due callback — one heap event per distinct
+time, however many cadences share it.
+
+Equivalence with the one-process-per-cadence layout is deliberate and
+exact: due callbacks fire ordered by ``(last fire time, registration
+index)``, which reproduces the engine's FIFO tie-break for the separate
+legacy processes (a process that last ran earlier enqueued its next
+timeout earlier, so it resumes earlier at the shared boundary), and the
+next wake-up is scheduled only after the due callbacks have run, just
+as each legacy process schedules its next timeout after its tick.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional
+
+from dcrobot.sim.engine import Simulation
+
+
+@dataclasses.dataclass
+class _Entry:
+    """One registered periodic callback."""
+
+    callback: Callable[[float], None]
+    period: float
+    next_at: float
+    #: Time this entry last fired (registration time before the first
+    #: fire) — the primary key of the due-order sort.
+    last_fired: float
+    index: int
+
+
+class BatchTicker:
+    """One simulation process multiplexing every periodic batch kernel."""
+
+    def __init__(self, sim: Simulation) -> None:
+        self.sim = sim
+        self._entries: List[_Entry] = []
+
+    def __repr__(self) -> str:
+        return f"<BatchTicker entries={len(self._entries)}>"
+
+    def add(self, callback: Callable[[float], None], period: float,
+            first_at: Optional[float] = None) -> None:
+        """Register ``callback(now)`` every ``period`` seconds.
+
+        ``first_at`` defaults to one full period from now; pass
+        ``sim.now`` for a callback that must run immediately on start
+        (the health model's tick-then-sleep loop).
+        """
+        if period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+        now = self.sim.now
+        if first_at is None:
+            first_at = now + period
+        if first_at < now:
+            raise ValueError(f"first_at={first_at} lies in the past")
+        self._entries.append(_Entry(callback, period, first_at, now,
+                                    len(self._entries)))
+
+    def run(self, sim: Simulation):
+        """Generator process: wake at each due boundary, fire, repeat."""
+        if sim is not self.sim:
+            raise ValueError("ticker bound to a different simulation")
+        while self._entries:
+            next_time = min(entry.next_at for entry in self._entries)
+            if next_time > sim.now:
+                yield sim.timeout(next_time - sim.now)
+            now = sim.now
+            # <= rather than == so a non-integer period whose boundary
+            # lands an ulp early can never strand its entry in the past.
+            due = [entry for entry in self._entries
+                   if entry.next_at <= now]
+            due.sort(key=lambda entry: (entry.last_fired, entry.index))
+            for entry in due:
+                entry.next_at = now + entry.period
+                entry.last_fired = now
+            for entry in due:
+                entry.callback(now)

@@ -20,7 +20,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+import numpy as np
+
 from dcrobot.network.inventory import Fabric
+from dcrobot.network.state import DOWN_CODE, FLAPPING_CODE, MAINTENANCE_CODE
 from dcrobot.obs import NULL_OBS
 from dcrobot.sim.engine import Simulation
 from dcrobot.telemetry.detectors import DetectorParams, LinkDetector
@@ -123,8 +126,81 @@ class TelemetryMonitor:
                     subscriber(delivered)
         return new_events
 
+    def poll_all(self, now: float) -> List[TelemetryEvent]:
+        """One full-fleet pass using the columnar state as a prefilter.
+
+        Bit-identical to :meth:`scan`: the arrays select a *superset* of
+        the links the legacy pass would touch — rows down past the grace
+        period, rows with enough windowed flap transitions, rows with
+        elevated loss, ids with pending ``_lossy_since`` bookkeeping,
+        and muted ids whose TTL expires this poll.  Every other link is
+        provably a no-op in :meth:`scan` (``check`` returns ``None``
+        without mutating detector state).  Selected links then run the
+        exact per-link scan body, in ``fabric.links`` order, so events,
+        mutes, observability, and deliveries are unchanged.
+        """
+        state = getattr(self.fabric, "state", None)
+        if state is None:
+            return self.scan(now)
+        n = state.n_links
+        params = self.detector.params
+        candidate = np.zeros(n, dtype=bool)
+        if n:
+            code = state.state_code[:n]
+            down_long = ((code == DOWN_CODE)
+                         & (now - state.down_since[:n]
+                            >= params.down_grace_seconds))
+            flapping = (state.flap_counts(now - params.flap_window_seconds,
+                                          now)
+                        >= params.flap_transitions)
+            lossy = ((code <= FLAPPING_CODE)
+                     & (state.loss_rate[:n] > params.loss_threshold))
+            candidate = ((code != MAINTENANCE_CODE)
+                         & (down_long | flapping | lossy))
+        for link_id in self.detector._lossy_since:
+            row = state.index_of.get(link_id)
+            if row is not None:
+                candidate[row] = True
+        if self.mute_ttl_seconds is not None:
+            for link_id, muted_at in self._muted.items():
+                if now - muted_at >= self.mute_ttl_seconds:
+                    row = state.index_of.get(link_id)
+                    if row is not None:
+                        candidate[row] = True
+        rows = state.rows_in_insertion_order(np.nonzero(candidate)[0])
+
+        new_events = []
+        for row in rows:
+            link = state.links_by_row[row]
+            if self.is_muted(link.id, now):
+                continue
+            event = self.detector.check(link, now)
+            if event is None:
+                continue
+            self.mute(link.id, now)  # one report per incident until re-armed
+            self.events.append(event)
+            if self.obs.enabled:
+                self.obs.tracer.record("detect", link_id=link.id,
+                                       symptom=event.symptom.value)
+                self.obs.count("dcrobot_telemetry_events_total",
+                               symptom=event.symptom.value)
+                self.obs.gauge("dcrobot_muted_links",
+                               len(self._muted))
+            for delivered in self._deliveries(event):
+                new_events.append(delivered)
+                for subscriber in self.subscribers:
+                    subscriber(delivered)
+        return new_events
+
     def run(self, sim: Simulation):
         """Generator process: scan forever at the poll interval."""
         while True:
             yield sim.timeout(self.poll_seconds)
             self.scan(sim.now)
+
+    def run_vectorized(self, sim: Simulation):
+        """Generator process around :meth:`poll_all` (same event
+        structure as :meth:`run`)."""
+        while True:
+            yield sim.timeout(self.poll_seconds)
+            self.poll_all(sim.now)

@@ -1,0 +1,73 @@
+"""Vectorized-vs-legacy parity: the refactor must not change physics.
+
+``tests/golden/parity/*.json`` holds :class:`WorldSummary` snapshots of
+the pinned worlds in :mod:`tests.experiments.parity_worlds`, captured
+on the pre-``FabricState`` per-link loop code (see
+``tools/capture_parity_goldens.py``).  Two guarantees are enforced:
+
+* **golden parity** — the current default (vectorized) path reproduces
+  every pre-refactor summary bit-for-bit on the fixed seeds;
+* **path parity** — the vectorized sweeps and the retained per-link
+  legacy loops agree with each other on a live double-run, so the
+  legacy path stays a trustworthy oracle for future refactors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from dcrobot.experiments.runner import run_world, summarize_world
+
+from tests.experiments.parity_worlds import (
+    parity_configs,
+    summary_to_plain,
+)
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "golden", "parity")
+
+CONFIGS = parity_configs()
+
+
+def _golden(name: str) -> dict:
+    path = os.path.join(GOLDEN_DIR, f"{name}.json")
+    assert os.path.exists(path), (
+        f"missing golden {name}.json; these snapshots pin pre-refactor "
+        f"behaviour and must come from tools/capture_parity_goldens.py "
+        f"run on the per-link loop code")
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _diff(actual: dict, expected: dict) -> str:
+    lines = []
+    for key in sorted(set(actual) | set(expected)):
+        left, right = actual.get(key), expected.get(key)
+        if left != right:
+            lines.append(f"  {key}: got {left!r}, golden has {right!r}")
+    return "\n".join(lines) or "  (no field-level diff?)"
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_summary_matches_pre_refactor_golden(name):
+    summary = summarize_world(run_world(CONFIGS[name]))
+    actual = summary_to_plain(summary)
+    expected = _golden(name)
+    assert actual == expected, (
+        f"world {name!r} drifted from its pre-refactor summary:\n"
+        + _diff(actual, expected))
+
+
+@pytest.mark.parametrize("name", ["e1_l0", "gray_dust", "e13_chaos"])
+def test_vectorized_and_legacy_paths_agree(name):
+    """Live double-run: batch kernels vs retained per-link loops."""
+    config = CONFIGS[name]
+    vectorized = summarize_world(run_world(
+        dataclasses.replace(config, vectorized=True)))
+    legacy = summarize_world(run_world(
+        dataclasses.replace(config, vectorized=False)))
+    assert summary_to_plain(vectorized) == summary_to_plain(legacy)

@@ -54,6 +54,7 @@ from dcrobot.core.escalation import (
     EscalationConfig,
     EscalationLadder,
 )
+from dcrobot.core.impact import CongestionGate, ImpactConfig
 from dcrobot.core.policy import (
     NullPolicy,
     PlanRequest,
@@ -106,6 +107,8 @@ __all__ = [
     "PlanRequest",
     "ImpactAwareScheduler",
     "SchedulerConfig",
+    "CongestionGate",
+    "ImpactConfig",
     "AutomationLevel",
     "LevelSpec",
     "LEVEL_SPECS",

@@ -131,7 +131,8 @@ class MaintenanceController:
                  config: Optional[ControllerConfig] = None,
                  rng: Optional[np.random.Generator] = None,
                  journal: Optional[WriteAheadJournal] = None,
-                 node_id: str = "primary", obs=NULL_OBS) -> None:
+                 node_id: str = "primary", obs=NULL_OBS,
+                 impact_gate=None) -> None:
         self.sim = sim
         self.fabric = fabric
         self.health = health
@@ -148,6 +149,9 @@ class MaintenanceController:
         self.journal = journal
         self.node_id = node_id
         self.obs = obs if obs is not None else NULL_OBS
+        #: Congestion gate (:class:`~dcrobot.core.impact.CongestionGate`);
+        #: ``None`` keeps the congestion-blind scheduling behaviour.
+        self.impact_gate = impact_gate
         if humans is None and fleet is None:
             raise ValueError("need at least one executor")
 
@@ -537,6 +541,12 @@ class MaintenanceController:
                 executor=self._executor_id(executor),
                 attempt=incident.attempt_count)
 
+        if self.impact_gate is not None:
+            # Impact-aware scheduling: hold the repair (bounded) while
+            # draining this link would run its ECMP siblings hot.
+            yield from self.impact_gate.wait_while_hot(
+                sim, link.id, incident.priority)
+
         if executor is self.fleet and self.spec.approval_latency_seconds:
             yield sim.timeout(self.spec.approval_latency_seconds)
 
@@ -884,6 +894,9 @@ class MaintenanceController:
             if self.config.defer_proactive and request.proactive:
                 yield sim.timeout(
                     self.scheduler.seconds_until_quiet_window(sim.now))
+            if self.impact_gate is not None:
+                yield from self.impact_gate.wait_while_hot(
+                    sim, request.link_id, request.priority)
             if request.link_id in self.open_incidents:
                 return  # it failed for real while we waited
             if (self.resilience is not None

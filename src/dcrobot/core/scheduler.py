@@ -41,8 +41,13 @@ class ImpactAwareScheduler:
     """Drains traffic around repairs and times proactive work."""
 
     def __init__(self, router: Optional[EcmpRouter] = None,
-                 config: Optional[SchedulerConfig] = None) -> None:
+                 config: Optional[SchedulerConfig] = None,
+                 traffic=None) -> None:
         self.router = router
+        #: Columnar traffic engine (duck-typed: ``drain``/``undrain``);
+        #: drains apply to it alongside the object router so modelled
+        #: traffic actually migrates before the physical disturbance.
+        self.traffic = traffic
         self.config = config or SchedulerConfig()
         #: link ids drained per order id, for symmetric undrain.
         self._drained_for_order = {}
@@ -68,22 +73,26 @@ class ImpactAwareScheduler:
 
     def before_repair(self, order: WorkOrder) -> List[str]:
         """Drain the target (and announced touches); returns drained ids."""
-        if self.router is None:
+        if self.router is None and self.traffic is None:
             return []
         drained = [order.link_id]
         if self.config.drain_announced:
             drained.extend(order.announced_touches)
         for link_id in drained:
-            self.router.drain(link_id)
+            if self.router is not None:
+                self.router.drain(link_id)
+            if self.traffic is not None:
+                self.traffic.drain(link_id)
         self._drained_for_order[order.order_id] = drained
         return drained
 
     def after_repair(self, order: WorkOrder) -> None:
         """Undrain everything drained for this order."""
-        if self.router is None:
-            return
         for link_id in self._drained_for_order.pop(order.order_id, []):
-            self.router.undrain(link_id)
+            if self.router is not None:
+                self.router.undrain(link_id)
+            if self.traffic is not None:
+                self.traffic.undrain(link_id)
 
     def outstanding_drains(self) -> Dict[int, List[str]]:
         """Order id -> link ids still drained on its behalf.

@@ -1,7 +1,7 @@
 """Experiment harness (S12): every paper claim as a runnable experiment.
 
 Each experiment module exposes ``run(quick=True, seed=0) ->
-ExperimentResult``; the registry maps experiment ids (``e1`` .. ``e15``)
+ExperimentResult``; the registry maps experiment ids (``e1`` .. ``e16``)
 to those functions.  Run one from the command line::
 
     python -m dcrobot.experiments e1 [--full] [--seed N]
@@ -26,6 +26,7 @@ from dcrobot.experiments import (
     e13_chaos_resilience,
     e14_crash_recovery,
     e15_scale,
+    e16_traffic_maintenance,
 )
 from dcrobot.experiments.parallel import (
     Execution,
@@ -59,6 +60,7 @@ _MODULES = (
     e13_chaos_resilience,
     e14_crash_recovery,
     e15_scale,
+    e16_traffic_maintenance,
 )
 
 #: Experiment id -> run function.
@@ -77,7 +79,7 @@ def run_experiment(experiment_id: str, quick: bool = True,
                    seed: int = 0,
                    execution: Optional[Execution] = None,
                    observe: bool = False) -> ExperimentResult:
-    """Run one experiment by id (``e1`` .. ``e15``).
+    """Run one experiment by id (``e1`` .. ``e16``).
 
     ``execution`` selects worker count, Monte-Carlo replicates, and
     the trial cache (see :class:`dcrobot.experiments.parallel.Execution`);

@@ -1,0 +1,283 @@
+"""E16 — Congestion-aware maintenance: p99 FCT under drains.
+
+Paper anchor: §2 — "the maintenance system can interface with the
+monitoring and traffic engineering systems" so that work happens "with
+little to no additional cost" to the workload.  This experiment puts a
+number on the *cost of ignoring that interface*: a proactive reseat
+campaign runs over one hot pod's uplinks while a diurnal hotspot
+traffic matrix loads the fabric, and the flow-completion-time p99
+during maintenance windows is compared between
+
+* **naive** scheduling — repairs dispatch whenever requested, draining
+  hot uplinks at peak and shoving their bytes onto already-loaded ECMP
+  siblings; and
+* **impact-aware** scheduling — the
+  :class:`~dcrobot.core.impact.CongestionGate` projects the drained
+  link's bytes onto its sibling group first and defers (bounded) while
+  the group would run hot, sliding the same repairs into the traffic
+  trough.
+
+Both arms perform the same physical work on the same seed; only the
+timing differs.  A pattern sweep (uniform / hotspot / incast) over the
+columnar engine shows the matrix shapes themselves, maintenance aside.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from dcrobot.core.actions import Priority, RepairAction
+from dcrobot.core.automation import AutomationLevel
+from dcrobot.core.controller import ControllerConfig
+from dcrobot.core.impact import ImpactConfig
+from dcrobot.core.policy import PlanRequest
+from dcrobot.experiments.parallel import Execution
+from dcrobot.experiments.result import ExperimentResult
+from dcrobot.experiments.runner import WorldConfig, run_world
+from dcrobot.metrics.report import Table
+from dcrobot.network.enums import FormFactor
+from dcrobot.network.switchgear import SwitchRole
+from dcrobot.topology.fattree import build_fattree
+from dcrobot.traffic.flows import sample_sizes
+from dcrobot.traffic.patterns import (
+    HotspotPattern,
+    IncastPattern,
+    UniformPattern,
+)
+from dcrobot.traffic.state import TrafficState
+
+EXPERIMENT_ID = "e16"
+TITLE = "Congestion-aware maintenance: p99 FCT during drains"
+PAPER_ANCHOR = ("§2: impact-aware scheduling against the traffic "
+                "engineering system")
+
+DAY = 86400.0
+#: Fabric: k-ary fat-tree on 25G links so realistic flow counts can
+#: actually congest an uplink group.
+FABRIC_K = 8
+FORM_FACTOR = FormFactor.SFP28
+#: Diurnal load: heavy hotspot during the day, light uniform at night.
+DAY_START_HOUR, DAY_END_HOUR = 8.0, 20.0
+DAY_FLOWS, NIGHT_FLOWS = 6400, 1200
+HOT_TORS = 2
+HOT_PROBABILITY = 0.75
+#: Traffic cadence: one 1-second peak-rate sample every 15 minutes.
+WINDOW_SECONDS = 900.0
+SAMPLE_SECONDS = 1.0
+#: Full-width ECMP table: k²/4 = 16 inter-pod paths at k=8, so every
+#: uplink carries load and a drain concentrates real traffic instead
+#: of shifting it onto table-capped idle siblings.
+MAX_EQUAL_PATHS = 16
+
+
+class ReseatCampaign:
+    """Round-robin proactive reseats over the hot pod's uplinks.
+
+    The first ``HOT_TORS`` ToR switches (the hotspot pattern's hot
+    prefix) have each of their uplinks reseated in turn, one request
+    per policy tick, repeating for the whole horizon — a rolling
+    maintenance campaign over exactly the links the traffic cares
+    about.
+    """
+
+    def __init__(self, fabric) -> None:
+        self.fabric = fabric
+        tors = [switch.id for switch in fabric.switches.values()
+                if switch.role is SwitchRole.TOR]
+        self.link_ids: List[str] = [
+            link.id for tor in tors[:HOT_TORS]
+            for link in fabric.links_of(tor)]
+        self._cursor = 0
+
+    def on_symptom(self, event) -> Optional[PlanRequest]:
+        return None
+
+    def periodic(self, now: float) -> List[PlanRequest]:
+        link_id = self.link_ids[self._cursor % len(self.link_ids)]
+        self._cursor += 1
+        return [PlanRequest(link_id=link_id, priority=Priority.NORMAL,
+                            reason="campaign:reseat",
+                            action=RepairAction.RESEAT,
+                            proactive=True)]
+
+    def record_repair(self, link, action, effective, now) -> None:
+        """The campaign is unconditional; nothing to learn."""
+
+
+def _diurnal_schedule(n_endpoints: int):
+    day_pattern = HotspotPattern(hot_endpoints=HOT_TORS,
+                                 hot_probability=HOT_PROBABILITY)
+    night_pattern = UniformPattern()
+
+    def schedule(now: float):
+        hour = (now % DAY) / 3600.0
+        if DAY_START_HOUR <= hour < DAY_END_HOUR:
+            return DAY_FLOWS, day_pattern
+        return NIGHT_FLOWS, night_pattern
+
+    return schedule
+
+
+def _arm_config(seed: int, horizon_days: float,
+                impact: Optional[ImpactConfig]) -> WorldConfig:
+    return WorldConfig(
+        topology_kwargs={"k": FABRIC_K, "form_factor": FORM_FACTOR},
+        horizon_days=horizon_days, seed=seed,
+        # Isolate the maintenance-vs-traffic interaction: no organic
+        # failures, no dust/aging — every drain is the campaign's.
+        failure_scale=0.0, dust_rate_per_day=0.0,
+        aging_rate_per_day=0.0,
+        level=AutomationLevel.L3_HIGH_AUTOMATION,
+        policy=ReseatCampaign,
+        controller_config=ControllerConfig(defer_proactive=False),
+        traffic=True,
+        traffic_window_seconds=WINDOW_SECONDS,
+        traffic_sample_seconds=SAMPLE_SECONDS,
+        traffic_schedule=_diurnal_schedule(
+            FABRIC_K * FABRIC_K // 2),
+        traffic_max_equal_paths=MAX_EQUAL_PATHS,
+        impact=impact)
+
+
+@dataclasses.dataclass
+class ArmStats:
+    """One scheduling arm, measured over its traffic windows."""
+
+    label: str
+    maintenance_windows: int
+    p99_maintenance: float
+    mean_p99_maintenance: float
+    p99_overall: float
+    congestion_lost_bytes: float
+    deferrals: int
+    overrides: int
+    reseats: int
+
+
+def _measure(label: str, result) -> ArmStats:
+    driver = result.traffic_driver
+    maintenance = driver.maintenance_windows()
+    p99s = [w.p99_fct for w in maintenance if not np.isnan(w.p99_fct)]
+    gate = result.impact_gate
+    return ArmStats(
+        label=label,
+        maintenance_windows=len(maintenance),
+        p99_maintenance=driver.p99_over(maintenance),
+        mean_p99_maintenance=(float(np.mean(p99s)) if p99s
+                              else float("nan")),
+        p99_overall=driver.p99_over(driver.windows),
+        congestion_lost_bytes=sum(w.congestion_lost_bytes
+                                  for w in driver.windows),
+        deferrals=gate.deferrals if gate else 0,
+        overrides=gate.overrides if gate else 0,
+        reseats=len(result.live_controller.proactive_outcomes))
+
+
+def _pattern_sweep(seed: int) -> List[tuple]:
+    """p99 FCT per synthetic matrix on an idle fabric (no repairs)."""
+    topology = build_fattree(k=FABRIC_K,
+                             rng=np.random.default_rng(seed + 1),
+                             form_factor=FORM_FACTOR)
+    endpoints = topology.switches(SwitchRole.TOR)
+    patterns = [
+        ("uniform", UniformPattern()),
+        ("hotspot", HotspotPattern(hot_endpoints=HOT_TORS,
+                                   hot_probability=HOT_PROBABILITY)),
+        ("incast", IncastPattern(targets=1, incast_probability=0.5)),
+    ]
+    rows = []
+    for name, pattern in patterns:
+        traffic = TrafficState(topology.fabric, endpoints,
+                               rng=np.random.default_rng(seed + 13),
+                               max_equal_paths=MAX_EQUAL_PATHS)
+        rng = np.random.default_rng(seed + 14)
+        fct = []
+        lost = 0.0
+        next_id = 0
+        for _ in range(5):
+            src, dst = pattern.pairs(rng, DAY_FLOWS, len(endpoints))
+            sizes = sample_sizes(rng, DAY_FLOWS)
+            ids = np.arange(next_id, next_id + DAY_FLOWS,
+                            dtype=np.int64)
+            next_id += DAY_FLOWS
+            window = traffic.offer_window(src, dst, sizes, ids,
+                                          SAMPLE_SECONDS)
+            fct.extend(window.fct[window.routable].tolist())
+            lost += float((window.offered * window.congestion).sum())
+        rows.append((name, float(np.percentile(fct, 99)), lost))
+    return rows
+
+
+def run(quick: bool = True, seed: int = 0,
+        execution: Optional[Execution] = None) -> ExperimentResult:
+    # Two arms on one seed, compared window-for-window: serial.
+    del execution
+    horizon_days = 2.0 if quick else 6.0
+    impact = ImpactConfig(hot_utilization=0.7,
+                          max_defer_seconds=12 * 3600.0,
+                          recheck_seconds=900.0)
+
+    naive = _measure("naive", run_world(
+        _arm_config(seed, horizon_days, impact=None)))
+    aware = _measure("impact-aware", run_world(
+        _arm_config(seed, horizon_days, impact=impact)))
+
+    result = ExperimentResult(EXPERIMENT_ID, TITLE, PAPER_ANCHOR)
+    table = Table(
+        ["scheduling", "maint windows", "p99 FCT (maint)",
+         "mean p99 (maint)", "p99 FCT (all)", "cong. lost MB",
+         "deferrals", "reseats"],
+        title=f"Reseat campaign under diurnal hotspot traffic, "
+              f"fat-tree k={FABRIC_K}, {horizon_days:g} days")
+    for arm in (naive, aware):
+        table.add_row(
+            arm.label, str(arm.maintenance_windows),
+            f"{arm.p99_maintenance * 1e3:.1f} ms",
+            f"{arm.mean_p99_maintenance * 1e3:.1f} ms",
+            f"{arm.p99_overall * 1e3:.1f} ms",
+            f"{arm.congestion_lost_bytes / 1e6:.0f}",
+            str(arm.deferrals), str(arm.reseats))
+    result.add_table(table)
+
+    sweep = _pattern_sweep(seed)
+    pattern_table = Table(
+        ["matrix", "p99 FCT", "congestion lost MB"],
+        title=f"Synthetic matrices, {DAY_FLOWS} flows/window, "
+              f"no maintenance")
+    for name, p99, lost in sweep:
+        pattern_table.add_row(name, f"{p99 * 1e3:.2f} ms",
+                              f"{lost / 1e6:.0f}")
+    result.add_table(pattern_table)
+
+    # Series x-axes are numeric: 0=naive, 1=impact-aware; patterns in
+    # sweep order (0=uniform, 1=hotspot, 2=incast).
+    result.add_series("maintenance_p99_fct_seconds",
+                      [(0, naive.mean_p99_maintenance),
+                       (1, aware.mean_p99_maintenance)])
+    result.add_series("pattern_p99_fct_seconds",
+                      [(index, p99)
+                       for index, (_, p99, _) in enumerate(sweep)])
+    improvement = (naive.mean_p99_maintenance
+                   / aware.mean_p99_maintenance
+                   if aware.mean_p99_maintenance else float("nan"))
+    result.note(
+        f"impact-aware scheduling cut mean maintenance-window p99 FCT "
+        f"{improvement:.1f}x (from "
+        f"{naive.mean_p99_maintenance * 1e3:.1f} ms to "
+        f"{aware.mean_p99_maintenance * 1e3:.1f} ms) by deferring "
+        f"{aware.deferrals} times into the traffic trough; both arms "
+        f"completed comparable physical work "
+        f"({naive.reseats} vs {aware.reseats} reseats)")
+    result.note(
+        "the gate asks the columnar engine one question per repair — "
+        "projected ECMP-sibling-group utilization if this link's "
+        "last-window bytes moved over — which the struct-of-arrays "
+        "accounting answers from live per-link columns")
+    return result
+
+
+if __name__ == "__main__":
+    print(run(quick=True).render())

@@ -28,6 +28,7 @@ from dcrobot.core.policy import (
     ProactivePolicy,
     ReactivePolicy,
 )
+from dcrobot.core.impact import CongestionGate, ImpactConfig
 from dcrobot.core.repairs import (
     ASSISTED_TECHNICIAN_SKILL,
     RepairPhysics,
@@ -62,8 +63,10 @@ from dcrobot.sim.engine import Simulation
 from dcrobot.sim.rng import RandomStreams
 from dcrobot.telemetry.detectors import DetectorParams
 from dcrobot.telemetry.monitor import TelemetryMonitor
-from dcrobot.topology.base import Topology
+from dcrobot.topology.base import SwitchRole, Topology
 from dcrobot.topology.fattree import build_fattree
+from dcrobot.traffic.driver import TrafficDriver
+from dcrobot.traffic.state import TrafficState
 
 DAY = 86400.0
 
@@ -136,6 +139,26 @@ class WorldConfig:
     #: BatchTicker process (one heap event per boundary) instead of
     #: four independent generator processes.
     coalesce_ticks: bool = True
+    #: Attach the columnar traffic engine (S17) and its window driver:
+    #: synthetic traffic is offered over the ToR endpoints, repairs
+    #: drain modelled traffic, and per-link utilization accumulates in
+    #: fabric-state columns.  Off by default — zero cost, and every
+    #: pre-traffic world is byte-identical.
+    traffic: bool = False
+    traffic_window_seconds: float = 1800.0
+    traffic_flows_per_window: int = 500
+    #: Accounting period per offered window (None = the cadence).
+    traffic_sample_seconds: Optional[float] = None
+    #: Traffic-matrix shape (see :mod:`dcrobot.traffic.patterns`);
+    #: ``None`` = uniform.
+    traffic_pattern: Optional[object] = None
+    #: Time-varying ``(flow_count, pattern)`` schedule override.
+    traffic_schedule: Optional[Callable] = None
+    #: ECMP path-table width (equal-cost paths kept per pair).
+    traffic_max_equal_paths: int = 8
+    #: Congestion-gate maintenance on projected ECMP-group utilization
+    #: (requires ``traffic``); ``None`` = congestion-blind scheduling.
+    impact: Optional[ImpactConfig] = None
 
     @property
     def horizon_seconds(self) -> float:
@@ -166,6 +189,11 @@ class RunResult:
     coordinator: Optional[LeaseCoordinator] = None
     #: The observability bundle (``NULL_OBS`` unless config.observe).
     obs: object = NULL_OBS
+    #: Columnar traffic engine + driver (None unless config.traffic).
+    traffic: Optional[TrafficState] = None
+    traffic_driver: Optional[TrafficDriver] = None
+    #: Congestion gate (None unless config.impact with traffic).
+    impact_gate: Optional[CongestionGate] = None
 
     @property
     def fabric(self):
@@ -339,8 +367,28 @@ def build_world(config: WorldConfig) -> RunResult:
             if executor is not None:
                 executor.fence = FencingGuard(obs=obs)
 
+    traffic = traffic_driver = impact_gate = None
+    if config.traffic:
+        endpoints = (topology.switches(SwitchRole.TOR)
+                     or topology.switches())
+        traffic = TrafficState(
+            fabric, endpoints,
+            rng=np.random.default_rng(config.seed + 11),
+            max_equal_paths=config.traffic_max_equal_paths, obs=obs)
+        traffic_driver = TrafficDriver(
+            traffic, rng=np.random.default_rng(config.seed + 12),
+            window_seconds=config.traffic_window_seconds,
+            flows_per_window=config.traffic_flows_per_window,
+            pattern=config.traffic_pattern,
+            schedule=config.traffic_schedule,
+            sample_seconds=config.traffic_sample_seconds)
+        if config.impact is not None:
+            impact_gate = CongestionGate(traffic, config.impact,
+                                         obs=obs)
+
     ladder = EscalationLadder(config.escalation)
-    scheduler = ImpactAwareScheduler(config=config.scheduler_config)
+    scheduler = ImpactAwareScheduler(config=config.scheduler_config,
+                                     traffic=traffic)
     policy = _make_policy(config, topology)
     controller_config = config.controller_config or ControllerConfig()
 
@@ -354,7 +402,8 @@ def build_world(config: WorldConfig) -> RunResult:
             fleet=controller_fleet,
             config=controller_config,
             rng=np.random.default_rng(config.seed + 10),
-            journal=journal, node_id=node_id, obs=obs)
+            journal=journal, node_id=node_id, obs=obs,
+            impact_gate=impact_gate)
 
     controller = controller_factory("primary")
 
@@ -396,6 +445,8 @@ def build_world(config: WorldConfig) -> RunResult:
         sim.process(monitor.run(sim))
         sim.process(dust.run(sim))
         sim.process(aging.run(sim))
+    if traffic_driver is not None:
+        sim.process(traffic_driver.run(sim))
     if config.fault_trace is not None:
         sim.process(config.fault_trace.replay(sim, injector))
     else:
@@ -418,7 +469,9 @@ def build_world(config: WorldConfig) -> RunResult:
                      humans=humans, fleet=fleet,
                      chaos_engine=chaos_engine, safety=safety,
                      supervisor=supervisor, journal=journal,
-                     coordinator=coordinator, obs=obs)
+                     coordinator=coordinator, obs=obs,
+                     traffic=traffic, traffic_driver=traffic_driver,
+                     impact_gate=impact_gate)
 
 
 def run_world(config: WorldConfig) -> RunResult:

@@ -103,6 +103,13 @@ class FabricState:
         #: Bumped on any structural change (bind/unbind/rebind) so
         #: consumers can invalidate row-aligned caches.
         self.generation = 0
+        #: Bumped whenever the *routable* topology may have changed:
+        #: every structural change plus any state transition that
+        #: crosses the carries-traffic boundary.  Routing layers
+        #: (:class:`dcrobot.traffic.state.TrafficState`) key their path
+        #: caches on this instead of requiring manual ``invalidate()``
+        #: calls after each transition.
+        self.route_generation = 0
         self.next_lid = 0
         #: Latest ``set_state`` timestamp ever mirrored — the guard the
         #: availability fast path uses before trusting the accumulators.
@@ -189,6 +196,7 @@ class FabricState:
         self._bind_port(row, 0, link.port_a)
         self._bind_port(row, 1, link.port_b)
         self.generation += 1
+        self.route_generation += 1
         return row
 
     def _replay_history(self, row: int, lid: int, link) -> None:
@@ -297,6 +305,7 @@ class FabricState:
         self._row_of_lid[removed_lid] = -1
         self.n_links = last
         self.generation += 1
+        self.route_generation += 1
 
     def _point_row(self, link, row: int) -> None:
         """Re-aim a moved link and all its bound components at ``row``."""
@@ -322,6 +331,7 @@ class FabricState:
         self.recept_worst[side_index, row] = 0.0
         self._bind_unit(row, side_index, new)
         self.generation += 1
+        self.route_generation += 1
 
     def rebind_cable(self, link, old, new) -> None:
         """Swap the bound cable (replacement repair)."""
@@ -331,6 +341,7 @@ class FabricState:
         self.cable_end_scratched[:, row] = False
         self._bind_cable(row, new)
         self.generation += 1
+        self.route_generation += 1
 
     # -- the state timeline ---------------------------------------------------
 
@@ -343,6 +354,8 @@ class FabricState:
         ``uptime_fraction(0, end)`` walk sums — which is what makes the
         availability fast path bit-identical.
         """
+        if old_state.carries_traffic != new_state.carries_traffic:
+            self.route_generation += 1
         if old_state.carries_traffic:
             self.uptime_accum[row] += now - self.last_change[row]
         self.last_change[row] = now

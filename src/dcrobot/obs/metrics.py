@@ -28,12 +28,18 @@ MTTR_BUCKETS = (600.0, 1800.0, 3600.0, 7200.0, 14400.0, 28800.0,
 #: Small-count buckets (attempts, queue depths).
 COUNT_BUCKETS = (1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0)
 
+#: Flow-completion-time buckets (seconds): sub-ms mice through
+#: retransmission-dominated seconds under congestion.
+FCT_BUCKETS = (0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0,
+               5.0, 30.0, 120.0)
+
 #: Well-known histogram names → bucket bounds, so call sites can say
 #: ``registry.histogram("dcrobot_incident_mttr_seconds")`` without
 #: repeating the bounds everywhere.
 BUCKETS_BY_NAME = {
     "dcrobot_incident_mttr_seconds": MTTR_BUCKETS,
     "dcrobot_incident_attempts": COUNT_BUCKETS,
+    "dcrobot_traffic_window_p99_fct_seconds": FCT_BUCKETS,
 }
 
 #: Fallback bounds when a histogram name is not pre-registered.

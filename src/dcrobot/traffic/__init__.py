@@ -1,23 +1,54 @@
-"""Traffic substrate (S5): flows, ECMP routing, and FCT/latency model."""
+"""Traffic substrate (S5): flows, ECMP routing, and FCT/latency model.
 
-from dcrobot.traffic.flows import Flow, FlowGenerator
+The columnar engine (S17) lives in :mod:`dcrobot.traffic.state`; the
+object-path modules stay the API for single-flow work and the parity
+oracle (:mod:`dcrobot.traffic.legacy`) for the batch path.
+"""
+
+from dcrobot.traffic.driver import TrafficDriver, WindowStats
+from dcrobot.traffic.flows import Flow, FlowGenerator, sample_sizes
 from dcrobot.traffic.latency import (
     MTU_BYTES,
     PROPAGATION_S_PER_M,
     LatencyModel,
     LatencyParams,
+    combined_loss,
+    congestion_loss,
     percentile,
 )
-from dcrobot.traffic.routing import EcmpRouter, NoRouteError
+from dcrobot.traffic.legacy import LegacyTrafficModel
+from dcrobot.traffic.patterns import (
+    HotspotPattern,
+    IncastPattern,
+    UniformPattern,
+)
+from dcrobot.traffic.routing import (
+    EcmpRouter,
+    NoRouteError,
+    lexicographic_shortest_paths,
+)
+from dcrobot.traffic.state import TrafficState, WindowResult
 
 __all__ = [
     "Flow",
     "FlowGenerator",
+    "sample_sizes",
     "EcmpRouter",
     "NoRouteError",
+    "lexicographic_shortest_paths",
     "LatencyModel",
     "LatencyParams",
     "percentile",
+    "congestion_loss",
+    "combined_loss",
     "MTU_BYTES",
     "PROPAGATION_S_PER_M",
+    "TrafficState",
+    "WindowResult",
+    "LegacyTrafficModel",
+    "TrafficDriver",
+    "WindowStats",
+    "UniformPattern",
+    "HotspotPattern",
+    "IncastPattern",
 ]

@@ -94,6 +94,29 @@ class LatencyModel:
                 for flow, path in flows_and_paths]
 
 
+def congestion_loss(offered_bytes, capacity_gbps,
+                    window_seconds: float) -> np.ndarray:
+    """Fraction of offered bytes an overloaded link cannot carry.
+
+    Shared by the columnar engine and the per-flow oracle — one float
+    expression, scalar or array, so the two paths agree bit for bit.
+    """
+    offered = np.asarray(offered_bytes, dtype=np.float64)
+    capacity_bytes = (np.asarray(capacity_gbps, dtype=np.float64)
+                      * 1e9 / 8.0 * window_seconds)
+    ratio = np.ones_like(offered)
+    np.divide(capacity_bytes, offered, out=ratio,
+              where=offered > capacity_bytes)
+    return 1.0 - ratio
+
+
+def combined_loss(physical, congestion) -> np.ndarray:
+    """Independent physical + congestion loss composed per link."""
+    physical = np.minimum(np.asarray(physical, dtype=np.float64), 1.0)
+    return 1.0 - (1.0 - physical) * (1.0 - np.asarray(
+        congestion, dtype=np.float64))
+
+
 def percentile(samples: Sequence[float], q: float) -> float:
     """The q-th percentile (q in [0, 100]) of a non-empty sample set."""
     if not 0 <= q <= 100:

@@ -1,0 +1,88 @@
+"""Synthetic traffic matrices: uniform, hotspot, incast.
+
+Each pattern emits one window of (src, dst) endpoint-index pairs as a
+single blocked vectorized draw — the shapes datacenter traffic studies
+use to stress fabrics (all-to-all baseline, a hot pod sourcing a
+disproportionate share, and fan-in onto a few targets).  Endpoints are
+addressed by index into the engine's endpoint list; "hot" and "target"
+subsets are index prefixes, so a pattern composes with any endpoint
+ordering the caller arranges.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+
+def _distinct_dst(rng: np.random.Generator, src: np.ndarray,
+                  n_endpoints: int) -> np.ndarray:
+    """Uniform destinations distinct from ``src`` (offset trick)."""
+    dst = rng.integers(n_endpoints - 1, size=len(src))
+    return dst + (dst >= src)
+
+
+@dataclasses.dataclass(frozen=True)
+class UniformPattern:
+    """Every ordered endpoint pair equally likely."""
+
+    def pairs(self, rng: np.random.Generator, count: int,
+              n_endpoints: int) -> Tuple[np.ndarray, np.ndarray]:
+        src = rng.integers(n_endpoints, size=count)
+        return src, _distinct_dst(rng, src, n_endpoints)
+
+
+@dataclasses.dataclass(frozen=True)
+class HotspotPattern:
+    """A prefix of endpoints sources a disproportionate share.
+
+    With probability ``hot_probability`` a flow's source is drawn from
+    the first ``hot_endpoints`` endpoints; destinations stay uniform.
+    """
+
+    hot_endpoints: int
+    hot_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.hot_endpoints < 1:
+            raise ValueError("need >= 1 hot endpoint")
+        if not 0.0 <= self.hot_probability <= 1.0:
+            raise ValueError("hot_probability must be in [0, 1]")
+
+    def pairs(self, rng: np.random.Generator, count: int,
+              n_endpoints: int) -> Tuple[np.ndarray, np.ndarray]:
+        hot = rng.random(count) < self.hot_probability
+        src = rng.integers(n_endpoints, size=count)
+        hot_count = min(self.hot_endpoints, n_endpoints)
+        src[hot] = rng.integers(hot_count, size=int(hot.sum()))
+        return src, _distinct_dst(rng, src, n_endpoints)
+
+
+@dataclasses.dataclass(frozen=True)
+class IncastPattern:
+    """Fan-in: flows converge on a prefix of target endpoints.
+
+    With probability ``incast_probability`` a flow's destination is
+    one of the first ``targets`` endpoints; sources stay uniform and
+    distinct from the destination.
+    """
+
+    targets: int = 1
+    incast_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.targets < 1:
+            raise ValueError("need >= 1 incast target")
+        if not 0.0 <= self.incast_probability <= 1.0:
+            raise ValueError("incast_probability must be in [0, 1]")
+
+    def pairs(self, rng: np.random.Generator, count: int,
+              n_endpoints: int) -> Tuple[np.ndarray, np.ndarray]:
+        fan_in = rng.random(count) < self.incast_probability
+        dst = rng.integers(n_endpoints, size=count)
+        target_count = min(self.targets, n_endpoints)
+        dst[fan_in] = rng.integers(target_count, size=int(fan_in.sum()))
+        src = rng.integers(n_endpoints - 1, size=count)
+        return src + (src >= dst), dst

@@ -4,13 +4,21 @@ The router computes shortest paths on the *operational* graph (links in
 a traffic-carrying state) and load-balances across equal-cost choices by
 flow hash, as a datacenter ECMP dataplane would.  Paths are cached per
 topology version; maintenance and failures bump the version.
+
+Path enumeration is deterministic and *specified*: all shortest paths
+in lexicographic node-id order, capped at ``max_equal_paths``.  The
+columnar engine (:class:`dcrobot.traffic.state.TrafficState`) implements
+the same spec over integer node indices, which is what lets the two
+produce identical path sets — this per-pair object router stays the
+parity oracle.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import itertools
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
 
-import networkx as nx
 import numpy as np
 
 from dcrobot.network.inventory import Fabric
@@ -19,6 +27,59 @@ from dcrobot.network.link import Link
 
 class NoRouteError(Exception):
     """No operational path exists between the endpoints."""
+
+
+def lexicographic_shortest_paths(neighbors: Dict, src, dst,
+                                 cap: int) -> List[List]:
+    """All shortest ``src -> dst`` node paths, lexicographic, capped.
+
+    ``neighbors`` maps node -> *sorted* sequence of neighbor nodes;
+    nodes absent from the map have no operational adjacency.  This is
+    the shared enumeration spec: BFS distances from both endpoints
+    define the shortest-path DAG, and a DFS over sorted neighbors emits
+    its paths in lexicographic order until ``cap`` are collected.
+    """
+    if src == dst:
+        return [[src]]
+    if src not in neighbors or dst not in neighbors:
+        return []
+    dist_src = _bfs_distances(neighbors, src)
+    if dst not in dist_src:
+        return []
+    dist_dst = _bfs_distances(neighbors, dst)
+    total = dist_src[dst]
+    paths: List[List] = []
+    stack = [src]
+
+    def descend(node) -> bool:
+        if node == dst:
+            paths.append(list(stack))
+            return len(paths) >= cap
+        here = dist_src[node]
+        for step in neighbors[node]:
+            if dist_src.get(step) == here + 1 \
+                    and dist_dst.get(step, -1) == total - here - 1:
+                stack.append(step)
+                if descend(step):
+                    return True
+                stack.pop()
+        return False
+
+    descend(src)
+    return paths
+
+
+def _bfs_distances(neighbors: Dict, origin) -> Dict:
+    dist = {origin: 0}
+    frontier = deque([origin])
+    while frontier:
+        node = frontier.popleft()
+        here = dist[node]
+        for step in neighbors.get(node, ()):
+            if step not in dist:
+                dist[step] = here + 1
+                frontier.append(step)
+    return dist
 
 
 class EcmpRouter:
@@ -31,6 +92,7 @@ class EcmpRouter:
         self.max_equal_paths = max_equal_paths
         self._version = 0
         self._cache: Dict[Tuple[str, str], List[List[str]]] = {}
+        self._neighbors: Optional[Dict[str, List[str]]] = None
         #: Links administratively removed from routing (pre-repair drain).
         self._drained: set = set()
 
@@ -40,6 +102,7 @@ class EcmpRouter:
         """Drop cached paths (call after any link state change)."""
         self._version += 1
         self._cache.clear()
+        self._neighbors = None
 
     def drain(self, link_id: str) -> None:
         """Remove a link from routing ahead of maintenance (§2's
@@ -58,16 +121,20 @@ class EcmpRouter:
 
     # -- path computation -----------------------------------------------------
 
-    def _operational_graph(self) -> nx.MultiGraph:
-        graph = nx.MultiGraph()
-        graph.add_nodes_from(self.fabric.switches)
-        graph.add_nodes_from(self.fabric.hosts)
+    def _operational_neighbors(self) -> Dict[str, List[str]]:
+        """Node -> sorted distinct neighbors over usable links."""
+        if self._neighbors is not None:
+            return self._neighbors
+        adjacency: Dict[str, set] = {}
         for link in self.fabric.links.values():
             if not link.operational or link.id in self._drained:
                 continue
             a, b = link.endpoint_ids
-            graph.add_edge(a, b, key=link.id)
-        return graph
+            adjacency.setdefault(a, set()).add(b)
+            adjacency.setdefault(b, set()).add(a)
+        self._neighbors = {node: sorted(peers)
+                           for node, peers in adjacency.items()}
+        return self._neighbors
 
     def equal_cost_paths(self, src: str, dst: str) -> List[List[str]]:
         """All shortest node-paths (capped at ``max_equal_paths``)."""
@@ -75,15 +142,9 @@ class EcmpRouter:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        graph = self._operational_graph()
-        try:
-            paths = []
-            for path in nx.all_shortest_paths(graph, src, dst):
-                paths.append(path)
-                if len(paths) >= self.max_equal_paths:
-                    break
-        except (nx.NetworkXNoPath, nx.NodeNotFound):
-            paths = []
+        paths = lexicographic_shortest_paths(
+            self._operational_neighbors(), src, dst,
+            self.max_equal_paths)
         self._cache[key] = paths
         return paths
 
@@ -119,20 +180,34 @@ class EcmpRouter:
 
     # -- fabric-level summaries ---------------------------------------------------
 
-    def connectivity_fraction(self, endpoints: List[str],
+    def connectivity_fraction(self, endpoints: Sequence[str],
                               rng: Optional[np.random.Generator] = None,
                               sample_pairs: int = 200) -> float:
         """Fraction of endpoint pairs with an operational route.
 
         For large endpoint sets a uniform sample of pairs is used.
+        Sampled pairs are drawn directly from the combination index
+        space — the O(n^2) pair list is never materialized, so
+        hall-scale endpoint sets stay cheap.
         """
-        pairs = [(a, b) for i, a in enumerate(endpoints)
-                 for b in endpoints[i + 1:]]
-        if not pairs:
+        n = len(endpoints)
+        n_pairs = n * (n - 1) // 2
+        if n_pairs == 0:
             return 1.0
-        if len(pairs) > sample_pairs and rng is not None:
-            indices = rng.choice(len(pairs), size=sample_pairs,
+        if n_pairs > sample_pairs and rng is not None:
+            indices = rng.choice(n_pairs, size=sample_pairs,
                                  replace=False)
-            pairs = [pairs[int(i)] for i in indices]
-        reachable = sum(1 for a, b in pairs if self.has_route(a, b))
-        return reachable / len(pairs)
+            # Linear index L in lexicographic (i, j>i) order: row i
+            # starts at offset[i] = i*n - i*(i+1)/2.
+            i_range = np.arange(n - 1, dtype=np.int64)
+            offsets = i_range * n - i_range * (i_range + 1) // 2
+            rows = np.searchsorted(offsets, indices, side="right") - 1
+            cols = indices - offsets[rows] + rows + 1
+            pairs = [(endpoints[int(i)], endpoints[int(j)])
+                     for i, j in zip(rows, cols)]
+            reachable = sum(1 for a, b in pairs if self.has_route(a, b))
+            return reachable / len(pairs)
+        reachable = sum(
+            1 for a, b in itertools.combinations(endpoints, 2)
+            if self.has_route(a, b))
+        return reachable / n_pairs

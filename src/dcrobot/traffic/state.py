@@ -1,0 +1,585 @@
+"""Columnar traffic engine: ECMP + congestion + FCT as array kernels.
+
+The per-flow object path (:class:`~dcrobot.traffic.routing.EcmpRouter`
++ :class:`~dcrobot.traffic.latency.LatencyModel`) walks Python objects
+per flow and caps traffic experiments at toy fabric sizes, exactly as
+the per-link loops once capped the physics (PR 5).
+:class:`TrafficState` is the traffic analogue of
+:class:`~dcrobot.network.state.FabricState`: whole windows of flows are
+offered as arrays, and every hot quantity — path membership, ECMP
+member choice, per-link offered bytes, congestion loss, flow-completion
+times — is computed by vectorized kernels.
+
+Three structural ideas make it fast without changing the physics:
+
+* **Class-cached paths.**  Endpoints whose *usable* neighbor sets are
+  identical (pod twins in a fat-tree) are interchangeable for shortest
+  paths: no shortest path can route *through* a twin of either
+  endpoint (any such path admits a shortcut).  Paths are therefore
+  enumerated once per ``(src_class, dst_class)`` — interiors only —
+  and endpoint members are substituted in, collapsing the per-pair
+  cache of the object router to a per-class-pair cache.
+* **Generation-keyed invalidation.**  Instead of the object router's
+  manual ``invalidate()`` protocol, caches key on
+  ``FabricState.route_generation`` (bumped on structural changes and
+  on carrier-crossing state transitions) plus a local drain epoch.
+* **Unbuffered accumulation.**  Per-link offered bytes and flow counts
+  are accumulated with ``np.add.at`` from flow-major flattened hop
+  arrays, which performs the same float additions in the same order as
+  the legacy per-flow loop — so utilization totals agree bit for bit
+  with the :class:`~dcrobot.traffic.legacy.LegacyTrafficModel` oracle.
+
+Path enumeration follows the shared lexicographic spec in
+:func:`dcrobot.traffic.routing.lexicographic_shortest_paths`; member
+selection per hop reproduces ``links_on_path`` (least-lossy usable
+parallel link, insertion order breaking ties); FCT sampling reproduces
+``LatencyModel.sample_fct`` including RNG stream order (retry draws
+only for lossy routable flows, in flow order).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from dcrobot.network.inventory import Fabric
+from dcrobot.network.state import FLAPPING_CODE
+from dcrobot.obs import NULL_OBS
+from dcrobot.traffic.latency import (
+    MTU_BYTES,
+    PROPAGATION_S_PER_M,
+    LatencyParams,
+    combined_loss,
+    congestion_loss,
+)
+
+_NO_ROUTE = None
+
+
+@dataclasses.dataclass
+class WindowResult:
+    """One offered traffic window, measured."""
+
+    #: Per-flow completion time; NaN where no route existed.
+    fct: np.ndarray
+    #: Per-flow routability mask.
+    routable: np.ndarray
+    #: Per-row offered bytes this window (length ``n_links``).
+    offered: np.ndarray
+    #: Per-row congestion loss fraction this window.
+    congestion: np.ndarray
+    window_seconds: float
+
+    @property
+    def flows(self) -> int:
+        return len(self.fct)
+
+    @property
+    def unroutable(self) -> int:
+        return int(len(self.routable) - self.routable.sum())
+
+    def fct_percentile(self, q: float) -> float:
+        """Percentile over routable flows (NaN if none routed)."""
+        samples = self.fct[self.routable]
+        if len(samples) == 0:
+            return float("nan")
+        return float(np.percentile(samples, q))
+
+
+class TrafficState:
+    """Struct-of-arrays traffic engine over one fabric.
+
+    ``endpoints`` are the attachment nodes flows run between (ToR
+    switches in the fat-tree experiments); offered windows address them
+    by index, which is what :meth:`FlowGenerator.sample_arrays` and the
+    matrix samplers in :mod:`dcrobot.traffic.patterns` emit.
+    """
+
+    def __init__(self, fabric: Fabric, endpoints: Sequence[str],
+                 params: Optional[LatencyParams] = None,
+                 max_equal_paths: int = 8,
+                 rng: Optional[np.random.Generator] = None,
+                 obs=NULL_OBS) -> None:
+        if max_equal_paths < 1:
+            raise ValueError("max_equal_paths must be >= 1")
+        if len(endpoints) < 2:
+            raise ValueError("need at least two endpoints")
+        self.fabric = fabric
+        self.endpoints = list(endpoints)
+        self.params = params or LatencyParams()
+        self.max_equal_paths = max_equal_paths
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.obs = obs
+        #: Cumulative per-link accounting, row-aligned through
+        #: structural changes by the fabric state itself.
+        fs = fabric.state
+        self.util_bytes = fs.add_link_column(0.0)
+        self.util_flows = fs.add_link_column(0.0)
+        self.lost_bytes = fs.add_link_column(0.0)
+        self._drained: set = set()
+        self._drain_epoch = 0
+        #: Last offered window, kept for impact scoring.
+        self.last_offered: Optional[np.ndarray] = None
+        self.last_congestion: Optional[np.ndarray] = None
+        self.last_window_seconds = 0.0
+        self._structure_gen = -1
+        self._route_key = None
+        self._loss_snapshot: Optional[np.ndarray] = None
+
+    # -- drains (administrative removal ahead of maintenance) ---------------
+
+    def drain(self, link_id: str) -> None:
+        """Remove a link from routing ahead of maintenance."""
+        if link_id not in self._drained:
+            self._drained.add(link_id)
+            self._drain_epoch += 1
+
+    def undrain(self, link_id: str) -> None:
+        """Return a drained link to routing."""
+        if link_id in self._drained:
+            self._drained.discard(link_id)
+            self._drain_epoch += 1
+
+    @property
+    def drained_links(self) -> set:
+        return set(self._drained)
+
+    # -- cache maintenance ---------------------------------------------------
+
+    def _refresh(self) -> None:
+        fs = self.fabric.state
+        if fs.generation != self._structure_gen:
+            self._rebuild_structure()
+        route_key = (fs.route_generation, self._drain_epoch)
+        if route_key != self._route_key:
+            self._rebuild_routing()
+            self._route_key = route_key
+
+    def _rebuild_structure(self) -> None:
+        """Row-aligned endpoint/capacity/length snapshots (per
+        ``FabricState.generation``)."""
+        fabric = self.fabric
+        fs = fabric.state
+        node_ids = sorted(set(fabric.switches) | set(fabric.hosts))
+        self._node_ids = node_ids
+        self._node_index = {node: i for i, node in enumerate(node_ids)}
+        self.n_nodes = len(node_ids)
+        n = fs.n_links
+        self._row_u = np.empty(n, dtype=np.int64)
+        self._row_v = np.empty(n, dtype=np.int64)
+        self._caps = np.empty(n, dtype=np.float64)
+        self._lengths = np.empty(n, dtype=np.float64)
+        for row, link in enumerate(fs.links_by_row):
+            a, b = link.endpoint_ids
+            self._row_u[row] = self._node_index[a]
+            self._row_v[row] = self._node_index[b]
+            self._caps[row] = link.capacity_gbps
+            self._lengths[row] = link.cable.length_m
+        self._caps_ext = np.append(self._caps, np.inf)
+        self._lengths_ext = np.append(self._lengths, 0.0)
+        self._endpoint_nodes = np.array(
+            [self._node_index[node] for node in self.endpoints],
+            dtype=np.int64)
+        self._structure_gen = fs.generation
+        self._route_key = None
+
+    def _rebuild_routing(self) -> None:
+        """Usable-adjacency, twin classes, and cleared path caches (per
+        route_generation + drain epoch)."""
+        fs = self.fabric.state
+        n = fs.n_links
+        usable = fs.state_code[:n] <= FLAPPING_CODE
+        if self._drained:
+            index_of = fs.index_of
+            for link_id in self._drained:
+                row = index_of.get(link_id)
+                if row is not None:
+                    usable[row] = False
+        self._usable = usable
+        # Simple usable adjacency as CSR over node ints; node ints are
+        # assigned in sorted-id order, so ascending ints == the object
+        # router's lexicographic neighbor order.
+        u = self._row_u[:n][usable]
+        v = self._row_v[:n][usable]
+        heads = np.concatenate([u, v])
+        tails = np.concatenate([v, u])
+        edge_keys = np.unique(heads * self.n_nodes + tails)
+        heads = edge_keys // self.n_nodes
+        tails = edge_keys % self.n_nodes
+        counts = np.bincount(heads, minlength=self.n_nodes)
+        self._adj_indptr = np.concatenate(
+            [[0], np.cumsum(counts)]).astype(np.int64)
+        self._adj_indices = tails
+        # Twin classes: identical usable-neighbor sets.
+        signatures: Dict[tuple, int] = {}
+        class_of = np.empty(self.n_nodes, dtype=np.int64)
+        for node in range(self.n_nodes):
+            lo, hi = self._adj_indptr[node], self._adj_indptr[node + 1]
+            signature = tuple(self._adj_indices[lo:hi])
+            class_of[node] = signatures.setdefault(
+                signature, len(signatures))
+        self._class_of = class_of
+        self._class_interiors: Dict = {}
+        self._reset_resolution()
+
+    def _reset_resolution(self) -> None:
+        """Drop loss-dependent member-to-row resolution."""
+        self._pair_rows: Dict[int, Optional[np.ndarray]] = {}
+        self._row_siblings: Optional[Dict[int, set]] = None
+        #: Stacked member-row matrices, assembled lazily; slot 0 is the
+        #: all-dummy row unroutable flows gather from.
+        self._big_parts: List[np.ndarray] = []
+        self._big_count = 1
+        self._big_rows: Optional[np.ndarray] = None
+        self._slot_of: Dict[int, int] = {}
+        self._slot_offset = [0]
+        self._slot_members = [0]
+        self._slot_hops = [0]
+        self._slot_arrays = None
+        self._loss_snapshot = None
+        self._best_keys = None
+
+    def _check_loss_fresh(self) -> None:
+        """Member choice depends on loss rates; re-resolve on change."""
+        fs = self.fabric.state
+        loss = fs.loss_rate[:fs.n_links]
+        if self._loss_snapshot is not None \
+                and np.array_equal(loss, self._loss_snapshot):
+            return
+        self._reset_resolution()
+        self._loss_snapshot = loss.copy()
+        self._build_best_rows()
+
+    def _build_best_rows(self) -> None:
+        """Per unordered node pair, the row ``links_on_path`` picks:
+        least loss, insertion order breaking ties."""
+        fs = self.fabric.state
+        n = fs.n_links
+        rows = np.nonzero(self._usable)[0]
+        u, v = self._row_u[rows], self._row_v[rows]
+        pair_keys = (np.minimum(u, v) * self.n_nodes
+                     + np.maximum(u, v))
+        order = np.lexsort((fs.lid_of_row[rows],
+                            fs.loss_rate[:n][rows], pair_keys))
+        sorted_keys = pair_keys[order]
+        first = np.ones(len(order), dtype=bool)
+        first[1:] = sorted_keys[1:] != sorted_keys[:-1]
+        self._best_keys = sorted_keys[first]
+        self._best_rows = rows[order][first]
+
+    # -- path enumeration (shared lexicographic spec) -----------------------
+
+    def _lex_paths(self, src: int, dst: int) -> List[List[int]]:
+        """Shortest node-int paths, lexicographic, capped — the int
+        twin of :func:`routing.lexicographic_shortest_paths`."""
+        indptr, indices = self._adj_indptr, self._adj_indices
+        dist_src = self._bfs(src)
+        total = dist_src[dst]
+        if total < 0:
+            return []
+        dist_dst = self._bfs(dst)
+        paths: List[List[int]] = []
+        stack = [src]
+        cap = self.max_equal_paths
+
+        def descend(node: int) -> bool:
+            if node == dst:
+                paths.append(list(stack))
+                return len(paths) >= cap
+            here = dist_src[node]
+            for step in indices[indptr[node]:indptr[node + 1]]:
+                if dist_src[step] == here + 1 \
+                        and dist_dst[step] == total - here - 1:
+                    stack.append(int(step))
+                    if descend(int(step)):
+                        return True
+                    stack.pop()
+            return False
+
+        descend(src)
+        return paths
+
+    def _bfs(self, origin: int) -> np.ndarray:
+        dist = np.full(self.n_nodes, -1, dtype=np.int64)
+        dist[origin] = 0
+        frontier = np.array([origin], dtype=np.int64)
+        depth = 0
+        indptr, indices = self._adj_indptr, self._adj_indices
+        while len(frontier):
+            depth += 1
+            steps = np.concatenate(
+                [indices[indptr[node]:indptr[node + 1]]
+                 for node in frontier])
+            fresh = np.unique(steps[dist[steps] < 0])
+            dist[fresh] = depth
+            frontier = fresh
+        return dist
+
+    def _interiors(self, src: int, dst: int) -> Optional[np.ndarray]:
+        """Path interiors for (class(src), class(dst)), as an (M, L)
+        int matrix; ``None`` when no route exists."""
+        key = (int(self._class_of[src]), int(self._class_of[dst]))
+        if key in self._class_interiors:
+            return self._class_interiors[key]
+        paths = self._lex_paths(src, dst)
+        if not paths:
+            interiors = _NO_ROUTE
+        else:
+            interiors = np.array([path[1:-1] for path in paths],
+                                 dtype=np.int64)
+            if interiors.size == 0:
+                interiors = interiors.reshape(len(paths), 0)
+        self._class_interiors[key] = interiors
+        return interiors
+
+    def _resolve_missing(self, new_keys: np.ndarray) -> None:
+        """Resolve a batch of unseen (src, dst) pairs to their ECMP
+        member row matrices, grouped by twin-class pair so one
+        vectorized substitution covers every member pair of a class."""
+        src = new_keys // self.n_nodes
+        dst = new_keys % self.n_nodes
+        class_pairs = np.where(
+            src == dst, -1,
+            self._class_of[src] * (self._class_of.max() + 1)
+            + self._class_of[dst])
+        order = np.argsort(class_pairs, kind="stable")
+        boundaries = np.nonzero(np.diff(class_pairs[order]))[0] + 1
+        for group in np.split(order, boundaries):
+            self._resolve_class_group(new_keys[group], src[group],
+                                      dst[group])
+        self._slot_arrays = None
+        self._row_siblings = None
+
+    def _resolve_class_group(self, keys: np.ndarray, src: np.ndarray,
+                             dst: np.ndarray) -> None:
+        """Resolve every pair of one (src_class, dst_class) group."""
+        interiors = _NO_ROUTE
+        if src[0] != dst[0]:
+            interiors = self._interiors(int(src[0]), int(dst[0]))
+        if interiors is _NO_ROUTE:
+            for key in keys:
+                self._pair_rows[int(key)] = None
+                self._slot_of[int(key)] = 0
+            return
+        members, length = interiors.shape
+        pairs = len(keys)
+        nodes = np.empty((pairs, members, length + 2), dtype=np.int64)
+        nodes[:, :, 0] = src[:, None]
+        if length:
+            nodes[:, :, 1:-1] = interiors[None, :, :]
+        nodes[:, :, -1] = dst[:, None]
+        a, b = nodes[..., :-1], nodes[..., 1:]
+        hop_keys = np.minimum(a, b) * self.n_nodes + np.maximum(a, b)
+        positions = np.searchsorted(self._best_keys, hop_keys.ravel())
+        rows = self._best_rows[positions].reshape(pairs, members, -1)
+        hops = length + 1
+        offset = self._big_count
+        self._big_parts.append(rows.reshape(pairs * members, hops))
+        self._big_rows = None
+        self._big_count += pairs * members
+        slot = len(self._slot_offset)
+        for i, key in enumerate(keys):
+            self._pair_rows[int(key)] = rows[i]
+            self._slot_of[int(key)] = slot + i
+            self._slot_offset.append(offset + i * members)
+            self._slot_members.append(members)
+            self._slot_hops.append(hops)
+
+    def _assembled_big(self) -> np.ndarray:
+        """The stacked member-row matrix, padded to a common width."""
+        if self._big_rows is None:
+            dummy = self.fabric.state.n_links
+            width = max([1] + [part.shape[1]
+                               for part in self._big_parts])
+            big = np.full((self._big_count, width), dummy,
+                          dtype=np.int64)
+            cursor = 1
+            for part in self._big_parts:
+                big[cursor:cursor + part.shape[0],
+                    :part.shape[1]] = part
+                cursor += part.shape[0]
+            self._big_rows = big
+        return self._big_rows
+
+    # -- the offered-window kernel ------------------------------------------
+
+    def offer_window(self, src_index: np.ndarray, dst_index: np.ndarray,
+                     sizes: np.ndarray, flow_ids: np.ndarray,
+                     window_seconds: float) -> WindowResult:
+        """Route and account one window of flows, vectorized.
+
+        ``src_index``/``dst_index`` index :attr:`endpoints`;
+        ``flow_ids`` double as ECMP flow hashes.  Returns per-flow FCTs
+        and updates the cumulative utilization/loss columns.
+        """
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be > 0")
+        self._refresh()
+        self._check_loss_fresh()
+        fs = self.fabric.state
+        n = fs.n_links
+        count = len(sizes)
+        src = self._endpoint_nodes[src_index]
+        dst = self._endpoint_nodes[dst_index]
+        pair_keys = src * self.n_nodes + dst
+        unique_keys, inverse = np.unique(pair_keys,
+                                         return_inverse=True)
+        new_keys = unique_keys[np.fromiter(
+            (int(key) not in self._slot_of for key in unique_keys),
+            dtype=bool, count=len(unique_keys))]
+        if len(new_keys):
+            self._resolve_missing(new_keys)
+        if self._slot_arrays is None:
+            self._slot_arrays = (
+                np.asarray(self._slot_offset, dtype=np.int64),
+                np.asarray(self._slot_members, dtype=np.int64),
+                np.asarray(self._slot_hops, dtype=np.int64))
+        slot_offset, slot_members, slot_hops = self._slot_arrays
+        slots = np.array([self._slot_of[int(key)]
+                          for key in unique_keys],
+                         dtype=np.int64)[inverse]
+        members = slot_members[slots]
+        routable = members > 0
+        member = np.zeros(count, dtype=np.int64)
+        np.mod(flow_ids, members, out=member, where=routable)
+        rows = self._assembled_big()[slot_offset[slots] + member]
+        rows[~routable] = n  # dummy scratch slot
+        hops = slot_hops[slots]
+
+        # Offered bytes + flow counts, flow-major so the unbuffered
+        # np.add.at performs the oracle's additions in its order.
+        width = rows.shape[1]
+        flat = rows.ravel()
+        offered = np.zeros(n + 1)
+        np.add.at(offered, flat, np.repeat(sizes, width))
+        flow_counts = np.zeros(n + 1)
+        np.add.at(flow_counts, flat, 1.0)
+        offered = offered[:n]
+        congestion = congestion_loss(offered, self._caps,
+                                     window_seconds)
+        loss = combined_loss(fs.loss_rate[:n], congestion)
+        loss_ext = np.append(loss, 0.0)
+
+        # Per-flow path aggregates, hop-sequential to match the
+        # oracle's left-to-right float order (pads are exact no-ops).
+        survival = np.ones(count)
+        propagation = np.zeros(count)
+        bottleneck = np.full(count, np.inf)
+        for hop in range(width):
+            hop_rows = rows[:, hop]
+            survival *= (1.0 - loss_ext[hop_rows])
+            propagation += self._lengths_ext[hop_rows]
+            bottleneck = np.minimum(bottleneck,
+                                    self._caps_ext[hop_rows])
+        path_loss = 1.0 - survival
+        propagation = propagation * PROPAGATION_S_PER_M
+        switching = hops * self.params.switch_hop_seconds
+        serialization = sizes * 8 / (bottleneck * 1e9)
+        base = propagation + switching + serialization
+
+        fct = np.where(routable, base, np.nan)
+        lossy = routable & (path_loss > 0.0)
+        if lossy.any():
+            packets = np.maximum(
+                1, np.ceil(sizes[lossy] / MTU_BYTES).astype(np.int64))
+            effective = np.minimum(path_loss[lossy], 0.5)
+            retries = self.rng.negative_binomial(packets,
+                                                 1.0 - effective)
+            retries = np.minimum(
+                retries, packets * self.params.max_retries_per_packet)
+            fct[lossy] = base[lossy] + retries * \
+                self.params.retransmission_timeout_seconds
+
+        self.util_bytes.values[:n] += offered
+        self.util_flows.values[:n] += flow_counts[:n]
+        self.lost_bytes.values[:n] += offered * congestion
+        self.last_offered = offered
+        self.last_congestion = congestion
+        self.last_window_seconds = window_seconds
+        result = WindowResult(fct=fct, routable=routable,
+                              offered=offered, congestion=congestion,
+                              window_seconds=window_seconds)
+        if self.obs.enabled:
+            self.obs.count("dcrobot_traffic_flows_total", count)
+            self.obs.count("dcrobot_traffic_unroutable_flows_total",
+                           result.unroutable)
+            self.obs.count("dcrobot_traffic_offered_bytes_total",
+                           float(offered.sum()))
+            self.obs.count(
+                "dcrobot_traffic_congestion_lost_bytes_total",
+                float((offered * congestion).sum()))
+            if result.unroutable < count:
+                self.obs.observe(
+                    "dcrobot_traffic_window_p99_fct_seconds",
+                    result.fct_percentile(99))
+        return result
+
+    # -- object-path views (tests, parity) ----------------------------------
+
+    def equal_cost_paths(self, src_id: str, dst_id: str) -> List[List[str]]:
+        """Node-id paths for one pair, reconstructed from the class
+        cache — must match ``EcmpRouter.equal_cost_paths``."""
+        self._refresh()
+        src = self._node_index[src_id]
+        dst = self._node_index[dst_id]
+        if src == dst:
+            return [[src_id]]
+        interiors = self._interiors(src, dst)
+        if interiors is _NO_ROUTE:
+            return []
+        ids = self._node_ids
+        return [[src_id] + [ids[node] for node in row] + [dst_id]
+                for row in interiors]
+
+    # -- impact scoring (the congestion gate's question) --------------------
+
+    def projected_group_utilization(self, link_id: str) -> float:
+        """Utilization the link's ECMP sibling group would run at if
+        this link were drained and its last-window bytes moved over.
+
+        The group is the set of alternatives rehashing actually lands
+        on: for every resolved flow pair, member paths align hop for
+        hop, and the distinct links occupying the same hop position
+        are the ECMP fan at that tier (a ToR's uplink group, an agg's
+        core feeds).  Only those same-position links are siblings —
+        links elsewhere on the paths *lose* traffic under a drain and
+        must not dilute the projection.  Returns 0.0 for links no
+        observed traffic used, and ``inf`` when traffic used the link
+        but no sibling capacity exists.
+        """
+        self._refresh()
+        fs = self.fabric.state
+        row = fs.index_of.get(link_id)
+        if row is None or self.last_offered is None \
+                or row >= len(self.last_offered):
+            return 0.0
+        siblings = self._siblings_of(row)
+        target_bytes = float(self.last_offered[row])
+        if not siblings:
+            return 0.0 if target_bytes == 0.0 else float("inf")
+        sibling_rows = np.fromiter(siblings, dtype=np.int64)
+        capacity_bytes = float(
+            (self._caps[sibling_rows] * 1e9 / 8.0
+             * self.last_window_seconds).sum())
+        if capacity_bytes == 0.0:
+            return float("inf")
+        moved = float(self.last_offered[sibling_rows].sum()) \
+            + target_bytes
+        return moved / capacity_bytes
+
+    def _siblings_of(self, row: int) -> set:
+        if self._row_siblings is None:
+            index: Dict[int, set] = {}
+            for rows in self._pair_rows.values():
+                if rows is None:
+                    continue
+                for hop in range(rows.shape[1]):
+                    fan = set(int(r) for r in np.unique(rows[:, hop]))
+                    for member_row in fan:
+                        index.setdefault(member_row, set()).update(fan)
+            self._row_siblings = index
+        siblings = set(self._row_siblings.get(row, ()))
+        siblings.discard(row)
+        return siblings

@@ -1,0 +1,103 @@
+"""TrafficDriver: windows as a sim process, stats, maintenance slicing."""
+
+import numpy as np
+import pytest
+
+from dcrobot.network import SwitchRole
+from dcrobot.sim import Simulation
+from dcrobot.topology import build_leafspine
+from dcrobot.traffic import (
+    HotspotPattern,
+    TrafficDriver,
+    TrafficState,
+    UniformPattern,
+)
+
+
+@pytest.fixture
+def topo():
+    return build_leafspine(leaves=4, spines=2, uplinks_per_pair=1,
+                           rng=np.random.default_rng(0))
+
+
+@pytest.fixture
+def traffic(topo):
+    return TrafficState(topo.fabric, topo.switches(SwitchRole.LEAF),
+                        rng=np.random.default_rng(7))
+
+
+def test_driver_validation(traffic):
+    with pytest.raises(ValueError):
+        TrafficDriver(traffic, window_seconds=0.0)
+    with pytest.raises(ValueError):
+        TrafficDriver(traffic, flows_per_window=0)
+    with pytest.raises(ValueError):
+        TrafficDriver(traffic, sample_seconds=-1.0)
+
+
+def test_sample_seconds_defaults_to_cadence(traffic):
+    driver = TrafficDriver(traffic, window_seconds=600.0)
+    assert driver.sample_seconds == 600.0
+    peaky = TrafficDriver(traffic, window_seconds=600.0,
+                          sample_seconds=1.0)
+    assert peaky.sample_seconds == 1.0
+
+
+def test_driver_offers_one_window_per_period(traffic):
+    driver = TrafficDriver(traffic,
+                           rng=np.random.default_rng(1),
+                           window_seconds=100.0,
+                           flows_per_window=50)
+    sim = Simulation()
+    sim.process(driver.run(sim))
+    sim.run(until=350.0)
+    assert len(driver.windows) == 3
+    assert [w.time for w in driver.windows] == [100.0, 200.0, 300.0]
+    for window in driver.windows:
+        assert window.flows == 50
+        assert window.unroutable == 0
+        assert window.offered_bytes > 0
+        assert not window.maintenance_active
+    # Flow ids keep advancing across windows.
+    assert driver._next_flow_id == 150
+
+
+def test_schedule_overrides_count_and_pattern(traffic):
+    hot = HotspotPattern(hot_endpoints=1, hot_probability=1.0)
+
+    def schedule(now):
+        if now < 150.0:
+            return 10, UniformPattern()
+        return 40, hot
+
+    driver = TrafficDriver(traffic, rng=np.random.default_rng(2),
+                           window_seconds=100.0, schedule=schedule)
+    sim = Simulation()
+    sim.process(driver.run(sim))
+    sim.run(until=250.0)
+    assert [w.flows for w in driver.windows] == [10, 40]
+
+
+def test_maintenance_windows_slice_on_drains(traffic, topo):
+    driver = TrafficDriver(traffic, rng=np.random.default_rng(3),
+                           window_seconds=10.0, flows_per_window=20)
+    driver.offer(10.0)
+    link = topo.fabric.links_of(topo.switches(SwitchRole.LEAF)[0])[0]
+    traffic.drain(link.id)
+    driver.offer(20.0)
+    traffic.undrain(link.id)
+    driver.offer(30.0)
+    flags = [w.maintenance_active for w in driver.windows]
+    assert flags == [False, True, False]
+    maintenance = driver.maintenance_windows()
+    assert len(maintenance) == 1
+    assert maintenance[0].time == 20.0
+
+
+def test_p99_over_skips_nan_windows(traffic):
+    driver = TrafficDriver(traffic, rng=np.random.default_rng(4),
+                           window_seconds=10.0, flows_per_window=20)
+    assert np.isnan(driver.p99_over(driver.windows))
+    driver.offer(10.0)
+    p99 = driver.p99_over(driver.windows)
+    assert np.isfinite(p99) and p99 > 0.0

@@ -1,0 +1,78 @@
+"""Synthetic traffic-matrix pattern tests."""
+
+import numpy as np
+import pytest
+
+from dcrobot.traffic import (
+    HotspotPattern,
+    IncastPattern,
+    UniformPattern,
+)
+
+N_ENDPOINTS = 16
+COUNT = 4000
+
+
+@pytest.mark.parametrize("pattern", [
+    UniformPattern(),
+    HotspotPattern(hot_endpoints=2, hot_probability=0.75),
+    IncastPattern(targets=1, incast_probability=0.5),
+])
+def test_pairs_are_distinct_and_in_range(pattern):
+    src, dst = pattern.pairs(np.random.default_rng(1), COUNT,
+                             N_ENDPOINTS)
+    assert len(src) == len(dst) == COUNT
+    assert (src != dst).all()
+    for arr in (src, dst):
+        assert arr.min() >= 0
+        assert arr.max() < N_ENDPOINTS
+
+
+@pytest.mark.parametrize("pattern", [
+    UniformPattern(),
+    HotspotPattern(hot_endpoints=2, hot_probability=0.75),
+    IncastPattern(targets=1, incast_probability=0.5),
+])
+def test_pairs_are_deterministic_per_seed(pattern):
+    a = pattern.pairs(np.random.default_rng(9), COUNT, N_ENDPOINTS)
+    b = pattern.pairs(np.random.default_rng(9), COUNT, N_ENDPOINTS)
+    assert np.array_equal(a[0], b[0])
+    assert np.array_equal(a[1], b[1])
+
+
+def test_uniform_spreads_sources():
+    src, _dst = UniformPattern().pairs(np.random.default_rng(2),
+                                       COUNT, N_ENDPOINTS)
+    counts = np.bincount(src, minlength=N_ENDPOINTS)
+    # Every endpoint sources a roughly fair share.
+    assert counts.min() > COUNT / N_ENDPOINTS * 0.5
+
+
+def test_hotspot_concentrates_sources_on_prefix():
+    pattern = HotspotPattern(hot_endpoints=2, hot_probability=0.75)
+    src, _dst = pattern.pairs(np.random.default_rng(3), COUNT,
+                              N_ENDPOINTS)
+    hot_share = float((src < 2).sum()) / COUNT
+    # 75% hot + the uniform remainder landing on the prefix.
+    expected = 0.75 + 0.25 * (2 / N_ENDPOINTS)
+    assert hot_share == pytest.approx(expected, abs=0.05)
+
+
+def test_incast_concentrates_destinations_on_targets():
+    pattern = IncastPattern(targets=1, incast_probability=0.5)
+    _src, dst = pattern.pairs(np.random.default_rng(4), COUNT,
+                              N_ENDPOINTS)
+    target_share = float((dst == 0).sum()) / COUNT
+    expected = 0.5 + 0.5 * (1 / N_ENDPOINTS)
+    assert target_share == pytest.approx(expected, abs=0.05)
+
+
+def test_pattern_validation():
+    with pytest.raises(ValueError):
+        HotspotPattern(hot_endpoints=0)
+    with pytest.raises(ValueError):
+        HotspotPattern(hot_endpoints=1, hot_probability=1.5)
+    with pytest.raises(ValueError):
+        IncastPattern(targets=0)
+    with pytest.raises(ValueError):
+        IncastPattern(targets=1, incast_probability=-0.1)

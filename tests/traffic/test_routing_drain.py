@@ -1,0 +1,124 @@
+"""EcmpRouter drain/undrain, cache invalidation, and connectivity."""
+
+import numpy as np
+import pytest
+
+from dcrobot.network import LinkState, SwitchRole
+from dcrobot.topology import build_leafspine
+from dcrobot.traffic import EcmpRouter, NoRouteError
+
+
+@pytest.fixture
+def topo():
+    return build_leafspine(leaves=6, spines=3, uplinks_per_pair=1,
+                           rng=np.random.default_rng(0))
+
+
+@pytest.fixture
+def router(topo):
+    return EcmpRouter(topo.fabric)
+
+
+def leaves(topo):
+    return topo.switches(SwitchRole.LEAF)
+
+
+# -- drains -----------------------------------------------------------------
+
+def test_drain_removes_link_from_routing(topo, router):
+    src, dst = leaves(topo)[:2]
+    before = router.equal_cost_paths(src, dst)
+    assert len(before) == 3  # one member per spine
+    link = topo.fabric.links_of(src)[0]
+    via = (set(link.endpoint_ids) - {src}).pop()
+    router.drain(link.id)
+    assert link.id in router.drained_links
+    after = router.equal_cost_paths(src, dst)
+    assert len(after) == 2
+    assert all(via not in path for path in after)
+    for flow_hash in range(8):
+        assert link.id not in {
+            hop.id for hop in router.route(src, dst, flow_hash)}
+
+
+def test_undrain_restores_original_paths(topo, router):
+    src, dst = leaves(topo)[:2]
+    before = router.equal_cost_paths(src, dst)
+    link = topo.fabric.links_of(src)[0]
+    router.drain(link.id)
+    router.undrain(link.id)
+    assert router.drained_links == set()
+    assert router.equal_cost_paths(src, dst) == before
+
+
+def test_draining_every_uplink_isolates_the_leaf(topo, router):
+    src, dst = leaves(topo)[:2]
+    for link in topo.fabric.links_of(src):
+        router.drain(link.id)
+    assert not router.has_route(src, dst)
+    with pytest.raises(NoRouteError):
+        router.route(src, dst)
+
+
+# -- cache invalidation -----------------------------------------------------
+
+def test_cache_serves_stale_paths_until_invalidated(topo, router):
+    """The object router's contract is *manual* invalidation — the
+    columnar engine's generation keying exists precisely because this
+    footgun is easy to trip."""
+    src, dst = leaves(topo)[:2]
+    before = router.equal_cost_paths(src, dst)
+    link = topo.fabric.links_of(src)[0]
+    link.set_state(0.0, LinkState.DOWN)
+    assert router.equal_cost_paths(src, dst) == before  # stale
+    router.invalidate()
+    assert len(router.equal_cost_paths(src, dst)) == len(before) - 1
+
+
+def test_drain_invalidates_without_manual_call(topo, router):
+    src, dst = leaves(topo)[:2]
+    before = router.equal_cost_paths(src, dst)
+    router.drain(topo.fabric.links_of(src)[0].id)
+    assert len(router.equal_cost_paths(src, dst)) == len(before) - 1
+
+
+# -- connectivity fraction --------------------------------------------------
+
+def test_connectivity_exact_on_healthy_fabric(topo, router):
+    assert router.connectivity_fraction(leaves(topo)) == 1.0
+
+
+def test_connectivity_exact_after_isolation(topo, router):
+    endpoints = leaves(topo)
+    for link in topo.fabric.links_of(endpoints[0]):
+        link.set_state(0.0, LinkState.DOWN)
+    router.invalidate()
+    n = len(endpoints)
+    # Pairs not touching the isolated leaf still route.
+    expected = ((n - 1) * (n - 2) / 2) / (n * (n - 1) / 2)
+    assert router.connectivity_fraction(endpoints) \
+        == pytest.approx(expected)
+
+
+def test_connectivity_sampled_never_materializes_pairs(topo, router):
+    """The sampled path draws linear indices straight from the
+    combination space; estimates stay in [0, 1], are deterministic per
+    seed, and agree with the exact answer on a healthy fabric."""
+    endpoints = leaves(topo)  # 15 pairs
+    sampled = router.connectivity_fraction(
+        endpoints, rng=np.random.default_rng(3), sample_pairs=10)
+    again = router.connectivity_fraction(
+        endpoints, rng=np.random.default_rng(3), sample_pairs=10)
+    assert sampled == again == 1.0
+
+    for link in topo.fabric.links_of(endpoints[0]):
+        link.set_state(0.0, LinkState.DOWN)
+    router.invalidate()
+    degraded = router.connectivity_fraction(
+        endpoints, rng=np.random.default_rng(3), sample_pairs=10)
+    assert 0.0 <= degraded < 1.0
+
+
+def test_connectivity_trivial_endpoint_sets(router):
+    assert router.connectivity_fraction([]) == 1.0
+    assert router.connectivity_fraction(["one"]) == 1.0

@@ -1,0 +1,35 @@
+"""Bench E17 — twin-guided plan ranking beats FIFO dispatch (§4).
+
+The digital-twin acceptance bar: with a mixed hot/cold reseat
+campaign under a diurnal hotspot matrix, ranking candidates by forked
+what-if rollouts must show materially lower maintenance-window p99
+FCT than queue-order dispatch, by steering hot-uplink drains away
+from the peak — with both arms doing the same physical work.
+"""
+
+from conftest import run_once
+
+from dcrobot.experiments import e17_twin_planning
+
+
+def test_e17_twin_planning(benchmark):
+    result = run_once(benchmark, e17_twin_planning.run, quick=True)
+    print()
+    print(result.render())
+
+    series = dict(result.series)["maintenance_p99_fct_seconds"]
+    by_arm = dict(series)  # 0 = fifo, 1 = twin-ranked
+    fifo_p99, twin_p99 = by_arm[0], by_arm[1]
+
+    # The paper's claim: simulating the repair before executing it
+    # makes the same maintenance materially cheaper for the workload.
+    assert twin_p99 < fifo_p99, (
+        f"twin-ranked maintenance p99 {twin_p99:.3f}s not below "
+        f"fifo {fifo_p99:.3f}s")
+
+    # The mechanism must be plan *reordering*: fewer hot uplinks
+    # drained inside the daytime peak.
+    peaks = dict(dict(result.series)["peak_hot_reseats"])
+    assert peaks[1] < peaks[0], (
+        f"twin arm drained {peaks[1]} hot uplinks at peak, "
+        f"fifo {peaks[0]} — ranking did not reorder the work")

@@ -132,7 +132,7 @@ class MaintenanceController:
                  rng: Optional[np.random.Generator] = None,
                  journal: Optional[WriteAheadJournal] = None,
                  node_id: str = "primary", obs=NULL_OBS,
-                 impact_gate=None) -> None:
+                 impact_gate=None, planner=None) -> None:
         self.sim = sim
         self.fabric = fabric
         self.health = health
@@ -152,6 +152,11 @@ class MaintenanceController:
         #: Congestion gate (:class:`~dcrobot.core.impact.CongestionGate`);
         #: ``None`` keeps the congestion-blind scheduling behaviour.
         self.impact_gate = impact_gate
+        #: Twin planner (:class:`~dcrobot.core.planner.TwinPlanner`);
+        #: ``None`` keeps first-come proactive dispatch.  When set,
+        #: each policy cycle's candidate requests are ranked by forked
+        #: what-if rollouts and only the predicted-best slice dispatches.
+        self.planner = planner
         if humans is None and fleet is None:
             raise ValueError("need at least one executor")
 
@@ -880,11 +885,19 @@ class MaintenanceController:
         sim = self.sim
         while True:
             yield sim.timeout(self.config.policy_interval_seconds)
-            for request in self.policy.periodic(sim.now):
-                if request.link_id in self.open_incidents:
-                    continue
-                if request.link_id in self._proactive_pending:
-                    continue
+            eligible = [request
+                        for request in self.policy.periodic(sim.now)
+                        if request.link_id not in self.open_incidents
+                        and request.link_id
+                        not in self._proactive_pending]
+            if self.planner is not None and len(eligible) > 1:
+                # Twin-guided selection: fork the world per candidate,
+                # roll each twin ahead, dispatch the predicted-best
+                # slice this cycle (the rest re-offer next cycle).
+                ranked = self.planner.rank(eligible, sim.now)
+                eligible = [score.request for score in
+                            ranked[:self.planner.config.dispatch_top]]
+            for request in eligible:
                 self._proactive_pending.add(request.link_id)
                 self._spawn(self._proactive(request))
 

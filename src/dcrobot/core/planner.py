@@ -1,21 +1,30 @@
-"""Fleet planning: how many robots does a hall need?
+"""Planning: fleet sizing and twin-guided repair-plan ranking.
 
-§3.4 ends with "We are still learning and experimenting to determine
-the best options" for deployment scope and fleet sizing.  This module
-gives the operator a first-order answer: model the fleet as an M/M/c
-queue (Poisson incident arrivals, exponential-ish service), size c so
-the predicted repair wait meets a target, and report utilization.
+Two planners live here:
 
-The analytic prediction deliberately ignores verification delays and
-human-fallback actions — it sizes the *robotic* stage; integration
-tests check it against full simulations.
+* :class:`FleetPlanner` — §3.4's "how many robots does a hall need?":
+  model the fleet as an M/M/c queue (Poisson incident arrivals,
+  exponential-ish service), size c so the predicted repair wait meets
+  a target, and report utilization.  The analytic prediction
+  deliberately ignores verification delays and human-fallback actions
+  — it sizes the *robotic* stage; integration tests check it against
+  full simulations.
+
+* :class:`TwinPlanner` — §4's predictive-maintenance loop made
+  concrete: fork the live world per candidate repair
+  (:class:`~dcrobot.twin.world.TwinWorld`), roll each twin a few
+  traffic windows ahead under the live matrix, and rank plans by
+  predicted post-repair SMI and p99 flow-completion time.  The
+  controller consults it (``planner=`` flag) before dispatching
+  proactive work, so competing campaign candidates are ordered by
+  what the twin says the fabric will look like, not by queue order.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -156,3 +165,115 @@ class FleetPlanner:
             if plan.predicted_repair_seconds <= target_repair_seconds:
                 return plan
         return best  # largest considered; caller sees the miss
+
+
+@dataclasses.dataclass(frozen=True)
+class TwinPlannerConfig:
+    """Knobs for twin-guided plan ranking."""
+
+    #: Traffic windows the link spends under maintenance in the twin.
+    repair_windows: int = 1
+    #: Traffic windows rolled after the repair completes.  The score's
+    #: FCT term covers *all* rolled windows — drain disruption and
+    #: post-repair recovery both count.
+    rollout_windows: int = 4
+    #: Rank at most this many candidates per policy cycle (each costs
+    #: one fork + rollout).
+    max_candidates: int = 4
+    #: How many ranked winners the controller dispatches per cycle.
+    dispatch_top: int = 1
+    #: Score = fct_weight * predicted p99 FCT − smi_weight * predicted
+    #: SMI; lower is better.
+    fct_weight: float = 1.0
+    smi_weight: float = 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanScore:
+    """One candidate plan, as the twin predicted it."""
+
+    request: object  # PlanRequest (kept untyped: core.policy imports us)
+    predicted_smi: float
+    predicted_p99_fct: float
+    score: float
+
+    def __repr__(self) -> str:
+        return (f"<PlanScore {self.request.link_id} "
+                f"smi={self.predicted_smi:.3f} "
+                f"p99={self.predicted_p99_fct:.4f}s "
+                f"score={self.score:.4f}>")
+
+
+class TwinPlanner:
+    """Ranks candidate repair plans by forking the world per plan.
+
+    Each :meth:`evaluate` call forks the live world copy-on-write,
+    executes the candidate (drain → maintenance → repair → undrain)
+    column-wise in the twin, rolls the twin ``rollout_windows`` traffic
+    windows ahead under the live matrix parameters, and scores the
+    outcome.  The live world is never touched: the fork is released
+    (``cow_release``) before returning, twin RNG draws come from
+    dedicated numbered substreams, and the twin's accounting columns
+    live only on the forked state.
+    """
+
+    def __init__(self, fabric, traffic, driver,
+                 streams, smi_tracker=None,
+                 config: Optional[TwinPlannerConfig] = None) -> None:
+        self.fabric = fabric
+        self.traffic = traffic
+        self.driver = driver
+        self.streams = streams
+        self.smi_tracker = smi_tracker
+        self.config = config or TwinPlannerConfig()
+        #: Every ranking decision, for experiments to audit
+        #: prediction-vs-realized accuracy.
+        self.decisions: List[List[PlanScore]] = []
+        self._evaluations = 0
+
+    def evaluate(self, request, now: float) -> PlanScore:
+        """Fork, simulate one candidate repair, score the outcome."""
+        from dcrobot.twin.world import TwinWorld
+
+        cfg = self.config
+        self._evaluations += 1
+        rng = self.streams.stream(
+            f"twin:{self._evaluations}:{request.link_id}")
+        with TwinWorld.fork(self.fabric, self.traffic,
+                            driver=self.driver, rng=rng, now=now,
+                            smi_tracker=self.smi_tracker) as twin:
+            twin.begin_maintenance(request.link_id)
+            twin.roll(cfg.repair_windows)
+            twin.repair_link(request.link_id)
+            twin.roll(cfg.rollout_windows)
+            # Score over every rolled window: draining a loaded link
+            # hurts during the maintenance windows, a good repair helps
+            # afterwards — the twin weighs both.
+            p99 = twin.p99_fct()
+            smi = (twin.predicted_smi()
+                   if self.smi_tracker is not None else 0.0)
+        fct_term = 0.0 if math.isnan(p99) else p99
+        score = cfg.fct_weight * fct_term - cfg.smi_weight * smi
+        return PlanScore(request=request, predicted_smi=smi,
+                         predicted_p99_fct=p99, score=score)
+
+    def rank(self, requests, now: float) -> List[PlanScore]:
+        """Candidates ordered best (lowest score) first.
+
+        At most ``max_candidates`` are evaluated (in offered order);
+        the rest are appended unevaluated behind the ranked ones so
+        the controller's dispatch slice still sees every request.
+        Ties break on link id for determinism.
+        """
+        cfg = self.config
+        head = list(requests)[:cfg.max_candidates]
+        tail = list(requests)[cfg.max_candidates:]
+        scores = [self.evaluate(request, now) for request in head]
+        scores.sort(key=lambda s: (s.score, s.request.link_id))
+        scores.extend(
+            PlanScore(request=request, predicted_smi=float("nan"),
+                      predicted_p99_fct=float("nan"),
+                      score=float("inf"))
+            for request in tail)
+        self.decisions.append(scores)
+        return scores

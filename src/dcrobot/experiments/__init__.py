@@ -1,7 +1,7 @@
 """Experiment harness (S12): every paper claim as a runnable experiment.
 
 Each experiment module exposes ``run(quick=True, seed=0) ->
-ExperimentResult``; the registry maps experiment ids (``e1`` .. ``e16``)
+ExperimentResult``; the registry maps experiment ids (``e1`` .. ``e17``)
 to those functions.  Run one from the command line::
 
     python -m dcrobot.experiments e1 [--full] [--seed N]
@@ -27,6 +27,7 @@ from dcrobot.experiments import (
     e14_crash_recovery,
     e15_scale,
     e16_traffic_maintenance,
+    e17_twin_planning,
 )
 from dcrobot.experiments.parallel import (
     Execution,
@@ -61,6 +62,7 @@ _MODULES = (
     e14_crash_recovery,
     e15_scale,
     e16_traffic_maintenance,
+    e17_twin_planning,
 )
 
 #: Experiment id -> run function.
@@ -79,7 +81,7 @@ def run_experiment(experiment_id: str, quick: bool = True,
                    seed: int = 0,
                    execution: Optional[Execution] = None,
                    observe: bool = False) -> ExperimentResult:
-    """Run one experiment by id (``e1`` .. ``e16``).
+    """Run one experiment by id (``e1`` .. ``e17``).
 
     ``execution`` selects worker count, Monte-Carlo replicates, and
     the trial cache (see :class:`dcrobot.experiments.parallel.Execution`);

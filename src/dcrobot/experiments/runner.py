@@ -29,6 +29,7 @@ from dcrobot.core.policy import (
     ReactivePolicy,
 )
 from dcrobot.core.impact import CongestionGate, ImpactConfig
+from dcrobot.core.planner import TwinPlanner, TwinPlannerConfig
 from dcrobot.core.repairs import (
     ASSISTED_TECHNICIAN_SKILL,
     RepairPhysics,
@@ -65,6 +66,7 @@ from dcrobot.telemetry.detectors import DetectorParams
 from dcrobot.telemetry.monitor import TelemetryMonitor
 from dcrobot.topology.base import SwitchRole, Topology
 from dcrobot.topology.fattree import build_fattree
+from dcrobot.topology.smi import SmiTracker
 from dcrobot.traffic.driver import TrafficDriver
 from dcrobot.traffic.state import TrafficState
 
@@ -159,6 +161,11 @@ class WorldConfig:
     #: Congestion-gate maintenance on projected ECMP-group utilization
     #: (requires ``traffic``); ``None`` = congestion-blind scheduling.
     impact: Optional[ImpactConfig] = None
+    #: Twin-guided plan ranking (requires ``traffic``): the controller
+    #: forks the world per candidate proactive repair and dispatches
+    #: the predicted-best plan each policy cycle (S18).  ``None`` =
+    #: first-come dispatch.
+    twin_planner: Optional[TwinPlannerConfig] = None
 
     @property
     def horizon_seconds(self) -> float:
@@ -194,6 +201,8 @@ class RunResult:
     traffic_driver: Optional[TrafficDriver] = None
     #: Congestion gate (None unless config.impact with traffic).
     impact_gate: Optional[CongestionGate] = None
+    #: Twin planner (None unless config.twin_planner with traffic).
+    twin_planner: Optional[TwinPlanner] = None
 
     @property
     def fabric(self):
@@ -386,6 +395,16 @@ def build_world(config: WorldConfig) -> RunResult:
             impact_gate = CongestionGate(traffic, config.impact,
                                          obs=obs)
 
+    twin_planner = None
+    if config.twin_planner is not None:
+        if traffic is None:
+            raise ValueError("twin_planner requires traffic")
+        twin_planner = TwinPlanner(
+            fabric, traffic, traffic_driver,
+            streams=RandomStreams(config.seed + 13),
+            smi_tracker=SmiTracker(topology),
+            config=config.twin_planner)
+
     ladder = EscalationLadder(config.escalation)
     scheduler = ImpactAwareScheduler(config=config.scheduler_config,
                                      traffic=traffic)
@@ -403,7 +422,7 @@ def build_world(config: WorldConfig) -> RunResult:
             config=controller_config,
             rng=np.random.default_rng(config.seed + 10),
             journal=journal, node_id=node_id, obs=obs,
-            impact_gate=impact_gate)
+            impact_gate=impact_gate, planner=twin_planner)
 
     controller = controller_factory("primary")
 
@@ -471,7 +490,8 @@ def build_world(config: WorldConfig) -> RunResult:
                      supervisor=supervisor, journal=journal,
                      coordinator=coordinator, obs=obs,
                      traffic=traffic, traffic_driver=traffic_driver,
-                     impact_gate=impact_gate)
+                     impact_gate=impact_gate,
+                     twin_planner=twin_planner)
 
 
 def run_world(config: WorldConfig) -> RunResult:

@@ -146,6 +146,66 @@ class TrafficState:
     def drained_links(self) -> set:
         return set(self._drained)
 
+    # -- copy-on-write forking ----------------------------------------------
+
+    def fork(self, fabric, rng: Optional[np.random.Generator] = None) \
+            -> "TrafficState":
+        """A twin engine bound to a forked :class:`FabricState`.
+
+        ``fabric`` is the twin's fabric handle — typically a proxy
+        whose ``.state`` is ``FabricState.fork()`` of this engine's
+        fabric and whose other attributes forward to the live fabric
+        (structure is only re-read if the twin's generation moves).
+        The fork shares every immutable routing artifact with the
+        parent — structure snapshots, usable adjacency, twin classes,
+        and the expensive per-class-pair path-interior cache — and
+        resets only the loss-dependent member resolution, which is
+        rebuilt lazily per side.  Cumulative accounting columns start
+        at zero on the twin (they join the *forked* state's consumer
+        column list, so the parent's accounting is untouched).
+        """
+        self._refresh()
+        twin = TrafficState.__new__(TrafficState)
+        twin.fabric = fabric
+        twin.endpoints = list(self.endpoints)
+        twin.params = self.params
+        twin.max_equal_paths = self.max_equal_paths
+        twin.rng = rng if rng is not None else np.random.default_rng(0)
+        twin.obs = NULL_OBS
+        fs = fabric.state
+        twin.util_bytes = fs.add_link_column(0.0)
+        twin.util_flows = fs.add_link_column(0.0)
+        twin.lost_bytes = fs.add_link_column(0.0)
+        twin._drained = set(self._drained)
+        twin._drain_epoch = self._drain_epoch
+        twin.last_offered = None
+        twin.last_congestion = None
+        twin.last_window_seconds = 0.0
+        # Structure snapshot (read-only arrays, shared).
+        twin._node_ids = self._node_ids
+        twin._node_index = self._node_index
+        twin.n_nodes = self.n_nodes
+        twin._row_u = self._row_u
+        twin._row_v = self._row_v
+        twin._caps = self._caps
+        twin._lengths = self._lengths
+        twin._caps_ext = self._caps_ext
+        twin._lengths_ext = self._lengths_ext
+        twin._endpoint_nodes = self._endpoint_nodes
+        twin._structure_gen = self._structure_gen
+        # Routing artifacts (each side replaces, never mutates, these
+        # on its own rebuild; cache fills into the shared interiors
+        # dict are value-identical on both sides).
+        twin._usable = self._usable
+        twin._adj_indptr = self._adj_indptr
+        twin._adj_indices = self._adj_indices
+        twin._class_of = self._class_of
+        twin._class_interiors = self._class_interiors
+        twin._route_key = self._route_key
+        # Member resolution depends on live loss rates: always rebuilt.
+        twin._reset_resolution()
+        return twin
+
     # -- cache maintenance ---------------------------------------------------
 
     def _refresh(self) -> None:

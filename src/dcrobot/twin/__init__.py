@@ -1,0 +1,5 @@
+"""Digital twins: copy-on-write world forks for what-if evaluation."""
+
+from dcrobot.twin.world import TwinFabric, TwinWorld
+
+__all__ = ["TwinFabric", "TwinWorld"]

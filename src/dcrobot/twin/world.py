@@ -1,0 +1,334 @@
+"""Digital-twin world forking: cheap what-if copies of a live world.
+
+The paper's §4 predictive-maintenance agenda needs the control plane to
+ask "what would the fabric look like if I executed *this* repair plan?"
+without perturbing production.  :class:`TwinWorld` answers it on the
+columnar substrate:
+
+* ``FabricState.fork()`` snapshots every per-link column lazily
+  (copy-on-write — O(1) until the first write, and only the touched
+  column splits);
+* ``TrafficState.fork()`` shares the routing structure and the
+  per-class-pair path-interior cache, resetting only loss-dependent
+  member resolution;
+* a forked RNG substream keeps the twin's stochastic draws independent
+  of — and reproducible against — the live world;
+* an optional journal snapshot (``controller.snapshot_state()`` from
+  S14) pins the controller's exact logical state at fork time;
+* an optional :meth:`~dcrobot.topology.smi.SmiTracker.fork` aggregate
+  snapshot makes predicted-SMI queries O(1) inside the twin.
+
+A forked state's bound view objects (``Link`` etc.) still belong to
+the live world, so the twin is mutated **column-wise only** through
+the vocabulary here (:meth:`set_link_state`, :meth:`drain`,
+:meth:`repair_link`, :meth:`replace_transceiver`, ...), never through
+object setters.  :meth:`TwinWorld.wrap` builds the same vocabulary
+around an ordinary (e.g. deep-copied) world, which is what lets the
+property suite prove fork-vs-deepcopy bit-identity with one code path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from dcrobot.network.enums import LinkState
+from dcrobot.network.state import CODE_OF, STATE_OF, FabricState
+from dcrobot.traffic.driver import WindowStats
+from dcrobot.traffic.flows import sample_sizes
+from dcrobot.traffic.patterns import UniformPattern
+from dcrobot.traffic.state import TrafficState, WindowResult
+
+
+class TwinFabric:
+    """A fabric handle whose columnar state is a fork.
+
+    Everything except ``state`` forwards to the live fabric: node
+    positions, switch/host registries and bound link objects are
+    structural reference data the twin reads but never writes.
+    """
+
+    def __init__(self, fabric, state: FabricState) -> None:
+        self._fabric = fabric
+        self.state = state
+
+    def __getattr__(self, name):
+        return getattr(self._fabric, name)
+
+
+class TwinWorld:
+    """One forked world: mutate it, roll it forward, read predictions.
+
+    Build with :meth:`fork` (copy-on-write twin of a live world) or
+    :meth:`wrap` (same vocabulary over an independently owned world,
+    e.g. a deep copy).  Use as a context manager — :meth:`close`
+    releases the copy-on-write shares so a long-lived parent stops
+    paying write barriers once its twins are gone.
+    """
+
+    def __init__(self, fabric, fabric_state: FabricState,
+                 traffic: Optional[TrafficState],
+                 rng: np.random.Generator,
+                 now: float = 0.0,
+                 window_seconds: float = 1800.0,
+                 sample_seconds: Optional[float] = None,
+                 flows_per_window: int = 500,
+                 pattern=None,
+                 schedule=None,
+                 next_flow_id: int = 0,
+                 controller_snapshot: Optional[dict] = None,
+                 smi=None,
+                 owns_fork: bool = False) -> None:
+        self.fabric = fabric
+        self.state = fabric_state
+        self.traffic = traffic
+        self.rng = rng
+        self.now = float(now)
+        self.window_seconds = float(window_seconds)
+        self.sample_seconds = (float(sample_seconds)
+                               if sample_seconds is not None
+                               else float(window_seconds))
+        self.flows_per_window = int(flows_per_window)
+        self.pattern = pattern or UniformPattern()
+        self.schedule = schedule
+        self.next_flow_id = int(next_flow_id)
+        #: The controller's logical state at fork time (S14 journal
+        #: snapshot) — incidents, orders, counters, fencing token.
+        self.controller_snapshot = controller_snapshot
+        #: Detached SMI aggregates (``SmiTracker.fork()``), advanced by
+        #: the replace vocabulary below.
+        self.smi_tracker = smi
+        self.windows: List[WindowStats] = []
+        self._owns_fork = owns_fork
+        self._closed = False
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def fork(cls, fabric, traffic: Optional[TrafficState] = None,
+             driver=None, rng: Optional[np.random.Generator] = None,
+             now: float = 0.0, controller=None,
+             smi_tracker=None, **overrides) -> "TwinWorld":
+        """Copy-on-write twin of a live world.
+
+        ``driver`` (a :class:`~dcrobot.traffic.driver.TrafficDriver`)
+        donates the live traffic-matrix parameters — window cadence,
+        flow counts, pattern, schedule, and the flow-id watermark — so
+        :meth:`roll` continues the live workload; pass ``overrides``
+        to diverge from it.  ``rng`` should be a dedicated substream
+        (e.g. ``streams.stream("twin:plan-3")``) so twin draws never
+        consume the live world's streams.
+        """
+        fs_child = fabric.state.fork()
+        twin_fabric = TwinFabric(fabric, fs_child)
+        twin_rng = rng if rng is not None else np.random.default_rng(0)
+        twin_traffic = (traffic.fork(twin_fabric, rng=twin_rng)
+                        if traffic is not None else None)
+        params = dict(
+            window_seconds=1800.0, sample_seconds=None,
+            flows_per_window=500, pattern=None, schedule=None,
+            next_flow_id=0)
+        if driver is not None:
+            params.update(
+                window_seconds=driver.window_seconds,
+                sample_seconds=driver.sample_seconds,
+                flows_per_window=driver.flows_per_window,
+                pattern=driver.pattern,
+                schedule=driver.schedule,
+                next_flow_id=driver._next_flow_id)
+        params.update(overrides)
+        snapshot = (controller.snapshot_state()
+                    if controller is not None else None)
+        smi = smi_tracker.fork() if smi_tracker is not None else None
+        return cls(twin_fabric, fs_child, twin_traffic, twin_rng,
+                   now=now, controller_snapshot=snapshot, smi=smi,
+                   owns_fork=True, **params)
+
+    @classmethod
+    def wrap(cls, fabric, traffic: Optional[TrafficState] = None,
+             rng: Optional[np.random.Generator] = None,
+             now: float = 0.0, **params) -> "TwinWorld":
+        """The twin vocabulary over a world owned outright (no fork)."""
+        return cls(fabric, fabric.state, traffic,
+                   rng if rng is not None else np.random.default_rng(0),
+                   now=now, owns_fork=False, **params)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the copy-on-write shares (idempotent)."""
+        if self._owns_fork and not self._closed:
+            self.state.cow_release()
+        self._closed = True
+
+    def __enter__(self) -> "TwinWorld":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- link addressing ------------------------------------------------------
+
+    def _row(self, link_id: str) -> int:
+        return self.state.index_of[link_id]
+
+    def link_state(self, link_id: str) -> LinkState:
+        return STATE_OF[int(self.state.state_code[self._row(link_id)])]
+
+    # -- the mutation vocabulary (column-wise, object setters stay out) -------
+
+    def set_link_state(self, link_id: str, new_state: LinkState,
+                       now: Optional[float] = None) -> bool:
+        """Column-wise twin of ``Link.set_state`` (same flap rule)."""
+        when = self.now if now is None else float(now)
+        row = self._row(link_id)
+        old_state = STATE_OF[int(self.state.state_code[row])]
+        if new_state is old_state:
+            return False
+        administrative = (LinkState.MAINTENANCE
+                          in (old_state, new_state))
+        was_up = old_state is LinkState.UP
+        is_up = new_state is LinkState.UP
+        flapped = was_up != is_up and not administrative
+        self.state.state_code[row] = CODE_OF[new_state]
+        self.state.on_transition(row, when, old_state, new_state,
+                                 flapped)
+        return True
+
+    def drain(self, link_id: str) -> None:
+        if self.traffic is not None:
+            self.traffic.drain(link_id)
+
+    def undrain(self, link_id: str) -> None:
+        if self.traffic is not None:
+            self.traffic.undrain(link_id)
+
+    def set_loss_rate(self, link_id: str, loss: float) -> None:
+        self.state.loss_rate[self._row(link_id)] = float(loss)
+
+    def begin_maintenance(self, link_id: str,
+                          now: Optional[float] = None) -> None:
+        """Drain, then take the link out of service for work."""
+        self.drain(link_id)
+        self.set_link_state(link_id, LinkState.MAINTENANCE, now=now)
+
+    def repair_link(self, link_id: str,
+                    now: Optional[float] = None) -> None:
+        """A completed repair: link healthy, faults gone, undrained."""
+        row = self._row(link_id)
+        fs = self.state
+        fs.loss_rate[row] = 0.0
+        fs.cable_damaged[row] = False
+        fs.ox[:, row] = 0.0
+        fs.seated[:, row] = True
+        fs.unit_hw_fault[:, row] = False
+        fs.unit_fw_stuck[:, row] = False
+        fs.port_hw_fault[:, row] = False
+        fs.cable_attached[:, row] = True
+        fs.cable_end_worst[:, row] = 0.0
+        fs.cable_end_scratched[:, row] = False
+        fs.recept_worst[:, row] = 0.0
+        self.set_link_state(link_id, LinkState.UP, now=now)
+        self.undrain(link_id)
+
+    def replace_transceiver(self, link_id: str, side: str,
+                            model_id: Optional[str] = None) -> None:
+        """Simulate a unit swap: fresh per-side physics, new model.
+
+        Columns reset like ``FabricState.rebind_transceiver``; the SMI
+        uniformity aggregate moves from the live unit's model to
+        ``model_id`` (omit it for a like-for-like spare).
+        """
+        row = self._row(link_id)
+        side_index = 0 if side == "a" else 1
+        fs = self.state
+        fs.ox[side_index, row] = 0.0
+        fs.seated[side_index, row] = True
+        fs.unit_hw_fault[side_index, row] = False
+        fs.unit_fw_stuck[side_index, row] = False
+        fs.recept_worst[side_index, row] = 0.0
+        if self.smi_tracker is not None and model_id is not None:
+            link = self.state.links_by_row[row]
+            old_model = link.transceiver_at(side).model.model_id
+            self.smi_tracker.apply_transceiver_swap(old_model,
+                                                    model_id)
+
+    def replace_cable(self, link_id: str,
+                      cleanable: Optional[bool] = None) -> None:
+        """Simulate a cable swap: fresh end faces, new separability."""
+        row = self._row(link_id)
+        fs = self.state
+        fs.cable_damaged[row] = False
+        fs.cable_end_worst[:, row] = 0.0
+        fs.cable_end_scratched[:, row] = False
+        fs.cable_attached[:, row] = True
+        if self.smi_tracker is not None and cleanable is not None:
+            old_cleanable = bool(fs.cleanable[row])
+            fs.cleanable[row] = bool(cleanable)
+            self.smi_tracker.apply_cable_swap(old_cleanable,
+                                              bool(cleanable))
+        elif cleanable is not None:
+            fs.cleanable[row] = bool(cleanable)
+
+    # -- rolling the twin forward ---------------------------------------------
+
+    def offer_window(self) -> WindowResult:
+        """One traffic window at the twin's clock (driver semantics:
+        same pattern/size/flow-id draw order as ``TrafficDriver.offer``)."""
+        if self.traffic is None:
+            raise RuntimeError("twin has no traffic engine")
+        self.now += self.window_seconds
+        count, pattern = self.flows_per_window, self.pattern
+        if self.schedule is not None:
+            count, pattern = self.schedule(self.now)
+        n_endpoints = len(self.traffic.endpoints)
+        src, dst = pattern.pairs(self.rng, count, n_endpoints)
+        sizes = sample_sizes(self.rng, count)
+        flow_ids = np.arange(self.next_flow_id,
+                             self.next_flow_id + count,
+                             dtype=np.int64)
+        self.next_flow_id += count
+        result = self.traffic.offer_window(src, dst, sizes, flow_ids,
+                                           self.sample_seconds)
+        self.windows.append(WindowStats(
+            time=self.now,
+            flows=count,
+            unroutable=result.unroutable,
+            p99_fct=result.fct_percentile(99),
+            p50_fct=result.fct_percentile(50),
+            offered_bytes=float(result.offered.sum()),
+            congestion_lost_bytes=float(
+                (result.offered * result.congestion).sum()),
+            maintenance_active=self._maintenance_active()))
+        return result
+
+    def roll(self, windows: int) -> List[WindowResult]:
+        """Advance ``windows`` traffic windows; returns their results."""
+        return [self.offer_window() for _ in range(windows)]
+
+    def _maintenance_active(self) -> bool:
+        from dcrobot.network.state import MAINTENANCE_CODE
+        fs = self.state
+        if self.traffic is not None and self.traffic.drained_links:
+            return True
+        return bool((fs.state_code[:fs.n_links]
+                     == MAINTENANCE_CODE).any())
+
+    # -- predictions ----------------------------------------------------------
+
+    def predicted_smi(self) -> float:
+        """The twin's SMI from the forked aggregates."""
+        if self.smi_tracker is None:
+            raise RuntimeError("twin was forked without an SmiTracker")
+        return self.smi_tracker.report().smi
+
+    def p99_fct(self, windows: Optional[List[WindowStats]] = None) \
+            -> float:
+        """p99 of per-window p99 FCTs over the rolled windows."""
+        pool = self.windows if windows is None else windows
+        samples = [w.p99_fct for w in pool
+                   if not np.isnan(w.p99_fct)]
+        if not samples:
+            return float("nan")
+        return float(np.percentile(samples, 99))

@@ -1,0 +1,82 @@
+"""Characterization tests pinning FleetPlanner's ranking arithmetic.
+
+The twin planner shares a module with the fleet planner; these tests
+pin the fleet planner's exact analytic outputs (M/M/c pipeline:
+incident rate -> travel -> Erlang-C wait -> recommendation) on a
+fixed topology and rate scale, so any refactor of ``core/planner.py``
+that shifts a prediction — even in the last few ulps — fails loudly
+instead of silently re-ranking fleets.
+"""
+
+import numpy as np
+import pytest
+
+from dcrobot.core import FleetPlanner
+from dcrobot.failures import FailureRates
+from dcrobot.topology import build_fattree
+
+EXACT = dict(rel=1e-12)
+
+
+@pytest.fixture
+def planner():
+    topology = build_fattree(k=4, rng=np.random.default_rng(2))
+    return FleetPlanner(topology, rates=FailureRates().scaled(200.0))
+
+
+def test_model_inputs_are_pinned(planner):
+    assert planner.incident_rate_per_second() == pytest.approx(
+        0.0004299439754607448, **EXACT)
+    assert planner.mean_travel_seconds() == pytest.approx(
+        80.88, **EXACT)
+    assert planner.service_seconds() == pytest.approx(
+        330.88, **EXACT)
+
+
+def test_predict_pipeline_is_pinned(planner):
+    single = planner.predict(1)
+    assert single.predicted_wait_seconds == pytest.approx(
+        54.87786018728761, **EXACT)
+    assert single.predicted_repair_seconds == pytest.approx(
+        385.75786018728763, **EXACT)
+    assert single.utilization == pytest.approx(
+        0.14225986260045123, **EXACT)
+    assert single.cleaners == 1
+    assert single.incident_rate_per_hour == pytest.approx(
+        1.5477983116586813, **EXACT)
+
+    pair = planner.predict(2)
+    assert pair.predicted_wait_seconds == pytest.approx(
+        1.6825894891152866, **EXACT)
+    assert pair.predicted_repair_seconds == pytest.approx(
+        332.5625894891153, **EXACT)
+    assert pair.utilization == pytest.approx(
+        0.07112993130022562, **EXACT)
+
+    quad = planner.predict(4)
+    assert quad.predicted_wait_seconds == pytest.approx(
+        0.001316437193556967, **EXACT)
+    assert quad.cleaners == 2
+
+
+def test_recommend_rank_walk_is_pinned(planner):
+    # The smallest fleet meeting the target wins the walk.
+    plan = planner.recommend(target_repair_seconds=1800.0)
+    assert plan.manipulators == 1
+    assert plan.predicted_repair_seconds == pytest.approx(
+        385.75786018728763, **EXACT)
+    # A target between predict(1) and predict(2) ranks 2 first.
+    tighter = planner.recommend(target_repair_seconds=340.0)
+    assert tighter.manipulators == 2
+    assert tighter.predicted_repair_seconds == pytest.approx(
+        332.5625894891153, **EXACT)
+
+
+def test_recommend_miss_returns_largest_considered(planner):
+    # No fleet <= 2 meets 200 s; the caller sees the best miss.
+    miss = planner.recommend(target_repair_seconds=200.0,
+                             max_manipulators=2)
+    assert miss.manipulators == 2
+    assert miss.predicted_repair_seconds == pytest.approx(
+        332.5625894891153, **EXACT)
+    assert miss.predicted_repair_seconds > 200.0

@@ -1,0 +1,192 @@
+"""Property tests for digital-twin forking: isolation, O(1) cost,
+and fork-vs-independent-world bit-identity.
+
+The contracts proven here are what makes :class:`TwinPlanner` safe to
+run against production state:
+
+* no interleaving of parent and twin mutations ever leaks a write
+  across the fork, in either direction;
+* a fork is O(1) in bytes — every column is shared until first write,
+  and a write splits exactly the touched column;
+* a forked twin rolled N windows is bit-identical to an independently
+  built copy of the same world rolled with the same RNG substream
+  (the fork is a *perfect* snapshot, not an approximation).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from dcrobot.network.enums import LinkState
+from dcrobot.network.state import _COW_ATTRS
+from dcrobot.network.switchgear import SwitchRole
+from dcrobot.sim.rng import RandomStreams
+from dcrobot.topology import build_fattree
+from dcrobot.traffic.state import TrafficState
+from dcrobot.twin import TwinWorld
+
+STATES = [LinkState.UP, LinkState.DOWN, LinkState.FLAPPING,
+          LinkState.MAINTENANCE]
+
+
+def make_world(seed, traffic=True):
+    topology = build_fattree(k=4, rng=np.random.default_rng(seed))
+    endpoints = topology.switches(SwitchRole.TOR)
+    state = (TrafficState(topology.fabric, endpoints,
+                          rng=np.random.default_rng(seed + 1),
+                          max_equal_paths=4)
+             if traffic else None)
+    return topology, state
+
+
+def snapshot(fs):
+    return {name: np.array(getattr(fs, name), subok=False)
+            for name in _COW_ATTRS}
+
+
+def assert_same(reference, fs):
+    for name, expected in reference.items():
+        actual = np.asarray(getattr(fs, name))
+        assert np.array_equal(actual, expected, equal_nan=True), name
+
+
+# An op is (side, kind, link_index, value): applied to the parent via
+# the live object API, or to the twin via the column vocabulary.
+ops = st.lists(
+    st.tuples(st.sampled_from(["parent", "twin"]),
+              st.sampled_from(["state", "loss", "maint", "repair"]),
+              st.integers(min_value=0, max_value=47),
+              st.integers(min_value=0, max_value=3)),
+    min_size=1, max_size=24)
+
+
+def apply_parent(topology, kind, link, value, clock):
+    if kind == "state":
+        link.set_state(clock, STATES[value])
+    elif kind == "loss":
+        topology.fabric.state.loss_rate[link._row] = value / 4.0
+    elif kind == "maint":
+        link.set_state(clock, LinkState.MAINTENANCE)
+    else:  # repair
+        topology.fabric.state.loss_rate[link._row] = 0.0
+        link.set_state(clock, LinkState.UP)
+
+
+def apply_twin(twin, kind, link_id, value, clock):
+    if kind == "state":
+        twin.set_link_state(link_id, STATES[value], now=clock)
+    elif kind == "loss":
+        twin.set_loss_rate(link_id, value / 4.0)
+    elif kind == "maint":
+        twin.begin_maintenance(link_id, now=clock)
+    else:
+        twin.repair_link(link_id, now=clock)
+
+
+@given(seed=st.integers(min_value=0, max_value=50), sequence=ops)
+@settings(max_examples=30, deadline=None)
+def test_interleaved_mutations_never_leak(seed, sequence):
+    """Parent after an interleaved run == parent that never forked."""
+    topology, traffic = make_world(seed)
+    control_topology, _ = make_world(seed)
+    link_ids = list(topology.fabric.links)
+    control_links = list(control_topology.fabric.links.values())
+    live_links = list(topology.fabric.links.values())
+
+    with TwinWorld.fork(topology.fabric, traffic) as twin:
+        twin_ops = []
+        for step, (side, kind, index, value) in enumerate(sequence):
+            clock = float(step + 1)
+            index %= len(link_ids)
+            if side == "parent":
+                apply_parent(topology, kind, live_links[index],
+                             value, clock)
+                apply_parent(control_topology, kind,
+                             control_links[index], value, clock)
+            else:
+                apply_twin(twin, kind, link_ids[index], value, clock)
+                twin_ops.append((kind, link_ids[index], value, clock))
+        # parent state is exactly the never-forked control's state
+        assert_same(snapshot(control_topology.fabric.state),
+                    topology.fabric.state)
+        # and the twin is exactly fork-time state + its own ops
+        replay_topology, replay_traffic = make_world(seed)
+        with TwinWorld.fork(replay_topology.fabric,
+                            replay_traffic) as replay:
+            for kind, link_id, value, clock in twin_ops:
+                apply_twin(replay, kind, link_id, value, clock)
+            assert_same(snapshot(replay.state), twin.state)
+
+
+@given(seed=st.integers(min_value=0, max_value=50),
+       index=st.integers(min_value=0, max_value=47))
+@settings(max_examples=25, deadline=None)
+def test_fork_is_o1_until_first_write(seed, index):
+    """Every column is shared at fork; one write splits exactly one."""
+    topology, _ = make_world(seed, traffic=False)
+    fs = topology.fabric.state
+    link_ids = list(topology.fabric.links)
+    link_id = link_ids[index % len(link_ids)]
+    with TwinWorld.fork(topology.fabric) as twin:
+        shared = [name for name in _COW_ATTRS
+                  if getattr(fs, name).size
+                  and np.shares_memory(getattr(fs, name),
+                                       getattr(twin.state, name))]
+        nonempty = [name for name in _COW_ATTRS
+                    if getattr(fs, name).size]
+        assert shared == nonempty  # O(1): zero bytes copied
+        twin.set_loss_rate(link_id, 0.9)
+        for name in nonempty:
+            expect_shared = name != "loss_rate"
+            assert np.shares_memory(
+                getattr(fs, name),
+                getattr(twin.state, name)) == expect_shared, name
+
+
+@given(seed=st.integers(min_value=0, max_value=30),
+       windows=st.integers(min_value=1, max_value=3),
+       maintenance_index=st.integers(min_value=0, max_value=47))
+@settings(max_examples=10, deadline=None)
+def test_twin_rollout_bit_identical_to_independent_world(
+        seed, windows, maintenance_index):
+    """Fork + roll == independently built same world + same substream.
+
+    The independent world is wrapped (no fork) so both runs go through
+    one code path; only the snapshot mechanism differs.
+    """
+    topology_a, traffic_a = make_world(seed)
+    topology_b, traffic_b = make_world(seed)
+    link_ids = list(topology_a.fabric.links)
+    target = link_ids[maintenance_index % len(link_ids)]
+
+    def script(world):
+        world.roll(windows)
+        world.begin_maintenance(target, now=world.now)
+        world.roll(1)
+        world.repair_link(target, now=world.now)
+        results = world.roll(1)
+        return results[-1]
+
+    with TwinWorld.fork(topology_a.fabric, traffic_a,
+                        rng=RandomStreams(seed).stream("twin"),
+                        window_seconds=60.0, sample_seconds=1.0,
+                        flows_per_window=300) as forked:
+        fork_last = script(forked)
+        fork_stats = [(w.p99_fct, w.offered_bytes,
+                       w.congestion_lost_bytes, w.maintenance_active)
+                      for w in forked.windows]
+    wrapped = TwinWorld.wrap(topology_b.fabric, traffic_b,
+                             rng=RandomStreams(seed).stream("twin"),
+                             window_seconds=60.0, sample_seconds=1.0,
+                             flows_per_window=300)
+    wrap_last = script(wrapped)
+    wrap_stats = [(w.p99_fct, w.offered_bytes,
+                   w.congestion_lost_bytes, w.maintenance_active)
+                  for w in wrapped.windows]
+
+    assert np.array_equal(fork_last.fct, wrap_last.fct,
+                          equal_nan=True)
+    assert np.array_equal(fork_last.offered, wrap_last.offered)
+    assert np.array_equal(fork_last.congestion, wrap_last.congestion)
+    for fork_window, wrap_window in zip(fork_stats, wrap_stats):
+        assert fork_window == wrap_window  # ==, not approx: bitwise

@@ -1,0 +1,244 @@
+"""Unit tests for TwinWorld: forking, the mutation vocabulary,
+rolling, and prediction queries."""
+
+import numpy as np
+import pytest
+
+from dcrobot.network.enums import LinkState
+from dcrobot.network.state import _COW_ATTRS
+from dcrobot.network.switchgear import SwitchRole
+from dcrobot.sim.rng import RandomStreams
+from dcrobot.topology import build_fattree
+from dcrobot.topology.smi import SmiTracker, compute_smi
+from dcrobot.traffic.driver import TrafficDriver
+from dcrobot.traffic.state import TrafficState
+from dcrobot.twin import TwinWorld
+
+
+def make_world(seed=7, k=4, traffic=True):
+    topology = build_fattree(k=k, rng=np.random.default_rng(seed))
+    endpoints = topology.switches(SwitchRole.TOR)
+    state = (TrafficState(topology.fabric, endpoints,
+                          rng=np.random.default_rng(seed + 1),
+                          max_equal_paths=4)
+             if traffic else None)
+    return topology, state
+
+
+def column_pairs(parent_fs, child_fs):
+    for name in _COW_ATTRS:
+        yield name, getattr(parent_fs, name), getattr(child_fs, name)
+
+
+# -- fork mechanics -----------------------------------------------------------
+
+
+def test_fork_shares_every_column():
+    topology, traffic = make_world()
+    fs = topology.fabric.state
+    with TwinWorld.fork(topology.fabric, traffic) as twin:
+        for name, parent, child in column_pairs(fs, twin.state):
+            if parent.size == 0:
+                continue
+            assert np.shares_memory(parent, child), name
+
+
+def test_twin_write_splits_only_the_touched_column():
+    topology, traffic = make_world()
+    fs = topology.fabric.state
+    link_id = next(iter(topology.fabric.links))
+    with TwinWorld.fork(topology.fabric, traffic) as twin:
+        twin.set_loss_rate(link_id, 0.5)
+        for name, parent, child in column_pairs(fs, twin.state):
+            if parent.size == 0:
+                continue
+            if name == "loss_rate":
+                assert not np.shares_memory(parent, child)
+            else:
+                assert np.shares_memory(parent, child), name
+        row = twin._row(link_id)
+        assert twin.state.loss_rate[row] == 0.5
+        assert fs.loss_rate[row] == 0.0
+
+
+def test_parent_write_does_not_leak_into_twin():
+    topology, traffic = make_world()
+    fabric = topology.fabric
+    link = next(iter(fabric.links.values()))
+    with TwinWorld.fork(fabric, traffic) as twin:
+        before = int(twin.state.state_code[link._row])
+        link.set_state(10.0, LinkState.DOWN)
+        assert int(twin.state.state_code[link._row]) == before
+        assert twin.link_state(link.id) is LinkState.UP
+
+
+def test_close_is_idempotent_and_parent_still_works():
+    topology, traffic = make_world()
+    fabric = topology.fabric
+    link = next(iter(fabric.links.values()))
+    twin = TwinWorld.fork(fabric, traffic)
+    child_code_before = int(twin.state.state_code[link._row])
+    twin.close()
+    twin.close()
+    # post-release parent writes are plain ndarray stores: no barrier,
+    # no leak into the (now detached) twin columns
+    link.set_state(1.0, LinkState.DOWN)
+    assert not link.operational
+    assert int(twin.state.state_code[link._row]) == child_code_before
+
+
+# -- mutation vocabulary ------------------------------------------------------
+
+
+def test_set_link_state_matches_flap_semantics():
+    topology, traffic = make_world()
+    with TwinWorld.fork(topology.fabric, traffic) as twin:
+        link_id = next(iter(topology.fabric.links))
+        assert twin.set_link_state(link_id, LinkState.DOWN, now=5.0)
+        assert twin.state._flap_len == 1  # real flap, logged
+        assert twin.set_link_state(link_id, LinkState.MAINTENANCE,
+                                   now=6.0)
+        assert twin.state._flap_len == 1  # administrative: not a flap
+        assert not twin.set_link_state(link_id, LinkState.MAINTENANCE)
+        assert twin.link_state(link_id) is LinkState.MAINTENANCE
+
+
+def test_repair_link_restores_health_columns():
+    topology, traffic = make_world()
+    with TwinWorld.fork(topology.fabric, traffic) as twin:
+        link_id = next(iter(topology.fabric.links))
+        row = twin._row(link_id)
+        twin.set_loss_rate(link_id, 0.7)
+        twin.begin_maintenance(link_id, now=3.0)
+        assert twin.link_state(link_id) is LinkState.MAINTENANCE
+        assert link_id in twin.traffic.drained_links
+        twin.repair_link(link_id, now=4.0)
+        assert twin.link_state(link_id) is LinkState.UP
+        assert twin.state.loss_rate[row] == 0.0
+        assert bool(twin.state.seated[:, row].all())
+        assert link_id not in twin.traffic.drained_links
+    # the live world never saw any of it
+    fs = topology.fabric.state
+    assert fs.loss_rate[fs.index_of[link_id]] == 0.0
+    assert not traffic.drained_links
+
+
+def test_replace_transceiver_moves_smi_uniformity():
+    topology, _ = make_world(traffic=False)
+    tracker = SmiTracker(topology)
+    live_before = tracker.report()
+    link = next(iter(topology.fabric.links.values()))
+    new_model = topology.fabric.model_catalog[0].model_id
+    old_model = link.transceiver_at("a").model.model_id
+    with TwinWorld.fork(topology.fabric,
+                        smi_tracker=tracker) as twin:
+        twin.replace_transceiver(link.id, "a", model_id=new_model)
+        predicted = twin.smi_tracker.report()
+    # the live tracker is untouched by the twin's swap
+    assert tracker.report().factors == live_before.factors
+    if new_model != old_model:
+        assert predicted.factors["uniformity"] != \
+            live_before.factors["uniformity"]
+    # the prediction matches actually doing the swap
+    unit = topology.fabric.new_transceiver(
+        link.transceiver_at("a").model.form_factor, optical=True)
+    unit.model = next(model for model in topology.fabric.model_catalog
+                      if model.model_id == new_model)
+    link.replace_transceiver("a", unit)
+    realized = compute_smi(topology)
+    assert predicted.factors["uniformity"] == pytest.approx(
+        realized.factors["uniformity"], abs=1e-12)
+    tracker.close()
+
+
+def test_replace_cable_moves_smi_serviceability():
+    topology, _ = make_world(traffic=False)
+    tracker = SmiTracker(topology)
+    link = next(iter(topology.fabric.links.values()))
+    target = not bool(link.cable.cleanable)
+    with TwinWorld.fork(topology.fabric,
+                        smi_tracker=tracker) as twin:
+        before = twin.smi_tracker.report().factors["serviceability"]
+        twin.replace_cable(link.id, cleanable=target)
+        after = twin.smi_tracker.report().factors["serviceability"]
+    n = len(topology.fabric.links)
+    assert after - before == pytest.approx(
+        (1 if target else -1) / n, abs=1e-12)
+    assert tracker.report().factors["serviceability"] \
+        == pytest.approx(before, abs=1e-12)
+    tracker.close()
+
+
+# -- rolling and predictions --------------------------------------------------
+
+
+def test_offer_window_without_traffic_raises():
+    topology, _ = make_world(traffic=False)
+    with TwinWorld.fork(topology.fabric) as twin:
+        with pytest.raises(RuntimeError, match="no traffic"):
+            twin.offer_window()
+
+
+def test_predicted_smi_without_tracker_raises():
+    topology, traffic = make_world()
+    with TwinWorld.fork(topology.fabric, traffic) as twin:
+        with pytest.raises(RuntimeError, match="SmiTracker"):
+            twin.predicted_smi()
+
+
+def test_fork_inherits_driver_parameters():
+    topology, traffic = make_world()
+    driver = TrafficDriver(traffic,
+                           rng=np.random.default_rng(3),
+                           window_seconds=600.0,
+                           sample_seconds=2.0,
+                           flows_per_window=50)
+    driver.offer(now=600.0)
+    with TwinWorld.fork(topology.fabric, traffic,
+                        driver=driver, now=600.0) as twin:
+        assert twin.window_seconds == 600.0
+        assert twin.sample_seconds == 2.0
+        assert twin.flows_per_window == 50
+        assert twin.next_flow_id == driver._next_flow_id
+        results = twin.roll(3)
+    assert len(results) == 3
+    assert len(twin.windows) == 3
+    assert twin.now == 600.0 + 3 * 600.0
+    assert twin.next_flow_id == driver._next_flow_id + 3 * 50
+    # twin rolls never advanced the live driver or its matrix log
+    assert len(driver.windows) == 1
+
+
+def test_roll_leaves_live_utilization_untouched():
+    topology, traffic = make_world()
+    n = topology.fabric.state.n_links
+    live_before = traffic.util_bytes.values[:n].copy()
+    with TwinWorld.fork(topology.fabric, traffic,
+                        rng=RandomStreams(99).stream("twin"),
+                        flows_per_window=200,
+                        window_seconds=60.0) as twin:
+        twin.roll(2)
+        assert float(twin.traffic.util_bytes.values[:n].sum()) > 0
+    assert np.array_equal(traffic.util_bytes.values[:n], live_before)
+
+
+def test_p99_fct_empty_is_nan():
+    topology, traffic = make_world()
+    with TwinWorld.fork(topology.fabric, traffic) as twin:
+        assert np.isnan(twin.p99_fct())
+
+
+def test_maintenance_windows_are_flagged():
+    topology, traffic = make_world()
+    link_id = next(iter(topology.fabric.links))
+    with TwinWorld.fork(topology.fabric, traffic,
+                        rng=np.random.default_rng(5),
+                        flows_per_window=100,
+                        window_seconds=60.0) as twin:
+        twin.roll(1)
+        twin.begin_maintenance(link_id)
+        twin.roll(1)
+        twin.repair_link(link_id)
+        twin.roll(1)
+        flags = [w.maintenance_active for w in twin.windows]
+    assert flags == [False, True, False]

@@ -28,7 +28,8 @@ from typing import Dict, Set
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 TARGETS = ("src/dcrobot/core", "src/dcrobot/chaos",
-           "src/dcrobot/obs", "src/dcrobot/traffic")
+           "src/dcrobot/obs", "src/dcrobot/traffic",
+           "src/dcrobot/twin")
 
 
 def _target_files():

@@ -1,0 +1,34 @@
+"""Bench E18 — self-healing vs naive fleet under robot mortality (§4)."""
+
+from conftest import run_once
+
+from dcrobot.experiments import e18_fleet_healing
+
+
+def test_e18_fleet_healing(benchmark):
+    result = run_once(benchmark, e18_fleet_healing.run, quick=True)
+    print()
+    print(result.render())
+
+    series = dict(result.series)
+    naive_resolution = series["resolution_vs_robot_failures_naive"]
+    healed_resolution = series["resolution_vs_robot_failures_selfheal"]
+    naive_orphaned = dict(series["orphaned_vs_robot_failures_naive"])
+    healed_orphaned = series["orphaned_vs_robot_failures_selfheal"]
+
+    # Shape: the self-healing fleet concludes >= 95% of mature
+    # incidents at every robot-failure scale and strands no orders; the
+    # naive fleet permanently orphans orders on dead units at the >= 2x
+    # scales and its conclusion rate drops below the bar at the top.
+    for (_scale, rate) in healed_resolution:
+        assert rate >= 0.95
+    for (_scale, count) in healed_orphaned:
+        assert count == 0.0
+    assert naive_resolution[-1][1] < 0.95
+    assert all(naive_orphaned[scale] > 0 for scale in (2.0, 4.0))
+
+    # Fencing tripwire: no zombie completion was ever accepted after
+    # its order had been re-dispatched — anywhere in the battery.
+    for mode in ("naive", "selfheal"):
+        for (_scale, accepted) in series[f"zombie_accepted_{mode}"]:
+            assert accepted == 0.0

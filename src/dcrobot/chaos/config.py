@@ -8,6 +8,9 @@ from typing import Tuple
 _PROB_FIELDS = (
     "robot_stall_prob",
     "robot_crash_prob",
+    "robot_die_prob",
+    "robot_zombie_prob",
+    "battery_lie_prob",
     "partial_completion_prob",
     "telemetry_drop_prob",
     "telemetry_dup_prob",
@@ -37,6 +40,19 @@ class ChaosConfig:
     #: out for the recovery period, and a human is requested.
     robot_crash_prob: float = 0.0
     robot_crash_recovery_seconds: Tuple[float, float] = (1800.0, 14400.0)
+    #: Robot dies mid-operation: it stops heartbeating, never reports,
+    #: and its carcass stays at the rack until recovered.  Requires a
+    #: robot health model on the fleet to take effect.
+    robot_die_prob: float = 0.0
+    robot_die_work_seconds: Tuple[float, float] = (60.0, 900.0)
+    #: Robot goes dark mid-operation (no heartbeats) but keeps working;
+    #: its late completion must be refused by the fencing guard.
+    robot_zombie_prob: float = 0.0
+    robot_zombie_seconds: Tuple[float, float] = (3600.0, 14400.0)
+    #: Battery gauge lies: the unit reports full charge but actually
+    #: holds only this much, dying when the true charge runs out.
+    battery_lie_prob: float = 0.0
+    battery_lie_charge: Tuple[float, float] = (0.02, 0.10)
     #: Operation reports success but only partially landed (residual
     #: contact degradation the robot does not notice).
     partial_completion_prob: float = 0.0
@@ -66,6 +82,9 @@ class ChaosConfig:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
         for name in ("robot_stall_seconds",
                      "robot_crash_recovery_seconds",
+                     "robot_die_work_seconds",
+                     "robot_zombie_seconds",
+                     "battery_lie_charge",
                      "partial_residual_oxidation",
                      "ack_delay_seconds",
                      "controller_pause_seconds"):
@@ -91,6 +110,20 @@ class ChaosConfig:
         return dataclasses.replace(
             self, **{name: min(1.0, getattr(self, name) * factor)
                      for name in _PROB_FIELDS})
+
+    @classmethod
+    def robot_failures(cls) -> "ChaosConfig":
+        """A preset exercising only the robot fault battery (E18):
+        stall, crash, die-mid-order, zombie completion, battery lie.
+        The control-plane and telemetry injectors stay off so the
+        experiment isolates the fleet layer."""
+        return cls(
+            robot_stall_prob=0.05,
+            robot_crash_prob=0.03,
+            robot_die_prob=0.05,
+            robot_zombie_prob=0.04,
+            battery_lie_prob=0.02,
+        )
 
     @classmethod
     def moderate(cls) -> "ChaosConfig":

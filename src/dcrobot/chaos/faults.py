@@ -14,6 +14,9 @@ class ChaosFaultKind(enum.Enum):
 
     ROBOT_STALL = "robot-stall"
     ROBOT_CRASH = "robot-crash"
+    ROBOT_DIE = "robot-die"
+    ROBOT_ZOMBIE = "robot-zombie"
+    BATTERY_LIE = "battery-lie"
     PARTIAL_COMPLETION = "partial-completion"
     TELEMETRY_DROP = "telemetry-drop"
     TELEMETRY_DUP = "telemetry-dup"

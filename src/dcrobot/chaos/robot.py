@@ -27,10 +27,21 @@ class RobotChaosPlan:
     crash: bool = False
     crash_recovery_seconds: float = 0.0
     partial: bool = False
+    #: Unit dies after this much rack work (health-model fleets only).
+    die: bool = False
+    die_after_seconds: float = 0.0
+    #: Unit goes dark (no heartbeats) for this long mid-operation,
+    #: then tries to report a late completion.
+    zombie: bool = False
+    zombie_seconds: float = 0.0
+    #: Battery gauge lies: true charge is this fraction, not "full".
+    battery_lie: bool = False
+    battery_lie_charge: float = 0.0
 
     @property
     def any(self) -> bool:
-        return self.stall_seconds > 0 or self.crash or self.partial
+        return (self.stall_seconds > 0 or self.crash or self.partial
+                or self.die or self.zombie or self.battery_lie)
 
 
 class RobotChaos:
@@ -73,9 +84,48 @@ class RobotChaos:
                             order.link_id,
                             f"order {order.order_id} will only "
                             f"partially complete")
+        # The robot-death battery (die / zombie / battery-lie) draws are
+        # gated on their probabilities being enabled at all, so worlds
+        # configured before these faults existed consume a bit-identical
+        # RNG stream (the chaos goldens depend on it).
+        die = False
+        die_after = 0.0
+        if (config.robot_die_prob > 0
+                and self.rng.random() < config.robot_die_prob):
+            die = True
+            die_after = self._uniform(config.robot_die_work_seconds)
+            self.log.record(now, ChaosFaultKind.ROBOT_DIE,
+                            order.link_id,
+                            f"order {order.order_id}: unit dies after "
+                            f"{die_after:.0f}s at the rack")
+        zombie = False
+        zombie_seconds = 0.0
+        if (not die and config.robot_zombie_prob > 0
+                and self.rng.random() < config.robot_zombie_prob):
+            zombie = True
+            zombie_seconds = self._uniform(config.robot_zombie_seconds)
+            self.log.record(now, ChaosFaultKind.ROBOT_ZOMBIE,
+                            order.link_id,
+                            f"order {order.order_id}: unit goes dark "
+                            f"{zombie_seconds:.0f}s mid-operation")
+        battery_lie = False
+        battery_charge = 0.0
+        if (not die and config.battery_lie_prob > 0
+                and self.rng.random() < config.battery_lie_prob):
+            battery_lie = True
+            battery_charge = self._uniform(config.battery_lie_charge)
+            self.log.record(now, ChaosFaultKind.BATTERY_LIE,
+                            order.link_id,
+                            f"order {order.order_id}: gauge says full, "
+                            f"true charge {battery_charge:.2f}")
         return RobotChaosPlan(stall_seconds=stall_seconds, crash=crash,
                               crash_recovery_seconds=recovery,
-                              partial=partial)
+                              partial=partial,
+                              die=die, die_after_seconds=die_after,
+                              zombie=zombie,
+                              zombie_seconds=zombie_seconds,
+                              battery_lie=battery_lie,
+                              battery_lie_charge=battery_charge)
 
     def apply_partial(self, link, now: float) -> None:
         """Leave residual degradation after a 'successful' repair.

@@ -491,6 +491,15 @@ class MaintenanceController:
                           and self.fleet.can_execute(action)
                           and rack_id is not None
                           and self.fleet.covers(rack_id))
+        if robots_allowed and not getattr(
+                self.fleet, "operational", lambda: True)():
+            # Graceful degradation: the fleet has fallen below its
+            # health quorum — stop queueing orders on a dying fleet and
+            # fall back to the technician pool.
+            self.degraded_dispatches += 1
+            if self.obs.enabled:
+                self.obs.count("dcrobot_degraded_dispatches_total")
+            robots_allowed = False
         if robots_allowed and self.fleet_breaker is not None:
             before = self.fleet_breaker.state
             allowed = self.fleet_breaker.allows(self.sim.now)
@@ -896,7 +905,7 @@ class MaintenanceController:
                 # slice this cycle (the rest re-offer next cycle).
                 ranked = self.planner.rank(eligible, sim.now)
                 eligible = [score.request for score in
-                            ranked[:self.planner.config.dispatch_top]]
+                            ranked[:self.planner.dispatch_quota()]]
             for request in eligible:
                 self._proactive_pending.add(request.link_id)
                 self._spawn(self._proactive(request))

@@ -219,17 +219,36 @@ class TwinPlanner:
 
     def __init__(self, fabric, traffic, driver,
                  streams, smi_tracker=None,
-                 config: Optional[TwinPlannerConfig] = None) -> None:
+                 config: Optional[TwinPlannerConfig] = None,
+                 fleet=None) -> None:
         self.fabric = fabric
         self.traffic = traffic
         self.driver = driver
         self.streams = streams
         self.smi_tracker = smi_tracker
         self.config = config or TwinPlannerConfig()
+        #: Robot fleet whose health the planner consults (optional):
+        #: a degraded fleet shrinks the per-cycle dispatch quota so the
+        #: twin does not plan more concurrent repairs than the healthy
+        #: units can actually carry out.
+        self.fleet = fleet
         #: Every ranking decision, for experiments to audit
         #: prediction-vs-realized accuracy.
         self.decisions: List[List[PlanScore]] = []
         self._evaluations = 0
+
+    def dispatch_quota(self) -> int:
+        """Winners to dispatch this cycle, scaled by fleet health.
+
+        ``dispatch_top`` shrinks proportionally to the in-service
+        fraction of the fleet (never below one — a single healthy unit
+        still takes work).
+        """
+        top = self.config.dispatch_top
+        if self.fleet is None:
+            return top
+        fraction = self.fleet.healthy_fraction()
+        return max(1, math.ceil(top * fraction))
 
     def evaluate(self, request, now: float) -> PlanScore:
         """Fork, simulate one candidate repair, score the outcome."""

@@ -1,0 +1,203 @@
+"""E18 — Self-maintaining the maintainers: fleet self-healing.
+
+Paper anchor: §4 — "robots will themselves fail".  The maintainers are
+machines too: units wear out, run on batteries, die mid-order, and go
+dark while still holding a link in maintenance.  A self-maintaining
+system must *detect* those losses (heartbeats, not assumptions) and
+heal around them — re-dispatching orphaned orders under a fencing
+epoch, quarantining flaky units, repairing robots with robots, and
+degrading gracefully to humans below quorum.
+
+Two fleets run across a sweep of robot-failure rates (die-mid-order,
+zombie completion, battery lie, stall, crash — the
+:meth:`~dcrobot.chaos.config.ChaosConfig.robot_failures` battery,
+scaled together, on top of the organic wear hazard):
+
+* **naive** — health is modelled but unmanaged: a dead unit's order
+  simply never concludes, the incident hangs open forever, and the
+  fleet silently shrinks.
+* **selfheal** — heartbeat watchdog, fenced re-dispatch of orphaned
+  orders (a zombie's late completion is refused on its stale epoch),
+  flaky-unit quarantine, robot-repairs-robot with a small spares pool,
+  and human rescue / quorum escalation as the fallback.
+
+Both run with the legacy (non-resilient) controller so the healing
+measured here is the *fleet layer's*, and under the invariant-checking
+:class:`~dcrobot.chaos.safety.SafetyMonitor`.  Reported: incident
+conclusion rate, MTTR, permanently orphaned orders, and the
+zombie-acceptance tripwire (must be zero) as curves over the
+robot-failure scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from dcrobot.chaos.config import ChaosConfig
+from dcrobot.core.automation import AutomationLevel
+from dcrobot.experiments.parallel import Execution, run_trials
+from dcrobot.experiments.result import ExperimentResult
+from dcrobot.experiments.runner import (
+    DAY,
+    WorldConfig,
+    run_world,
+    summarize_world,
+)
+from dcrobot.metrics.report import Table
+from dcrobot.robots.fleet import FleetConfig
+from dcrobot.robots.health import RobotHealthParams
+
+EXPERIMENT_ID = "e18"
+TITLE = "Fleet self-healing: robot health, heartbeats, and recovery"
+PAPER_ANCHOR = "§4: 'robots will themselves fail'"
+
+MODES = ("naive", "selfheal")
+
+
+def _world_config(params: Dict, seed: int) -> WorldConfig:
+    chaos = ChaosConfig.robot_failures().scaled(params["robot_scale"])
+    healing = params["mode"] == "selfheal"
+    return WorldConfig(
+        horizon_days=params["horizon_days"], seed=seed,
+        failure_scale=params["failure_scale"],
+        level=AutomationLevel.L3_HIGH_AUTOMATION,
+        chaos=chaos if chaos.any_enabled else None,
+        robot_health=RobotHealthParams(self_healing=healing),
+        # A slightly larger fleet so quorum (one half) is a meaningful
+        # threshold rather than a single-unit cliff.
+        fleet_config=FleetConfig(manipulators=3, cleaners=1),
+        safety=True,
+        stuck_after_seconds=5.0 * DAY,
+        mute_ttl_seconds=2.0 * DAY,
+        observe=bool(params.get("observe", False)))
+
+
+def _trial(params: Dict, seed: int) -> Dict:
+    """One robot-mortality world; returns the healing scoreboard."""
+    summary = summarize_world(run_world(_world_config(params, seed)))
+    stats = summary.repair_stats
+    return {
+        "incidents": summary.incidents,
+        "closed": summary.closed_incidents,
+        "escalated": summary.unresolved_incidents,
+        "open": summary.open_incidents,
+        "resolution_rate": summary.mature_resolution_rate,
+        "mttr_hours": (stats.mean / 3600.0) if stats else 0.0,
+        "orphaned_orders": summary.robot_orphaned_orders,
+        "deaths": summary.robot_deaths,
+        "heartbeat_losses": summary.robot_heartbeat_losses,
+        "redispatches": summary.robot_redispatches,
+        "quarantines": summary.robot_quarantines,
+        "zombie_refused": summary.robot_zombie_refusals,
+        "zombie_accepted": summary.robot_zombie_accepted,
+        "robot_repairs": summary.robot_repairs,
+        "human_rescues": summary.robot_human_rescues,
+        "quorum_escalations": summary.robot_quorum_escalations,
+        "healthy_fraction": summary.fleet_healthy_fraction,
+        "stuck_orders": summary.stuck_orders,
+        "violations": summary.invariant_violations,
+        "trace": summary.trace,
+        "metrics": summary.metrics,
+    }
+
+
+def run(quick: bool = True, seed: int = 0,
+        execution: Optional[Execution] = None,
+        observe: bool = False) -> ExperimentResult:
+    scales = (0.0, 1.0, 2.0, 4.0)
+    horizon_days = 16.0 if quick else 40.0
+    failure_scale = 4.0
+    result = ExperimentResult(EXPERIMENT_ID, TITLE, PAPER_ANCHOR)
+
+    param_sets = [
+        {"label": f"{mode}@{scale:g}x", "mode": mode,
+         "robot_scale": scale, "failure_scale": failure_scale,
+         "horizon_days": horizon_days}
+        for scale in scales for mode in MODES
+    ]
+    if observe:
+        # One designated trial point carries the trace/metrics export:
+        # the self-healing fleet at the 2x robot-failure operating point.
+        for params in param_sets:
+            if params["mode"] == "selfheal" \
+                    and params["robot_scale"] == 2.0:
+                params["observe"] = True
+    groups = run_trials(EXPERIMENT_ID, _trial, param_sets,
+                        base_seed=seed, execution=execution,
+                        result=result)
+    by_key = {(group.params["robot_scale"], group.params["mode"]): group
+              for group in groups}
+    if observe:
+        observed = by_key[(2.0, "selfheal")].value
+        result.trace = observed.get("trace")
+        result.metrics = observed.get("metrics")
+
+    table = Table(
+        ["robot-failure scale", "mode", "incidents", "concluded %",
+         "MTTR h", "orphaned orders", "deaths", "re-dispatches",
+         "zombies refused"],
+        title="Fleet self-healing: naive vs watchdog-healed fleet "
+              "under robot mortality")
+    series = {mode: {"resolution": [], "mttr": [], "orphaned": [],
+                     "zombie_accepted": []}
+              for mode in MODES}
+    for scale in scales:
+        for mode in MODES:
+            group = by_key[(scale, mode)]
+            rate = group.mean("resolution_rate")
+            mttr = group.mean("mttr_hours")
+            orphaned = group.mean("orphaned_orders")
+            series[mode]["resolution"].append((scale, rate))
+            series[mode]["mttr"].append((scale, mttr))
+            series[mode]["orphaned"].append((scale, orphaned))
+            series[mode]["zombie_accepted"].append(
+                (scale, group.mean("zombie_accepted")))
+            table.add_row(
+                f"{scale:g}x", mode,
+                f"{group.mean('incidents'):.1f}",
+                f"{100 * rate:.1f}",
+                f"{mttr:.1f}",
+                f"{orphaned:.1f}",
+                f"{group.mean('deaths'):.1f}",
+                f"{group.mean('redispatches'):.1f}",
+                f"{group.mean('zombie_refused'):.1f}")
+    result.add_table(table)
+
+    for mode in MODES:
+        result.add_series(f"resolution_vs_robot_failures_{mode}",
+                          series[mode]["resolution"])
+        result.add_series(f"mttr_vs_robot_failures_{mode}",
+                          series[mode]["mttr"])
+        result.add_series(f"orphaned_vs_robot_failures_{mode}",
+                          series[mode]["orphaned"])
+        result.add_series(f"zombie_accepted_{mode}",
+                          series[mode]["zombie_accepted"])
+
+    worst = scales[-1]
+    naive = by_key[(worst, "naive")]
+    healed = by_key[(worst, "selfheal")]
+    result.note(
+        f"at {worst:g}x robot failures the naive fleet strands "
+        f"{naive.mean('orphaned_orders'):.1f} orders on dead units and "
+        f"concludes {100 * naive.mean('resolution_rate'):.1f}% of "
+        f"incidents (healthy fraction "
+        f"{naive.mean('healthy_fraction'):.2f} at horizon); the "
+        f"self-healing fleet concludes "
+        f"{100 * healed.mean('resolution_rate'):.1f}% with "
+        f"{healed.mean('orphaned_orders'):.1f} orphaned "
+        f"({healed.mean('redispatches'):.1f} fenced re-dispatches, "
+        f"{healed.mean('robot_repairs'):.1f} robot-repairs-robot, "
+        f"{healed.mean('human_rescues'):.1f} human rescues)")
+    zombie_accepted = sum(
+        by_key[(scale, mode)].mean("zombie_accepted")
+        for scale in scales for mode in MODES)
+    result.note(
+        f"fencing tripwire: {zombie_accepted:g} zombie completions "
+        f"accepted across the whole battery (refused: "
+        f"{healed.mean('zombie_refused'):.1f} per run at {worst:g}x) — "
+        f"the per-order epoch guard held")
+    return result
+
+
+if __name__ == "__main__":
+    print(run(quick=True).render())

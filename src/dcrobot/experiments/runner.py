@@ -59,6 +59,7 @@ from dcrobot.network.enums import FormFactor
 from dcrobot.obs import NULL_OBS, observability_for_seed
 from dcrobot.obs.export import metrics_snapshot
 from dcrobot.robots.fleet import FleetConfig, RobotFleet
+from dcrobot.robots.health import RobotHealthModel, RobotHealthParams
 from dcrobot.sim.batch import BatchTicker
 from dcrobot.sim.engine import Simulation
 from dcrobot.sim.rng import RandomStreams
@@ -166,6 +167,11 @@ class WorldConfig:
     #: the predicted-best plan each policy cycle (S18).  ``None`` =
     #: first-come dispatch.
     twin_planner: Optional[TwinPlannerConfig] = None
+    #: Per-robot health model (wear, batteries, mid-order faults) plus
+    #: heartbeats and — when ``self_healing`` is on — the fleet
+    #: watchdog/re-dispatch/quarantine machinery (S19).  ``None`` keeps
+    #: the legacy immortal fleet.
+    robot_health: Optional[RobotHealthParams] = None
 
     @property
     def horizon_seconds(self) -> float:
@@ -365,6 +371,17 @@ def build_world(config: WorldConfig) -> RunResult:
         if humans is not None:
             controller_humans = chaos_engine.wrap_executor(humans)
 
+    if fleet is not None and config.robot_health is not None:
+        # Robots wear out, run on batteries, and die mid-order; their
+        # heartbeats land in the telemetry monitor so losses are
+        # detected, not assumed (S19).
+        fleet.attach_health(
+            RobotHealthModel(config.robot_health,
+                             rng=np.random.default_rng(config.seed + 14)),
+            monitor=monitor, obs=obs)
+        if humans is not None:
+            fleet.rescue = humans.rescue_robot
+
     journal = WriteAheadJournal() if config.journal else None
     coordinator = None
     if config.leadership:
@@ -403,7 +420,7 @@ def build_world(config: WorldConfig) -> RunResult:
             fabric, traffic, traffic_driver,
             streams=RandomStreams(config.seed + 13),
             smi_tracker=SmiTracker(topology),
-            config=config.twin_planner)
+            config=config.twin_planner, fleet=fleet)
 
     ladder = EscalationLadder(config.escalation)
     scheduler = ImpactAwareScheduler(config=config.scheduler_config,
@@ -575,6 +592,23 @@ class WorldSummary:
     #: unresolvable case accounts for: repairs silently *lost* by a
     #: controller death (the journal-less baseline's failure mode).
     orphaned_muted_links: int = 0
+    #: -- robot fleet health observables (defaults when no health
+    #: model is attached) --------------------------------------------
+    robot_deaths: int = 0
+    robot_heartbeat_losses: int = 0
+    robot_redispatches: int = 0
+    robot_quarantines: int = 0
+    robot_zombie_refusals: int = 0
+    #: Fencing-violation tripwire; must stay zero.
+    robot_zombie_accepted: int = 0
+    robot_repairs: int = 0
+    robot_human_rescues: int = 0
+    robot_spares_left: int = 0
+    #: Fleet work orders whose completion event never fired (a dead
+    #: unit's silently hung order — the naive fleet's failure mode).
+    robot_orphaned_orders: int = 0
+    robot_quorum_escalations: int = 0
+    fleet_healthy_fraction: float = 1.0
     #: -- observability exports (None unless config.observe) ----------
     #: Exported span dicts (plain data, picklable across workers).
     trace: Optional[list] = None
@@ -711,7 +745,30 @@ def summarize_world(result: RunResult) -> WorldSummary:
                            if result.journal else 0),
         recovered_incidents=controller.recovered_incident_count,
         orphaned_muted_links=_orphaned_muted_links(result, controller),
+        **_fleet_health_fields(result.fleet),
         trace=_export_trace(result), metrics=_export_metrics(result))
+
+
+def _fleet_health_fields(fleet: Optional[RobotFleet]) -> Dict:
+    """Robot-health observables for the summary (defaults when the
+    world has no fleet or no health model attached)."""
+    if fleet is None or fleet.robot_health is None:
+        return {}
+    orphaned = sum(1 for event in fleet.pending_acks.values()
+                   if not event.triggered)
+    return dict(
+        robot_deaths=fleet.deaths,
+        robot_heartbeat_losses=fleet.heartbeat_losses,
+        robot_redispatches=fleet.redispatch_count,
+        robot_quarantines=fleet.quarantine_count,
+        robot_zombie_refusals=fleet.zombie_refusals,
+        robot_zombie_accepted=fleet.zombie_acks_accepted,
+        robot_repairs=fleet.repairs_done,
+        robot_human_rescues=fleet.human_rescues,
+        robot_spares_left=fleet.spares_left,
+        robot_orphaned_orders=orphaned,
+        robot_quorum_escalations=fleet.quorum_escalations,
+        fleet_healthy_fraction=fleet.healthy_fraction())
 
 
 def _export_trace(result: RunResult) -> Optional[list]:

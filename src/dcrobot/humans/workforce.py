@@ -53,6 +53,10 @@ class TechnicianParams:
     work_noise_high: float = 1.5
     contact: ContactProfile = HUMAN_HANDS
     skill: SkillProfile = TECHNICIAN_SKILL
+    #: Hands-on time to recover a dead robot unit (swap its failed
+    #: module, clear the aisle, re-home it) when the fleet cannot
+    #: repair itself.
+    robot_rescue_seconds: float = 2.0 * HOUR
     #: When True, NORMAL-priority work only starts during the day
     #: shift; HIGH-priority pages someone around the clock.  (Robots
     #: have no such constraint — one more §2 asymmetry.)
@@ -106,6 +110,8 @@ class TechnicianPool:
         self.pending_acks: Dict[int, Event] = {}
         #: Total hands-on person-seconds (travel + work) for costing.
         self.labor_seconds = 0.0
+        #: Dead robot units recovered by a technician (fleet escalation).
+        self.robot_rescues = 0
         #: link id -> number of technicians physically at it right now
         #: (the safety monitor's "who is at the rack" ground truth).
         self.busy_links: Dict[str, int] = {}
@@ -144,6 +150,41 @@ class TechnicianPool:
         link = self.fabric.links[order.link_id]
         return self.physics.cascade.predict_touched(
             link, self.params.contact)
+
+    # -- robot rescue (the fleet's human escalation path) -----------------------
+
+    def rescue_robot(self, unit_id: str, rack_id: str,
+                     priority: Priority = Priority.HIGH) -> Event:
+        """Send a technician to recover a dead robot unit.
+
+        The returned event fires with the unit id once the technician
+        has swapped the failed module and cleared the aisle; the fleet
+        revives the unit on that signal.  Robots repairing robots is the
+        preferred path — this is the below-quorum/out-of-spares
+        fallback the paper's §4 care loop still needs humans for.
+        """
+        done = self.sim.event()
+        self.sim.process(self._rescue(unit_id, rack_id, priority, done))
+        return done
+
+    def _rescue(self, unit_id: str, rack_id: str, priority: Priority,
+                done: Event):
+        sim = self.sim
+        yield sim.timeout(self._dispatch_delay(priority))
+        with self._pool.request(priority=priority.value) as grab:
+            yield grab
+            position = self.fabric.layout.racks[rack_id].position
+            depot = self.fabric.layout.rack_at(0, 0).position
+            travel = (self.fabric.layout.travel_distance(depot, position)
+                      / self.params.walking_speed_m_s + 60.0)
+            yield sim.timeout(travel)
+            work = (self.params.robot_rescue_seconds
+                    * self.rng.uniform(self.params.work_noise_low,
+                                       self.params.work_noise_high))
+            yield sim.timeout(work)
+            self.labor_seconds += travel + work
+            self.robot_rescues += 1
+            done.succeed(unit_id)
 
     # -- internals ------------------------------------------------------------------
 

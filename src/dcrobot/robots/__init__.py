@@ -5,8 +5,15 @@ from dcrobot.robots.cleaner import CleanerParams, CleaningRobot
 from dcrobot.robots.fleet import (
     ADVANCED_CAPABILITIES,
     BASIC_CAPABILITIES,
+    Assignment,
     FleetConfig,
     RobotFleet,
+)
+from dcrobot.robots.health import (
+    OrderHazard,
+    RobotHealthModel,
+    RobotHealthParams,
+    UnitHealth,
 )
 from dcrobot.robots.manipulator import ManipulatorParams, ManipulatorRobot
 from dcrobot.robots.mobility import MobilityModel, MobilityScope
@@ -20,6 +27,11 @@ __all__ = [
     "CleanerParams",
     "RobotFleet",
     "FleetConfig",
+    "Assignment",
+    "RobotHealthParams",
+    "RobotHealthModel",
+    "UnitHealth",
+    "OrderHazard",
     "BASIC_CAPABILITIES",
     "ADVANCED_CAPABILITIES",
     "MobilityModel",

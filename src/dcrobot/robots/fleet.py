@@ -22,11 +22,14 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from dcrobot.core.actions import RepairAction, RepairOutcome, WorkOrder
+from dcrobot.core.leadership import FencingGuard
 from dcrobot.core.repairs import ROBOT_SKILL, RepairPhysics
 from dcrobot.failures.cascade import ROBOT_GRIPPER, ContactProfile
 from dcrobot.failures.health import HealthModel
 from dcrobot.network.inventory import Fabric
+from dcrobot.obs import NULL_OBS
 from dcrobot.robots.cleaner import CleaningRobot
+from dcrobot.robots.health import RobotHealthModel, UnitHealth
 from dcrobot.robots.manipulator import ManipulatorRobot
 from dcrobot.robots.mobility import MobilityScope
 from dcrobot.sim.engine import Simulation
@@ -72,6 +75,27 @@ class FleetConfig:
                 f"got {self.allocation!r}")
 
 
+@dataclasses.dataclass
+class Assignment:
+    """One submitted order's dispatch state under fleet self-healing.
+
+    Each (re)dispatch runs under a monotonically increasing *epoch*
+    admitted through a per-order :class:`FencingGuard` — the literal
+    S14 fencing mechanism, reused at order granularity.  When the
+    watchdog re-dispatches an orphaned order, the guard advances, and a
+    zombie unit's late completion (stale epoch) is refused before it
+    can double-conclude the order.
+    """
+
+    order: WorkOrder
+    done: Event
+    guard: FencingGuard
+    epoch: int = 1
+    #: Unit currently executing (None between loss and re-acquire).
+    unit_id: Optional[str] = None
+    redispatches: int = 0
+
+
 class RobotFleet:
     """Maintenance executor backed by collaborating robot units."""
 
@@ -113,6 +137,34 @@ class RobotFleet:
         #: link id -> number of operations physically touching it now
         #: (the safety monitor's "who is at the rack" ground truth).
         self.busy_links: Dict[str, int] = {}
+
+        # -- robot health / self-healing (attach_health wires these) ----
+        #: Per-robot health model; None keeps the legacy immortal fleet.
+        self.robot_health: Optional[RobotHealthModel] = None
+        #: Telemetry monitor receiving unit heartbeats.
+        self.monitor = None
+        self.obs = NULL_OBS
+        #: Human escalation hook: ``rescue(unit_id, rack_id) -> Event``.
+        self.rescue = None
+        #: order id -> Assignment (fenced dispatch state per order).
+        self.assignments: Dict[int, Assignment] = {}
+        #: Spare robot modules for robot-repairs-robot work orders.
+        self.spares_left = 0
+        self.deaths = 0
+        self.heartbeat_losses = 0
+        self.redispatch_count = 0
+        self.quarantine_count = 0
+        #: Late completions refused by a per-order fencing guard.
+        self.zombie_refusals = 0
+        #: Tripwire: a late completion that *was* accepted after the
+        #: order had already concluded.  Must stay zero — a non-zero
+        #: value is a fencing violation.
+        self.zombie_acks_accepted = 0
+        self.repairs_done = 0
+        self.human_rescues = 0
+        #: Orders concluded needs-human because the fleet fell below
+        #: quorum (or lost coverage) mid-incident.
+        self.quorum_escalations = 0
 
     def _default_homes(self, count: int) -> List[str]:
         """Spread units across rows (one per row, round-robin)."""
@@ -166,16 +218,50 @@ class RobotFleet:
     def can_execute(self, action: RepairAction) -> bool:
         return action in self.capabilities
 
+    def _service_manipulators(self) -> List[ManipulatorRobot]:
+        """Manipulators fit for dispatch (all of them when no health
+        model is attached; only in-service units otherwise)."""
+        if self.robot_health is None:
+            return self.manipulators
+        records = self.robot_health.records
+        return [robot for robot in self.manipulators
+                if robot.id not in records
+                or records[robot.id].in_service]
+
     def covers(self, rack_id: str) -> bool:
-        """Whether any manipulator's scope includes the rack."""
+        """Whether any in-service manipulator's scope includes the rack.
+
+        With a health model attached, dead/lost/quarantined units drop
+        out — coverage physically shrinks as the fleet degrades.
+        """
         return any(robot.can_reach(rack_id)
-                   for robot in self.manipulators)
+                   for robot in self._service_manipulators())
 
     def coverage_fraction(self) -> float:
         """Fraction of hall racks inside some manipulator's scope."""
         racks = list(self.fabric.layout.racks)
         covered = sum(1 for rack in racks if self.covers(rack))
         return covered / len(racks) if racks else 1.0
+
+    def healthy_fraction(self) -> float:
+        """In-service fraction of the manipulator fleet (1.0 when no
+        health model is attached)."""
+        if self.robot_health is None or not self.manipulators:
+            return 1.0
+        return len(self._service_manipulators()) / len(self.manipulators)
+
+    def operational(self) -> bool:
+        """Whether the fleet should take new work at all.
+
+        Below quorum the controller falls back to humans (graceful
+        degradation) instead of queueing orders on a dying fleet.
+        """
+        if self.robot_health is None:
+            return True
+        if not self._service_manipulators():
+            return False
+        return (self.healthy_fraction()
+                >= self.robot_health.params.quorum_fraction)
 
     def announce_touches(self, order: WorkOrder) -> List[str]:
         """Pre-maintenance contact announcement (§2)."""
@@ -198,7 +284,14 @@ class RobotFleet:
                 notes="stale fencing token: dispatching primary deposed"))
             return done
         self.pending_acks[order.order_id] = done
-        self.sim.process(self._execute(order, done))
+        if self.robot_health is not None:
+            # Fenced dispatch: each (re)dispatch of this order runs
+            # under an epoch admitted through a per-order guard.
+            self.assignments[order.order_id] = Assignment(
+                order=order, done=done, guard=FencingGuard(obs=self.obs))
+            self.sim.process(self._execute(order, done, epoch=1))
+        else:
+            self.sim.process(self._execute(order, done))
         return done
 
     def _depot_rack_id(self) -> str:
@@ -218,6 +311,236 @@ class RobotFleet:
     def release_manipulator(self, robot) -> None:
         """Return a manipulator claimed via acquire_manipulator."""
         self._idle_manipulators.put(robot)
+
+    # -- robot health, heartbeats, and self-healing ------------------------------
+
+    def attach_health(self, model: RobotHealthModel, monitor=None,
+                      obs=None) -> None:
+        """Wire the per-robot health model (and start its processes).
+
+        Every unit is registered and starts heartbeating into the
+        telemetry ``monitor``; with ``self_healing`` enabled the
+        watchdog detects stale units, re-dispatches their orphaned
+        orders under an advanced fencing epoch, quarantines flaky
+        units, and schedules robot-repairs-robot (or human rescue)
+        recovery.
+        """
+        self.robot_health = model
+        self.monitor = monitor
+        if obs is not None:
+            self.obs = obs
+        self.spares_left = model.params.robot_spares
+        for unit in self.manipulators + self.cleaners:
+            model.register(unit)
+            if monitor is not None:
+                monitor.record_heartbeat(unit.id, self.sim.now)
+        if monitor is not None:
+            self.sim.process(self._heartbeat_loop())
+            if model.params.self_healing:
+                self.sim.process(self._watchdog_loop())
+
+    def _unit_by_id(self, unit_id: str):
+        for unit in self.manipulators + self.cleaners:
+            if unit.id == unit_id:
+                return unit
+        return None
+
+    def _record_for(self, unit) -> Optional[UnitHealth]:
+        if self.robot_health is None:
+            return None
+        return self.robot_health.record_for(unit.id)
+
+    def _heartbeat_loop(self):
+        """Generator: units report liveness into the telemetry monitor.
+
+        Dead units simply stop appearing here — their absence, not any
+        self-report, is what the watchdog detects.
+        """
+        sim = self.sim
+        interval = self.robot_health.params.heartbeat_seconds
+        while True:
+            now = sim.now
+            for record in self.robot_health.records.values():
+                if record.beating(now):
+                    self.monitor.record_heartbeat(record.unit_id, now)
+            if self.obs.enabled:
+                self.obs.gauge("dcrobot_fleet_healthy_fraction",
+                               self.healthy_fraction())
+                for record in self.robot_health.records.values():
+                    self.obs.gauge("dcrobot_robot_wear", record.wear,
+                                   unit=record.unit_id)
+                    self.obs.gauge("dcrobot_robot_battery",
+                                   record.battery,
+                                   unit=record.unit_id)
+            yield sim.timeout(interval)
+
+    def _watchdog_loop(self):
+        """Generator: detect lost units from heartbeat silence, then
+        re-dispatch their orders and schedule recovery."""
+        sim = self.sim
+        params = self.robot_health.params
+        interval = params.heartbeat_seconds
+        timeout = params.heartbeat_timeout_seconds
+        while True:
+            yield sim.timeout(interval)
+            now = sim.now
+            stale = (set(self.monitor.stale_sources(now, timeout))
+                     if self.monitor is not None else set())
+            for unit_id in sorted(self.robot_health.records):
+                record = self.robot_health.records[unit_id]
+                if (unit_id in stale and not record.lost
+                        and not record.quarantined):
+                    # Silence is the only signal: the unit may be dead,
+                    # wedged, or a zombie still working — either way it
+                    # no longer owns its order.
+                    record.lost = True
+                    self.heartbeat_losses += 1
+                    if self.obs.enabled:
+                        self.obs.count(
+                            "dcrobot_robot_heartbeat_losses_total",
+                            unit=unit_id)
+                    assignment = self._assignment_of(unit_id)
+                    if assignment is not None:
+                        self._redispatch(assignment)
+                # Recovery starts only once the loss has been *detected*
+                # (a dead unit looks identical to a healthy one until its
+                # heartbeats go stale), so the orphaned order is always
+                # re-dispatched before a rescue can revive the unit and
+                # let its heartbeats resume.
+                if (((record.lost and not record.alive)
+                        or record.quarantined)
+                        and not record.recovery_started):
+                    record.recovery_started = True
+                    sim.process(self._recover(record))
+
+    def _assignment_of(self, unit_id: str) -> Optional[Assignment]:
+        for order_id in sorted(self.assignments):
+            assignment = self.assignments[order_id]
+            if (assignment.unit_id == unit_id
+                    and not assignment.done.triggered):
+                return assignment
+        return None
+
+    def _redispatch(self, assignment: Assignment) -> None:
+        """Fenced re-dispatch of an orphaned order to a healthy unit.
+
+        Advances the order's fencing epoch *first*, so the previous
+        owner's late completion is refused even if it arrives before
+        the replacement finishes.  Idempotent: a concluded order is
+        left alone.
+        """
+        if assignment.done.triggered:
+            return
+        order = assignment.order
+        assignment.epoch += 1
+        assignment.redispatches += 1
+        assignment.unit_id = None
+        assignment.guard.advance(assignment.epoch)
+        self.redispatch_count += 1
+        if self.obs.enabled:
+            self.obs.count("dcrobot_robot_redispatches_total")
+        link = self.fabric.links[order.link_id]
+        rack_id = self.manipulators[0].rack_of_link(link)
+        in_service = self._service_manipulators()
+        reachable = any(robot.can_reach(rack_id)
+                        for robot in in_service)
+        if (not reachable or self.healthy_fraction()
+                < self.robot_health.params.quorum_fraction):
+            # Graceful degradation: too few healthy units (or none in
+            # range) — conclude needs-human under the new epoch so the
+            # controller escalates instead of waiting forever.
+            self.quorum_escalations += 1
+            if self.obs.enabled:
+                self.obs.count("dcrobot_robot_quorum_escalations_total")
+            self._finish(order, assignment.done, RepairOutcome(
+                order=order, executor_id=self.executor_id,
+                started_at=self.sim.now, finished_at=self.sim.now,
+                completed=False, needs_human=True,
+                notes="fleet degraded below quorum; escalating"),
+                assignment.epoch)
+            return
+        self.sim.process(self._execute(order, assignment.done,
+                                       epoch=assignment.epoch))
+
+    def _quarantine(self, record: UnitHealth) -> None:
+        """Bench a flaky or returned-zombie unit (kept out of the idle
+        stores until repaired)."""
+        record.quarantined = True
+        record.lost = False
+        self.quarantine_count += 1
+        if self.obs.enabled:
+            self.obs.count("dcrobot_robot_quarantines_total",
+                           unit=record.unit_id)
+
+    def _recover(self, record: UnitHealth):
+        """Generator: bring a dead or quarantined unit back.
+
+        Preferred path is robot-repairs-robot: a healthy peer travels
+        to the unit with a spare module.  Out of spares (or peers), the
+        fleet escalates to the human rescue hook; with neither, the
+        unit stays down and the fleet is permanently smaller.
+        """
+        sim = self.sim
+        params = self.robot_health.params
+        unit = self._unit_by_id(record.unit_id)
+        if record.holding_link_id is not None:
+            link = self.fabric.links[record.holding_link_id]
+            rack_id = self.manipulators[0].rack_of_link(link)
+        else:
+            rack_id = unit.mobility.current_rack_id
+        helpers = [robot for robot in self._service_manipulators()
+                   if robot.id != record.unit_id
+                   and robot.can_reach(rack_id)]
+        if (params.self_healing and self.spares_left > 0 and helpers):
+            helper = yield from self._acquire(self._idle_manipulators,
+                                              rack_id)
+            yield from helper.travel_to(rack_id)
+            yield from helper.work(params.robot_repair_seconds)
+            self.spares_left -= 1
+            self.repairs_done += 1
+            if self.obs.enabled:
+                self.obs.count("dcrobot_robot_repairs_total",
+                               unit=record.unit_id)
+            self._idle_manipulators.put(helper)
+        elif self.rescue is not None:
+            self.human_rescues += 1
+            if self.obs.enabled:
+                self.obs.count("dcrobot_robot_human_rescues_total",
+                               unit=record.unit_id)
+            yield self.rescue(record.unit_id, rack_id)
+        else:
+            return  # no spares, no humans: the unit stays down
+        self._revive(record, unit)
+
+    def _revive(self, record: UnitHealth, unit) -> None:
+        """Return a repaired unit to service (fresh module, full pack)."""
+        record.alive = True
+        record.lost = False
+        record.quarantined = False
+        record.battery = 1.0
+        record.wear = 0.0
+        record.fault_times.clear()
+        record.suppress_until = float("-inf")
+        record.died_at = None
+        record.death_cause = None
+        record.recovery_started = False
+        if record.holding_link_id is not None:
+            # The carcass (and its tools) leave the rack.
+            self._release_touch(record.holding_link_id)
+            record.holding_link_id = None
+        if self.monitor is not None:
+            self.monitor.record_heartbeat(record.unit_id, self.sim.now)
+        store = (self._idle_cleaners
+                 if isinstance(unit, CleaningRobot)
+                 else self._idle_manipulators)
+        store.put(unit)
+
+    def _release_touch(self, link_id: str) -> None:
+        remaining = self.busy_links.get(link_id, 0) - 1
+        if remaining <= 0:
+            self.busy_links.pop(link_id, None)
+        else:
+            self.busy_links[link_id] = remaining
 
     # -- fleet internals -----------------------------------------------------------
 
@@ -239,25 +562,74 @@ class RobotFleet:
         return robot
 
     def _fail(self, order: WorkOrder, done: Event, note: str,
-              needs_human: bool = True) -> None:
+              needs_human: bool = True,
+              epoch: Optional[int] = None) -> None:
         outcome = RepairOutcome(
             order=order, executor_id=self.executor_id,
             started_at=self.sim.now, finished_at=self.sim.now,
             completed=False, needs_human=needs_human, notes=note)
-        self.outcomes.append(outcome)
-        done.succeed(outcome)
+        self._finish(order, done, outcome, epoch)
 
-    def _execute(self, order: WorkOrder, done: Event):
+    def _finish(self, order: WorkOrder, done: Event,
+                outcome: RepairOutcome,
+                epoch: Optional[int]) -> bool:
+        """Conclude an order — through its fencing guard when epoched.
+
+        A stale epoch (the order was re-dispatched while this unit was
+        lost) is refused: the outcome is dropped and the ``done`` event
+        left to the replacement.  Returns whether the conclusion was
+        accepted.
+        """
+        if epoch is None:
+            # Legacy path (no health model): conclude directly.
+            self.outcomes.append(outcome)
+            done.succeed(outcome)
+            return True
+        assignment = self.assignments.get(order.order_id)
+        guard = assignment.guard if assignment is not None else None
+        if guard is not None and not guard.admit(
+                epoch, time=self.sim.now, order_id=order.order_id,
+                link_id=order.link_id):
+            self.zombie_refusals += 1
+            if self.obs.enabled:
+                self.obs.count("dcrobot_robot_zombie_refusals_total")
+            return False
+        if done.triggered:
+            # Fencing violation tripwire: the guard admitted a second
+            # conclusion.  Count it (must stay zero) and do not raise
+            # through Event.succeed.
+            self.zombie_acks_accepted += 1
+            return False
+        self.outcomes.append(outcome)
+        if guard is not None:
+            # Retire the epoch: conclusion is at-most-once, so even a
+            # same-epoch duplicate is now refused as stale instead of
+            # reaching the tripwire above.
+            guard.advance(epoch + 1)
+        done.succeed(outcome)
+        return True
+
+    def _superseded(self, order: WorkOrder, epoch: Optional[int]) -> bool:
+        """Whether this execution's epoch has been fenced out."""
+        if epoch is None:
+            return False
+        assignment = self.assignments.get(order.order_id)
+        return assignment is not None and assignment.epoch != epoch
+
+    def _execute(self, order: WorkOrder, done: Event,
+                 epoch: Optional[int] = None):
         sim = self.sim
         link = self.fabric.links[order.link_id]
         if not self.can_execute(order.action):
             self._fail(order, done,
-                       f"fleet cannot perform {order.action.value}")
+                       f"fleet cannot perform {order.action.value}",
+                       epoch=epoch)
             return
         rack_id = self.manipulators[0].rack_of_link(link)
         if not self.covers(rack_id):
             self.unreachable_orders.append(order)
-            self._fail(order, done, f"no unit covers rack {rack_id}")
+            self._fail(order, done, f"no unit covers rack {rack_id}",
+                       epoch=epoch)
             return
 
         manipulator = yield from self._acquire(
@@ -266,28 +638,87 @@ class RobotFleet:
         if order.action is RepairAction.CLEAN:
             cleaner = yield from self._acquire(self._idle_cleaners,
                                                rack_id)
+        record = self._record_for(manipulator)
+        assignment = self.assignments.get(order.order_id)
+        if (assignment is not None and epoch is not None
+                and assignment.epoch == epoch):
+            assignment.unit_id = manipulator.id
         plan = (self.chaos.plan_for(order, sim.now)
                 if self.chaos is not None else None)
+        #: (cause, seconds of rack work before dying), or None.
+        death = None
+        zombie = (plan is not None and plan.zombie
+                  and record is not None)
+        if record is not None:
+            hazard = self.robot_health.plan_order(record)
+            if plan is not None and plan.die:
+                death = ("chaos", plan.die_after_seconds)
+            elif plan is not None and plan.battery_lie:
+                # The gauge lies high: the recharge check is skipped
+                # and the unit dies when the true charge runs out.
+                record.battery = plan.battery_lie_charge
+                death = ("battery", plan.battery_lie_charge
+                         * self.robot_health.params
+                         .battery_capacity_seconds)
+            elif hazard.dies:
+                death = ("wear", hazard.after_seconds)
+            if zombie and death is not None:
+                zombie = False  # a dead unit does not report late
+            if ((death is None or death[0] != "battery")
+                    and self.robot_health.needs_charge(record)):
+                yield from manipulator.work(
+                    self.robot_health.params.recharge_seconds)
+                self.robot_health.recharge(record)
         touching = False
+        holding = False
+        died = False
         try:
             started = sim.now
             travels = [sim.process(manipulator.travel_to(rack_id))]
             if cleaner is not None:
                 travels.append(sim.process(cleaner.travel_to(rack_id)))
             yield sim.all_of(travels)
+            if record is not None:
+                self.robot_health.drain(record, sim.now - started)
 
             self.busy_links[link.id] = self.busy_links.get(link.id, 0) + 1
             touching = True
+            rack_work_started = sim.now
             self.health.begin_maintenance(link, sim.now)
+            holding = True
             touch = self.physics.reach_in(link, self.contact, sim.now)
+            if death is not None:
+                # The unit dies mid-order: no report, no release — the
+                # link stays in maintenance with the carcass at the
+                # rack until the watchdog notices the silence and a
+                # replacement (or human) takes over.
+                cause, after_seconds = death
+                if after_seconds > 0:
+                    yield from manipulator.work(after_seconds)
+                died = True
+                self._die(record, link, cause)
+                return
             if plan is not None and plan.stall_seconds > 0:
                 # The unit wedges mid-operation; it eventually recovers
                 # and continues, but the ack is this much later.
+                if record is not None:
+                    self.robot_health.record_fault(record, sim.now)
                 yield from manipulator.work(plan.stall_seconds)
-            if plan is not None and plan.crash:
+            if zombie:
+                # The unit goes dark but keeps working: heartbeats
+                # stop (the watchdog will declare it lost) while the
+                # operation silently drags on toward a late report.
+                record.suppress_until = sim.now + plan.zombie_seconds
+                self.robot_health.record_fault(record, sim.now)
+                yield from manipulator.work(plan.zombie_seconds)
+            if plan is not None and plan.crash and not zombie:
                 # Aborted mid-operation: give the link back untouched,
                 # sit out the recovery, then report failure upward.
-                self.health.release_from_maintenance(link, sim.now)
+                if record is not None:
+                    self.robot_health.record_fault(record, sim.now)
+                if not self._superseded(order, epoch):
+                    self.health.release_from_maintenance(link, sim.now)
+                    holding = False
                 if plan.crash_recovery_seconds > 0:
                     yield from manipulator.work(
                         plan.crash_recovery_seconds)
@@ -298,8 +729,19 @@ class RobotFleet:
                     notes="robot crashed mid-operation",
                     secondary_disturbed=len(touch.disturbed_links),
                     secondary_damaged=len(touch.damaged_links))
-                self.outcomes.append(outcome)
-                done.succeed(outcome)
+                self._finish(order, done, outcome, epoch)
+                return
+            if self._superseded(order, epoch):
+                # A replacement owns this order now (the watchdog
+                # declared this unit lost while it was dark): walk away
+                # without touching the link further; the per-order
+                # guard formally refuses the late ack.
+                outcome = RepairOutcome(
+                    order=order, executor_id=self.executor_id,
+                    started_at=started, finished_at=sim.now,
+                    completed=False,
+                    notes="late completion fenced (stale epoch)")
+                self._finish(order, done, outcome, epoch)
                 return
             completed, needs_human, notes = yield from self._perform(
                 order, link, manipulator, cleaner)
@@ -308,6 +750,11 @@ class RobotFleet:
                 # and still reports success.
                 self.chaos.apply_partial(link, sim.now)
             self.health.release_from_maintenance(link, sim.now)
+            holding = False
+            if record is not None:
+                self.robot_health.drain(record,
+                                        sim.now - rack_work_started)
+                self.robot_health.record_operation(record)
 
             outcome = RepairOutcome(
                 order=order, executor_id=self.executor_id,
@@ -316,18 +763,45 @@ class RobotFleet:
                 notes=notes,
                 secondary_disturbed=len(touch.disturbed_links),
                 secondary_damaged=len(touch.damaged_links))
-            self.outcomes.append(outcome)
-            done.succeed(outcome)
+            self._finish(order, done, outcome, epoch)
         finally:
-            if touching:
-                remaining = self.busy_links.get(link.id, 0) - 1
-                if remaining <= 0:
-                    self.busy_links.pop(link.id, None)
-                else:
-                    self.busy_links[link.id] = remaining
-            self._idle_manipulators.put(manipulator)
+            if touching and not died:
+                self._release_touch(link.id)
+            if holding and not died \
+                    and not self._superseded(order, epoch):
+                # An exception escaping the choreography above must not
+                # leave the link stuck in maintenance forever.
+                self.health.release_from_maintenance(link, sim.now)
+            if not died:
+                self._return_unit(manipulator, self._idle_manipulators)
             if cleaner is not None:
-                self._idle_cleaners.put(cleaner)
+                self._return_unit(cleaner, self._idle_cleaners)
+
+    def _die(self, record: UnitHealth, link, cause: str) -> None:
+        """Mark a unit dead mid-order (its busy-links touch is kept:
+        the carcass is physically at the rack until recovered)."""
+        record.alive = False
+        record.died_at = self.sim.now
+        record.death_cause = cause
+        record.holding_link_id = link.id
+        self.deaths += 1
+        if self.obs.enabled:
+            self.obs.count("dcrobot_robot_deaths_total",
+                           unit=record.unit_id, cause=cause)
+
+    def _return_unit(self, unit, store: Store) -> None:
+        """Restock a unit after an order — unless self-healing policy
+        benches it (declared lost while out, or flaky)."""
+        record = self._record_for(unit)
+        if record is None:
+            store.put(unit)
+            return
+        if self.robot_health.params.self_healing and (
+                record.lost
+                or self.robot_health.is_flaky(record, self.sim.now)):
+            self._quarantine(record)
+            return
+        store.put(unit)
 
     def _perform(self, order: WorkOrder, link, manipulator, cleaner):
         """Generator: run the action's robot choreography.

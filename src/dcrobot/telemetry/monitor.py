@@ -56,6 +56,11 @@ class TelemetryMonitor:
         self.obs = obs if obs is not None else NULL_OBS
         #: link id -> time the mute was set (for TTL expiry).
         self._muted: Dict[str, float] = {}
+        #: heartbeat source id -> last beat time.  Robot units (and any
+        #: other liveness-reporting component) check in here; the fleet
+        #: watchdog asks for stale sources, so a dead or wedged unit is
+        #: *detected* from silence rather than assumed alive.
+        self._heartbeats: Dict[str, float] = {}
 
     def subscribe(self, subscriber: Subscriber) -> None:
         """Register a callback for every newly detected symptom."""
@@ -89,6 +94,27 @@ class TelemetryMonitor:
             self.unmute(link_id)
             return False
         return True
+
+    # -- heartbeats (liveness of the maintainers themselves) -------------------
+
+    def record_heartbeat(self, source_id: str, now: float) -> None:
+        """A component reports itself alive at ``now``."""
+        self._heartbeats[source_id] = now
+
+    def heartbeat_age(self, source_id: str,
+                      now: float) -> Optional[float]:
+        """Seconds since the source's last beat; None if never seen."""
+        last = self._heartbeats.get(source_id)
+        if last is None:
+            return None
+        return now - last
+
+    def stale_sources(self, now: float, timeout: float) -> List[str]:
+        """Registered sources silent for at least ``timeout`` seconds
+        (sorted by id for deterministic watchdog iteration)."""
+        return sorted(source_id
+                      for source_id, last in self._heartbeats.items()
+                      if now - last >= timeout)
 
     # -- scanning -------------------------------------------------------------
 

@@ -58,5 +58,25 @@ def test_scaled_rejects_negative_factor():
 
 def test_moderate_preset_turns_every_injector_on():
     config = ChaosConfig.moderate()
+    # The robot-death battery (die / zombie / battery-lie) is
+    # deliberately absent from moderate(): those faults need a robot
+    # health model attached, have their own preset (robot_failures),
+    # and turning them on here would shift the chaos RNG stream of
+    # every moderate() world.
+    exempt = {"robot_die_prob", "robot_zombie_prob", "battery_lie_prob"}
     for name in _PROB_FIELDS:
+        if name in exempt:
+            assert getattr(config, name) == 0.0, name
+            continue
         assert 0.0 < getattr(config, name) <= 1.0, name
+
+
+def test_robot_failures_preset_enables_only_robot_faults():
+    config = ChaosConfig.robot_failures()
+    robot = {"robot_stall_prob", "robot_crash_prob", "robot_die_prob",
+             "robot_zombie_prob", "battery_lie_prob"}
+    for name in _PROB_FIELDS:
+        if name in robot:
+            assert 0.0 < getattr(config, name) <= 1.0, name
+        else:
+            assert getattr(config, name) == 0.0, name

@@ -1,8 +1,13 @@
-"""Unit tests for mid-operation robot faults (stall/crash/partial)."""
+"""Unit tests for mid-operation robot faults.
+
+Covers the original stall/crash/partial battery and the robot-death
+battery (die / zombie / battery-lie) that feeds the fleet health model.
+"""
 
 import numpy as np
 
 from dcrobot.chaos import ChaosConfig, RobotChaos
+from dcrobot.chaos.faults import ChaosFaultKind
 from dcrobot.chaos.robot import RobotChaosPlan
 from dcrobot.core.actions import RepairAction, WorkOrder
 from dcrobot.network import LinkState
@@ -91,6 +96,84 @@ def test_partial_completion_reports_success_but_leaves_residue():
     after = max(link.transceiver_at("a").oxidation,
                 link.transceiver_at("b").oxidation)
     assert after >= before + 0.45
+
+
+def test_die_plan_draws_onset_inside_bounds_and_is_logged():
+    chaos = RobotChaos(
+        ChaosConfig(robot_die_prob=1.0,
+                    robot_die_work_seconds=(30.0, 120.0)),
+        rng=np.random.default_rng(3))
+    plan = chaos.plan_for(
+        WorkOrder(link_id="L", action=RepairAction.RESEAT,
+                  created_at=0.0), 5.0)
+    assert plan.die and plan.any
+    assert 30.0 <= plan.die_after_seconds <= 120.0
+    assert chaos.log.count(ChaosFaultKind.ROBOT_DIE) == 1
+    fault = chaos.log.faults[-1]
+    assert fault.time == 5.0
+    assert fault.target == "L"
+    assert "dies" in fault.detail
+
+
+def test_zombie_and_battery_lie_draws_are_logged():
+    chaos = RobotChaos(
+        ChaosConfig(robot_zombie_prob=1.0,
+                    robot_zombie_seconds=(600.0, 600.0),
+                    battery_lie_prob=1.0,
+                    battery_lie_charge=(0.05, 0.05)),
+        rng=np.random.default_rng(3))
+    plan = chaos.plan_for(
+        WorkOrder(link_id="L", action=RepairAction.RESEAT,
+                  created_at=0.0), 0.0)
+    assert plan.zombie and plan.zombie_seconds == 600.0
+    assert plan.battery_lie and plan.battery_lie_charge == 0.05
+    assert chaos.log.count(ChaosFaultKind.ROBOT_ZOMBIE) == 1
+    assert chaos.log.count(ChaosFaultKind.BATTERY_LIE) == 1
+
+
+def test_die_suppresses_the_zombie_and_battery_lie_draws():
+    """A unit that dies at the rack cannot also go dark-and-return or
+    mis-report its battery: death wins, the other draws are skipped."""
+    chaos = RobotChaos(
+        ChaosConfig(robot_die_prob=1.0,
+                    robot_die_work_seconds=(60.0, 60.0),
+                    robot_zombie_prob=1.0, battery_lie_prob=1.0),
+        rng=np.random.default_rng(3))
+    plan = chaos.plan_for(
+        WorkOrder(link_id="L", action=RepairAction.RESEAT,
+                  created_at=0.0), 0.0)
+    assert plan.die
+    assert not plan.zombie
+    assert not plan.battery_lie
+    assert chaos.log.count(ChaosFaultKind.ROBOT_ZOMBIE) == 0
+    assert chaos.log.count(ChaosFaultKind.BATTERY_LIE) == 0
+
+
+def test_legacy_configs_consume_a_bit_identical_rng_stream():
+    """The robot-death battery must not perturb the chaos stream of a
+    config that predates it: with its probabilities at zero, plan_for
+    consumes exactly the draws the legacy stall/crash/partial code did
+    (the chaos goldens depend on this)."""
+    config = ChaosConfig(robot_stall_prob=0.5,
+                         robot_stall_seconds=(10.0, 20.0),
+                         robot_crash_prob=0.5,
+                         robot_crash_recovery_seconds=(30.0, 40.0),
+                         partial_completion_prob=0.5)
+    chaos = RobotChaos(config, rng=np.random.default_rng(42))
+    replica = np.random.default_rng(42)
+    order = WorkOrder(link_id="L", action=RepairAction.RESEAT,
+                      created_at=0.0)
+    for _ in range(50):
+        chaos.plan_for(order, 0.0)
+        # The legacy draw sequence, replicated verbatim.
+        if replica.random() < config.robot_stall_prob:
+            replica.uniform(*config.robot_stall_seconds)
+        if replica.random() < config.robot_crash_prob:
+            replica.uniform(*config.robot_crash_recovery_seconds)
+        else:
+            replica.random()  # the partial draw happens only sans crash
+        assert (chaos.rng.bit_generator.state
+                == replica.bit_generator.state)
 
 
 def test_busy_links_tracks_the_physical_touch_window():

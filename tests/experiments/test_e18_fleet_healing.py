@@ -1,0 +1,62 @@
+"""E18 behavior + golden determinism: fleet self-healing under robot
+mortality (the ISSUE's acceptance gates, pinned as tests)."""
+
+import pytest
+
+from dcrobot.experiments import e18_fleet_healing
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    return e18_fleet_healing.run(quick=True, seed=0)
+
+
+def _series(result, name):
+    return dict(dict(result.series)[name])
+
+
+def test_e18_selfheal_concludes_where_naive_strands(quick_result):
+    """At >= 2x robot failures the self-healing fleet concludes >= 95%
+    of mature incidents while the naive fleet permanently loses orders
+    on dead units."""
+    healed = _series(quick_result, "resolution_vs_robot_failures_selfheal")
+    naive_orphans = _series(quick_result,
+                            "orphaned_vs_robot_failures_naive")
+    healed_orphans = _series(quick_result,
+                             "orphaned_vs_robot_failures_selfheal")
+    for scale, rate in healed.items():
+        assert rate >= 0.95, f"selfheal below gate at {scale}x"
+        assert healed_orphans[scale] == 0.0
+    for scale in (2.0, 4.0):
+        assert naive_orphans[scale] > 0.0
+
+
+def test_e18_naive_resolution_degrades_with_failure_rate(quick_result):
+    naive = _series(quick_result, "resolution_vs_robot_failures_naive")
+    assert naive[max(naive)] < naive[0.0]
+    assert naive[max(naive)] < 0.95
+
+
+def test_e18_fencing_tripwire_is_zero_everywhere(quick_result):
+    for mode in e18_fleet_healing.MODES:
+        accepted = _series(quick_result, f"zombie_accepted_{mode}")
+        assert all(value == 0.0 for value in accepted.values()), mode
+
+
+def test_e18_reports_the_healing_machinery(quick_result):
+    rendered = quick_result.render()
+    assert "re-dispatches" in rendered
+    assert "robot-repairs-robot" in rendered
+    assert "epoch guard held" in rendered
+
+
+def test_e18_golden_determinism(quick_result):
+    """Same seed, same config: byte-stable output.  Pins the whole
+    pipeline — chaos substreams, wear hazards, watchdog timing, fenced
+    re-dispatch — as deterministic.  Wall-clock trial timings are
+    telemetry, not results, and are excluded from the comparison."""
+    rerun = e18_fleet_healing.run(quick=True, seed=0)
+    rerun.timings.clear()
+    stable = e18_fleet_healing.run(quick=True, seed=0)
+    stable.timings.clear()
+    assert rerun.render() == stable.render()

@@ -1,0 +1,73 @@
+"""CI gates for E19 campus scale (S20 sharded multi-hall worlds).
+
+Two claims are enforced:
+
+* **bit-identity** — a 1-hall ``CampusWorld`` reproduces the legacy
+  single-hall ``World`` summary bit-for-bit on an E13-style chaos
+  config (the campus layer is pure composition, zero behaviour);
+* **flat per-hall cost** — a 10-hall E13-style chaos campus costs, per
+  hall, within 1.5x of the 1-hall wall-clock (median over halls vs
+  best-of-2 single-hall, with a small floor so scheduler noise on
+  loaded CI runners cannot fail the gate), and its federation keeps
+  boundary accounting conserved with zero safety violations added.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+
+from dcrobot.experiments.e19_campus_scale import campus_config
+from dcrobot.experiments.runner import run_world, summarize_world
+from dcrobot.shard import CampusWorld, hall_config, run_campus
+
+#: Wall-clock floor: differences below this are scheduler noise, not
+#: per-hall cost.
+FLOOR_SECONDS = 0.05
+HORIZON_DAYS = 3.0
+SEED = 2
+
+
+def _one_hall_wall() -> float:
+    """Best-of-2 single-hall wall-clock (first run pays warmup)."""
+    walls = []
+    for _attempt in range(2):
+        summary = run_campus(campus_config(1, HORIZON_DAYS, SEED))
+        walls.append(summary.hall_wall_seconds[0])
+    return min(walls)
+
+
+def test_one_hall_campus_bit_identical_to_world():
+    config = campus_config(1, HORIZON_DAYS, SEED)
+    campus = run_campus(config)
+    legacy = summarize_world(run_world(hall_config(config, 0)))
+    hall0 = campus.hall_summaries[0]
+    assert dataclasses.asdict(hall0) == dataclasses.asdict(legacy), (
+        "1-hall CampusWorld diverged from the legacy single-hall "
+        "World — the campus layer must be pure composition")
+
+
+def test_ten_hall_chaos_per_hall_wall_clock_flat():
+    single = max(_one_hall_wall(), FLOOR_SECONDS)
+    campus = CampusWorld(campus_config(10, HORIZON_DAYS, SEED))
+    summary = campus.run()
+    assert summary.halls == 10
+    assert len(summary.hall_summaries) == 10
+
+    per_hall = max(statistics.median(summary.hall_wall_seconds),
+                   FLOOR_SECONDS)
+    ratio = per_hall / single
+    assert ratio <= 1.5, (
+        f"10-hall per-hall wall-clock {per_hall:.3f}s is {ratio:.2f}x "
+        f"the 1-hall case {single:.3f}s; shards must cost near-flat "
+        f"per hall")
+
+    # The campus must actually have worked, not just been fast.
+    assert summary.invariant_violations == 0
+    assert summary.incidents >= 10, "chaos campus produced no load"
+    assert summary.mature_resolution_rate == 1.0, (
+        "a hall's resilient controller failed to conclude mature "
+        "incidents")
+    # Federation accounting conserved to float precision.
+    scale = max(summary.boundary_offered_bytes, 1.0)
+    assert campus.boundary.conservation_error() / scale < 1e-12

@@ -1,7 +1,7 @@
 """Experiment harness (S12): every paper claim as a runnable experiment.
 
 Each experiment module exposes ``run(quick=True, seed=0) ->
-ExperimentResult``; the registry maps experiment ids (``e1`` .. ``e18``)
+ExperimentResult``; the registry maps experiment ids (``e1`` .. ``e19``)
 to those functions.  Run one from the command line::
 
     python -m dcrobot.experiments e1 [--full] [--seed N]
@@ -29,6 +29,7 @@ from dcrobot.experiments import (
     e16_traffic_maintenance,
     e17_twin_planning,
     e18_fleet_healing,
+    e19_campus_scale,
 )
 from dcrobot.experiments.parallel import (
     Execution,
@@ -65,6 +66,7 @@ _MODULES = (
     e16_traffic_maintenance,
     e17_twin_planning,
     e18_fleet_healing,
+    e19_campus_scale,
 )
 
 #: Experiment id -> run function.
@@ -83,7 +85,7 @@ def run_experiment(experiment_id: str, quick: bool = True,
                    seed: int = 0,
                    execution: Optional[Execution] = None,
                    observe: bool = False) -> ExperimentResult:
-    """Run one experiment by id (``e1`` .. ``e18``).
+    """Run one experiment by id (``e1`` .. ``e19``).
 
     ``execution`` selects worker count, Monte-Carlo replicates, and
     the trial cache (see :class:`dcrobot.experiments.parallel.Execution`);

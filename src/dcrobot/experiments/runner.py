@@ -172,6 +172,22 @@ class WorldConfig:
     #: watchdog/re-dispatch/quarantine machinery (S19).  ``None`` keeps
     #: the legacy immortal fleet.
     robot_health: Optional[RobotHealthParams] = None
+    #: -- campus composition (S20) ------------------------------------
+    #: Number of halls.  1 keeps the classic single-hall world and is
+    #: what :func:`build_world` assembles; >1 describes a campus of
+    #: independent hall shards that :class:`dcrobot.shard.CampusWorld`
+    #: composes behind this same config surface.  ``build_world``
+    #: itself always builds exactly one hall — the campus fields are
+    #: read by the shard layer, never here, so a ``halls=1`` campus is
+    #: bit-identical to the legacy world by construction.
+    halls: int = 1
+    #: Per-hall field overrides (``{hall_id: {field: value}}``), e.g.
+    #: chaos or leadership on one hall only.  Ignored at halls == 1.
+    hall_overrides: Optional[Dict[int, Dict]] = None
+    #: Cross-hall boundary-shard configuration (a
+    #: :class:`dcrobot.shard.BoundaryConfig`); ``None`` uses defaults.
+    #: Typed loosely to keep the runner free of shard imports.
+    boundary: Optional[object] = None
 
     @property
     def horizon_seconds(self) -> float:
@@ -297,6 +313,10 @@ def _make_policy(config: WorldConfig, topology: Topology):
 
 def build_world(config: WorldConfig) -> RunResult:
     """Assemble (but do not run) the full experiment stack."""
+    if config.halls != 1:
+        raise ValueError(
+            f"build_world assembles exactly one hall; compose "
+            f"halls={config.halls} with dcrobot.shard.CampusWorld")
     topology = config.topology_builder(
         rng=np.random.default_rng(config.seed + 1),
         **config.topology_kwargs)
@@ -614,6 +634,14 @@ class WorldSummary:
     trace: Optional[list] = None
     #: Exported metrics snapshot (see obs.export.metrics_snapshot).
     metrics: Optional[dict] = None
+    #: -- campus/shard fields (S20; legacy single-hall defaults) ------
+    #: Which hall shard produced this summary (0 for a lone world).
+    hall: int = 0
+    #: Total halls in the world this summary belongs to.
+    halls: int = 1
+    #: Final fencing token of this hall's lease coordinator (0 when
+    #: leadership is off); the federation's epoch registry reads it.
+    fencing_token: int = 0
 
     @property
     def resolved_or_escalated_rate(self) -> float:
@@ -745,6 +773,8 @@ def summarize_world(result: RunResult) -> WorldSummary:
                            if result.journal else 0),
         recovered_incidents=controller.recovered_incident_count,
         orphaned_muted_links=_orphaned_muted_links(result, controller),
+        fencing_token=(result.coordinator.fencing_token
+                      if result.coordinator else 0),
         **_fleet_health_fields(result.fleet),
         trace=_export_trace(result), metrics=_export_metrics(result))
 

@@ -1,0 +1,246 @@
+"""The boundary shard: cross-hall links of a campus world (S20).
+
+Hall shards are fully independent columnar worlds; everything that
+crosses a hall wall lives here instead.  The boundary shard owns the
+inter-hall links (a small ECMP fan per hall pair, wired as a ring so a
+campus stays connected with O(halls) links), spreads offered cross-hall
+traffic over the live members of each fan, and keeps byte/flow
+accounting precise enough to prove conservation: every offered byte is
+either delivered over some live boundary link or counted lost, and the
+per-hall attribution (half of each link's bytes to each of its two
+endpoint halls) sums back to the delivered total exactly.
+
+The federation layer (:mod:`dcrobot.shard.federation`) drives this
+shard from its own RNG substream, so boundary activity never perturbs
+any hall's streams — the shard-isolation property the test battery
+pins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "BoundaryConfig",
+    "BoundaryLink",
+    "BoundaryShard",
+    "boundary_pairs",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class BoundaryConfig:
+    """Shape and load of the campus boundary."""
+
+    #: Parallel links per hall pair (the cross-hall ECMP fan width).
+    links_per_pair: int = 2
+    #: Per-link capacity, used for utilization reporting.
+    capacity_gbps: float = 400.0
+    #: Cross-hall traffic cadence and per-window load.
+    window_seconds: float = 1800.0
+    flows_per_window: int = 60
+    mean_flow_bytes: float = 4.0e9
+    #: Boundary-link failure rate (per link per day) and repair model.
+    failure_rate_per_day: float = 0.05
+    detect_seconds: float = 300.0
+    repair_hours_mean: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.links_per_pair < 1:
+            raise ValueError("links_per_pair must be >= 1")
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be > 0")
+        for name in ("capacity_gbps", "mean_flow_bytes",
+                     "repair_hours_mean"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0")
+        if self.flows_per_window < 0:
+            raise ValueError("flows_per_window must be >= 0")
+        if self.failure_rate_per_day < 0 or self.detect_seconds < 0:
+            raise ValueError("rates/delays must be >= 0")
+
+
+def boundary_pairs(halls: int) -> List[Tuple[int, int]]:
+    """The hall pairs the boundary wires: a ring of adjacent halls.
+
+    1 hall has no boundary; 2 halls share one pair; 3+ halls form a
+    ring (consecutive pairs plus the wrap link), so every hall has two
+    cross-hall neighbours and the campus survives any single pair
+    going dark.
+    """
+    if halls < 2:
+        return []
+    pairs = [(index, index + 1) for index in range(halls - 1)]
+    if halls > 2:
+        pairs.append((0, halls - 1))
+    return pairs
+
+
+@dataclasses.dataclass
+class BoundaryLink:
+    """One cross-hall link and its accumulated accounting."""
+
+    lid: str
+    hall_a: int
+    hall_b: int
+    capacity_bps: float
+    drained: bool = False
+    failed: bool = False
+    bytes_total: float = 0.0
+    flows_total: int = 0
+
+    @property
+    def live(self) -> bool:
+        """Carrying traffic: neither administratively drained nor
+        failed."""
+        return not (self.drained or self.failed)
+
+    @property
+    def pair(self) -> Tuple[int, int]:
+        return (self.hall_a, self.hall_b)
+
+    def __repr__(self) -> str:
+        state = "live" if self.live else (
+            "failed" if self.failed else "drained")
+        return (f"<BoundaryLink {self.lid} {self.hall_a}<->"
+                f"{self.hall_b} {state} bytes={self.bytes_total:.3g}>")
+
+
+class BoundaryShard:
+    """Cross-hall links plus conservation-grade traffic accounting.
+
+    ``offer`` spreads a window's bytes/flows evenly over the live
+    members of the pair's fan (bytes exactly, flows with the remainder
+    assigned to the lexically-first links so integer totals conserve);
+    with the whole fan dark the window is counted lost.  Totals obey
+    ``offered == delivered + lost`` and ``delivered == sum(link
+    bytes) == sum(per-hall attribution)`` — the invariants the
+    hypothesis suite holds to 1e-12.
+    """
+
+    def __init__(self, halls: int,
+                 config: BoundaryConfig = BoundaryConfig()) -> None:
+        if halls < 1:
+            raise ValueError("halls must be >= 1")
+        self.halls = halls
+        self.config = config
+        self.links: Dict[str, BoundaryLink] = {}
+        self._by_pair: Dict[Tuple[int, int], List[str]] = {}
+        capacity_bps = config.capacity_gbps * 1e9
+        for hall_a, hall_b in boundary_pairs(halls):
+            lids = []
+            for index in range(config.links_per_pair):
+                lid = f"xh:{hall_a}-{hall_b}:{index}"
+                self.links[lid] = BoundaryLink(
+                    lid=lid, hall_a=hall_a, hall_b=hall_b,
+                    capacity_bps=capacity_bps)
+                lids.append(lid)
+            self._by_pair[(hall_a, hall_b)] = lids
+        self.offered_bytes = 0.0
+        self.lost_bytes = 0.0
+        self.offered_flows = 0
+        self.lost_flows = 0
+
+    def __repr__(self) -> str:
+        return (f"<BoundaryShard halls={self.halls} "
+                f"links={len(self.links)} "
+                f"live={sum(1 for link in self.links.values() if link.live)}>")
+
+    # -- structure ----------------------------------------------------
+
+    @property
+    def pairs(self) -> List[Tuple[int, int]]:
+        return list(self._by_pair)
+
+    def link(self, lid: str) -> BoundaryLink:
+        return self.links[lid]
+
+    def links_between(self, hall_a: int,
+                      hall_b: int) -> List[BoundaryLink]:
+        pair = (hall_a, hall_b) if hall_a < hall_b else (hall_b, hall_a)
+        return [self.links[lid] for lid in self._by_pair.get(pair, [])]
+
+    def live_links(self, hall_a: int,
+                   hall_b: int) -> List[BoundaryLink]:
+        return [link for link in self.links_between(hall_a, hall_b)
+                if link.live]
+
+    def hall_links(self, hall_id: int) -> List[BoundaryLink]:
+        return [link for link in self.links.values()
+                if hall_id in link.pair]
+
+    # -- state transitions --------------------------------------------
+
+    def drain(self, lid: str) -> None:
+        self.links[lid].drained = True
+
+    def undrain(self, lid: str) -> None:
+        self.links[lid].drained = False
+
+    def fail(self, lid: str) -> None:
+        self.links[lid].failed = True
+
+    def repair(self, lid: str) -> None:
+        self.links[lid].failed = False
+
+    # -- traffic ------------------------------------------------------
+
+    def offer(self, hall_a: int, hall_b: int, bytes_: float,
+              flows: int) -> float:
+        """Offer one window of cross-hall traffic; returns delivered
+        bytes (0.0 when the whole fan is down)."""
+        if bytes_ < 0 or flows < 0:
+            raise ValueError("offered bytes/flows must be >= 0")
+        self.offered_bytes += bytes_
+        self.offered_flows += flows
+        live = self.live_links(hall_a, hall_b)
+        if not live:
+            self.lost_bytes += bytes_
+            self.lost_flows += flows
+            return 0.0
+        share = bytes_ / len(live)
+        flow_share, remainder = divmod(flows, len(live))
+        for index, link in enumerate(sorted(live,
+                                            key=lambda item: item.lid)):
+            link.bytes_total += share
+            link.flows_total += flow_share + (1 if index < remainder
+                                              else 0)
+        return bytes_
+
+    # -- accounting ---------------------------------------------------
+
+    @property
+    def delivered_bytes(self) -> float:
+        return sum(link.bytes_total for link in self.links.values())
+
+    @property
+    def delivered_flows(self) -> int:
+        return sum(link.flows_total for link in self.links.values())
+
+    def hall_attributed_bytes(self, hall_id: int) -> float:
+        """This hall's share of boundary bytes: half of every link it
+        terminates (each cross-hall byte belongs to exactly two
+        halls)."""
+        return sum(link.bytes_total / 2.0
+                   for link in self.hall_links(hall_id))
+
+    def conservation_error(self) -> float:
+        """|offered - delivered - lost| — zero up to float addition
+        noise; the property suite holds it to 1e-12 relative."""
+        return abs(self.offered_bytes - self.delivered_bytes
+                   - self.lost_bytes)
+
+    def live_fraction(self) -> float:
+        """Fraction of boundary links carrying traffic (1.0 for a
+        boundary-less single hall)."""
+        if not self.links:
+            return 1.0
+        live = sum(1 for link in self.links.values() if link.live)
+        return live / len(self.links)
+
+    def smi_factor(self) -> float:
+        """The boundary's contribution to campus SMI: its live
+        fraction, i.e. how maintainable the hall interconnect
+        currently is."""
+        return self.live_fraction()

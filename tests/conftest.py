@@ -1,6 +1,8 @@
 """Shared test fixtures: a small wired world with full failure physics."""
 
 import dataclasses
+import os
+import random
 
 import numpy as np
 import pytest
@@ -64,3 +66,24 @@ def make_world(links=4, seed=17, kind=CableKind.MPO, rows=1,
 @pytest.fixture
 def world():
     return make_world()
+
+
+def pytest_collection_modifyitems(config, items):
+    """Flake sweep: ``PYTEST_SHUFFLE_SEED=<int>`` runs the suite in a
+    deterministic random order (pytest-randomly is not a dependency).
+
+    Shuffling at module granularity keeps module-scoped fixtures
+    shared while still exercising every cross-module order
+    dependency; a failure reproduces with the same seed.
+    """
+    seed = os.environ.get("PYTEST_SHUFFLE_SEED")
+    if not seed:
+        return
+    rng = random.Random(int(seed))
+    modules = {}
+    for item in items:
+        modules.setdefault(item.nodeid.split("::", 1)[0],
+                           []).append(item)
+    order = list(modules)
+    rng.shuffle(order)
+    items[:] = [item for name in order for item in modules[name]]

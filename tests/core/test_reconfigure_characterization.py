@@ -1,0 +1,150 @@
+"""Characterization tests pinning plan_rewiring / RoboticRewirer.
+
+Pins the planner's ordering policy at its edges — the forced-partition
+escape hatch, additions-first preference, parallel-edge safety — plus
+the plan/report surfaces and the rewirer's failure modes, so the
+campus work (which reuses these classes per hall) can't drift them.
+"""
+
+import numpy as np
+import pytest
+
+from dcrobot.core.reconfigure import (
+    RewirePlan,
+    RewireStep,
+    RoboticRewirer,
+    StepKind,
+    _pair,
+    plan_rewiring,
+)
+from dcrobot.network import Fabric, HallLayout, SwitchRole
+from dcrobot.robots import FleetConfig, RobotFleet
+
+from tests.conftest import make_world
+
+
+def ring_fabric(nodes=3, radix=3):
+    fabric = Fabric(layout=HallLayout(rows=1, racks_per_row=max(nodes, 2)),
+                    rng=np.random.default_rng(0))
+    switches = [fabric.add_switch(
+        SwitchRole.NODE, radix=radix,
+        rack_id=fabric.layout.rack_at(0, index).id)
+        for index in range(nodes)]
+    return fabric, [switch.id for switch in switches]
+
+
+def test_pair_canonicalizes_order():
+    assert _pair("b", "a") == ("a", "b")
+    assert _pair("a", "b") == ("a", "b")
+    assert _pair("x", "x") == ("x", "x")
+
+
+def test_plan_and_step_reprs():
+    step = RewireStep(StepKind.ADD, None, ("sw-a", "sw-b"))
+    assert repr(step) == "<RewireStep add sw-a<->sw-b>"
+    plan = RewirePlan(steps=[
+        step, RewireStep(StepKind.REMOVE, "L1", ("sw-a", "sw-b"))])
+    assert plan.additions == 1 and plan.removals == 1
+    assert repr(plan) == "<RewirePlan -1 +1 steps=2>"
+
+
+def test_forced_partition_branch_still_emits_removal():
+    # A path a-b-c where the target drops the bridge edge b-c: no safe
+    # removal exists and no addition is pending, so the planner takes
+    # the forced branch and accepts the partition rather than stalling.
+    fabric, ids = ring_fabric()
+    fabric.connect(ids[0], ids[1])
+    fabric.connect(ids[1], ids[2])
+    plan = plan_rewiring(fabric, [(ids[0], ids[1])],
+                         protect_connectivity=True)
+    assert plan.infeasible == []
+    assert [step.kind for step in plan.steps] == [StepKind.REMOVE]
+    assert plan.steps[0].endpoints == _pair(ids[1], ids[2])
+
+
+def test_parallel_edge_removal_is_always_safe():
+    # Two parallel a-b links: removing one can never disconnect, so it
+    # is not deferred even under protection.
+    fabric, ids = ring_fabric(nodes=2)
+    fabric.connect(ids[0], ids[1])
+    fabric.connect(ids[0], ids[1])
+    plan = plan_rewiring(fabric, [(ids[0], ids[1])],
+                         protect_connectivity=True)
+    assert [step.kind for step in plan.steps] == [StepKind.REMOVE]
+
+
+def test_additions_run_before_safe_removals_when_ports_allow():
+    # Ring of three with spare radix: target swaps edge 2-0 for a
+    # parallel 0-1.  Ports are free, so the ADD is ordered first (it
+    # only improves connectivity) and the removal follows.
+    fabric, ids = ring_fabric(radix=4)
+    fabric.connect(ids[0], ids[1])
+    fabric.connect(ids[1], ids[2])
+    fabric.connect(ids[2], ids[0])
+    target = [(ids[0], ids[1]), (ids[1], ids[2]), (ids[0], ids[1])]
+    plan = plan_rewiring(fabric, target)
+    kinds = [step.kind for step in plan.steps]
+    assert kinds == [StepKind.ADD, StepKind.REMOVE]
+
+
+def test_self_loop_addition_needs_two_free_ports():
+    fabric, ids = ring_fabric(nodes=2, radix=2)
+    fabric.connect(ids[0], ids[1])
+    # ids[0] has one free port: a self-loop (needs 2) is infeasible,
+    # even though an ordinary addition would fit.
+    plan = plan_rewiring(
+        fabric, [(ids[0], ids[1]), (ids[0], ids[0])])
+    assert len(plan.infeasible) == 1
+    assert plan.infeasible[0].endpoints == (ids[0], ids[0])
+
+
+def test_unprotected_planner_removes_bridges_immediately():
+    fabric, ids = ring_fabric()
+    fabric.connect(ids[0], ids[1])
+    fabric.connect(ids[1], ids[2])
+    plan = plan_rewiring(fabric, [(ids[0], ids[1])],
+                         protect_connectivity=False)
+    assert [step.kind for step in plan.steps] == [StepKind.REMOVE]
+
+
+def test_rewirer_rejects_unplaced_nodes():
+    world = make_world(links=2)
+    fleet = RobotFleet(world.sim, world.fabric, world.health,
+                       world.physics,
+                       config=FleetConfig(manipulators=1, cleaners=0),
+                       rng=np.random.default_rng(4))
+    rewirer = RoboticRewirer(world.sim, world.fabric, fleet)
+    orphan = world.fabric.add_switch(SwitchRole.TOR, radix=2,
+                                     rack_id=None)
+    with pytest.raises(ValueError, match="unplaced"):
+        rewirer._rack_of(orphan.id)
+
+
+def test_rewirer_report_times_cable_laying():
+    # One pure addition: total time must cover at least the cable run
+    # at lay speed plus termination — the §3.3 "robots don't lay
+    # fiber yet" cost model.
+    world = make_world(links=3)
+    fabric = world.fabric
+    a, b = world.switch_a.id, world.switch_b.id
+    third = fabric.add_switch(SwitchRole.TOR, radix=2,
+                              rack_id=fabric.layout.rack_at(0, 1).id)
+    # Swap one a<->b link for a<->third: one REMOVE frees a's port,
+    # then one ADD lays the new cable.
+    target = [(a, b)] * 2 + [(a, third.id)]
+    plan = plan_rewiring(fabric, target)
+    assert plan.infeasible == []
+    assert plan.removals == 1 and plan.additions == 1
+    fleet = RobotFleet(world.sim, fabric, world.health, world.physics,
+                       config=FleetConfig(manipulators=1, cleaners=0),
+                       rng=np.random.default_rng(4))
+    lay_speed = 0.05
+    rewirer = RoboticRewirer(world.sim, fabric, fleet,
+                             lay_speed_m_s=lay_speed,
+                             terminate_seconds=60.0)
+    report = world.sim.run(until=rewirer.execute(plan))
+    assert report.steps_executed == len(plan.steps)
+    assert len(report.added_link_ids) == plan.additions
+    assert len(report.removed_link_ids) == plan.removals
+    assert report.total_seconds \
+        >= fabric.cable_length(a, third.id) / lay_speed + 60.0

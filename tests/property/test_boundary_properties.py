@@ -1,0 +1,155 @@
+"""Property tests for BoundaryShard accounting (S20).
+
+The boundary shard is the only place campus bytes can silently leak:
+every offered byte must end up either delivered over a live cross-hall
+link or counted as lost, under *any* interleaving of traffic offers
+with drain/undrain/fail/repair operations.  The suite drives arbitrary
+op sequences against both the shard and an independent flat-accounting
+oracle (which knows nothing about link fan-out or spreading) and holds:
+
+* bytes conserve: offered == delivered + lost, to 1e-12 relative;
+* flows conserve *exactly* — they are integers end to end;
+* per-hall attribution re-sums to delivered bytes (each link half to
+  each endpoint hall), so campus-level accounting never double-counts;
+* the shard's delivered/lost split agrees with the oracle.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from dcrobot.shard import BoundaryConfig, BoundaryShard, boundary_pairs
+
+REL = 1e-12
+
+# An op sequence over a campus boundary: traffic offers interleaved
+# with administrative drains and fault fail/repairs.  Pair and link
+# indices are drawn wide and wrapped onto the actual topology.
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["offer", "drain", "undrain", "fail",
+                         "repair"]),
+        st.integers(min_value=0, max_value=11),     # pair index
+        st.integers(min_value=0, max_value=3),      # link-in-fan index
+        st.floats(min_value=0.0, max_value=1e12,
+                  allow_nan=False, allow_infinity=False),
+        st.integers(min_value=0, max_value=500),    # flows
+    ),
+    min_size=1, max_size=60)
+
+
+class FlatOracle:
+    """Independent accounting: tracks only per-link up/down bits and
+    whole-fan totals — no spreading, no shard internals."""
+
+    def __init__(self, halls, links_per_pair):
+        self.down = set()
+        self.fans = {pair: [f"xh:{pair[0]}-{pair[1]}:{i}"
+                            for i in range(links_per_pair)]
+                     for pair in boundary_pairs(halls)}
+        self.offered = self.delivered = self.lost = 0.0
+        self.offered_flows = self.delivered_flows = 0
+        self.lost_flows = 0
+
+    def offer(self, pair, bytes_, flows):
+        self.offered += bytes_
+        self.offered_flows += flows
+        if any(lid not in self.down for lid in self.fans[pair]):
+            self.delivered += bytes_
+            self.delivered_flows += flows
+        else:
+            self.lost += bytes_
+            self.lost_flows += flows
+
+
+def apply_ops(shard, oracle, sequence, links_per_pair):
+    pairs = sorted(shard.pairs)
+    for kind, pair_index, link_index, bytes_, flows in sequence:
+        pair = pairs[pair_index % len(pairs)]
+        lid = f"xh:{pair[0]}-{pair[1]}:{link_index % links_per_pair}"
+        if kind == "offer":
+            shard.offer(pair[0], pair[1], bytes_, flows)
+            oracle.offer(pair, bytes_, flows)
+        elif kind == "drain":
+            shard.drain(lid)
+            oracle.down.add(lid)
+        elif kind == "undrain":
+            shard.undrain(lid)
+            if not shard.link(lid).failed:
+                oracle.down.discard(lid)
+        elif kind == "fail":
+            shard.fail(lid)
+            oracle.down.add(lid)
+        else:
+            shard.repair(lid)
+            if not shard.link(lid).drained:
+                oracle.down.discard(lid)
+
+
+def close(actual, expected):
+    return math.isclose(actual, expected, rel_tol=REL,
+                        abs_tol=1e-6)
+
+
+@settings(max_examples=120, deadline=None)
+@given(halls=st.integers(min_value=2, max_value=4),
+       links_per_pair=st.integers(min_value=1, max_value=3),
+       sequence=ops)
+def test_bytes_and_flows_conserve(halls, links_per_pair, sequence):
+    shard = BoundaryShard(
+        halls, BoundaryConfig(links_per_pair=links_per_pair))
+    oracle = FlatOracle(halls, links_per_pair)
+    apply_ops(shard, oracle, sequence, links_per_pair)
+
+    # Conservation against the shard's own books.
+    assert close(shard.delivered_bytes + shard.lost_bytes,
+                 shard.offered_bytes)
+    assert shard.conservation_error() <= REL * max(
+        shard.offered_bytes, 1.0)
+    assert shard.delivered_flows + shard.lost_flows \
+        == shard.offered_flows
+
+    # ... and the whole ledger matches the flat oracle.
+    assert close(shard.offered_bytes, oracle.offered)
+    assert close(shard.delivered_bytes, oracle.delivered)
+    assert close(shard.lost_bytes, oracle.lost)
+    assert shard.offered_flows == oracle.offered_flows
+    assert shard.delivered_flows == oracle.delivered_flows
+    assert shard.lost_flows == oracle.lost_flows
+
+
+@settings(max_examples=120, deadline=None)
+@given(halls=st.integers(min_value=2, max_value=4),
+       links_per_pair=st.integers(min_value=1, max_value=3),
+       sequence=ops)
+def test_hall_attribution_sums_to_delivered(halls, links_per_pair,
+                                            sequence):
+    shard = BoundaryShard(
+        halls, BoundaryConfig(links_per_pair=links_per_pair))
+    apply_ops(shard, FlatOracle(halls, links_per_pair), sequence,
+              links_per_pair)
+    attributed = sum(shard.hall_attributed_bytes(hall)
+                    for hall in range(halls))
+    assert close(attributed, shard.delivered_bytes)
+    assert all(shard.hall_attributed_bytes(hall) >= 0.0
+               for hall in range(halls))
+
+
+@settings(max_examples=60, deadline=None)
+@given(halls=st.integers(min_value=2, max_value=4),
+       links_per_pair=st.integers(min_value=1, max_value=3),
+       sequence=ops)
+def test_live_fraction_bounded_and_repairable(halls, links_per_pair,
+                                              sequence):
+    shard = BoundaryShard(
+        halls, BoundaryConfig(links_per_pair=links_per_pair))
+    apply_ops(shard, FlatOracle(halls, links_per_pair), sequence,
+              links_per_pair)
+    assert 0.0 <= shard.live_fraction() <= 1.0
+    assert shard.smi_factor() == shard.live_fraction()
+    # Repair + undrain everything: the boundary always heals to 1.0.
+    for lid in shard.links:
+        shard.repair(lid)
+        shard.undrain(lid)
+    assert shard.live_fraction() == 1.0

@@ -1,0 +1,115 @@
+"""Unit tests for the campus boundary shard (cross-hall links)."""
+
+import pytest
+
+from dcrobot.shard import (
+    BoundaryConfig,
+    BoundaryShard,
+    boundary_pairs,
+)
+
+
+def test_boundary_pairs_shapes():
+    assert boundary_pairs(1) == []
+    assert boundary_pairs(2) == [(0, 1)]
+    # 3+ halls form a ring: consecutive pairs plus the wrap link.
+    assert boundary_pairs(3) == [(0, 1), (1, 2), (0, 2)]
+    assert boundary_pairs(5) == [(0, 1), (1, 2), (2, 3), (3, 4),
+                                 (0, 4)]
+
+
+def test_single_hall_has_no_boundary():
+    shard = BoundaryShard(1)
+    assert shard.links == {}
+    assert shard.live_fraction() == 1.0
+    assert shard.smi_factor() == 1.0
+    assert shard.conservation_error() == 0.0
+
+
+def test_link_construction_and_lookup():
+    config = BoundaryConfig(links_per_pair=3, capacity_gbps=100.0)
+    shard = BoundaryShard(4, config)
+    assert len(shard.links) == 4 * 3  # ring of 4 pairs, 3-wide fans
+    fan = shard.links_between(0, 1)
+    assert [link.lid for link in fan] == [
+        "xh:0-1:0", "xh:0-1:1", "xh:0-1:2"]
+    # Order of hall arguments does not matter.
+    assert shard.links_between(1, 0) == fan
+    assert all(link.capacity_bps == 100.0e9 for link in fan)
+    assert shard.hall_links(0) == (shard.links_between(0, 1)
+                                   + shard.links_between(0, 3))
+
+
+def test_offer_spreads_evenly_over_live_links():
+    shard = BoundaryShard(2, BoundaryConfig(links_per_pair=2))
+    delivered = shard.offer(0, 1, 1000.0, 5)
+    assert delivered == 1000.0
+    a, b = shard.links_between(0, 1)
+    assert a.bytes_total == b.bytes_total == 500.0
+    # Integer flows conserve exactly: remainder goes to the first lid.
+    assert a.flows_total == 3 and b.flows_total == 2
+    assert shard.delivered_flows == shard.offered_flows == 5
+
+
+def test_drained_and_failed_links_carry_nothing():
+    shard = BoundaryShard(2, BoundaryConfig(links_per_pair=3))
+    shard.drain("xh:0-1:0")
+    shard.fail("xh:0-1:1")
+    shard.offer(0, 1, 900.0, 3)
+    assert shard.link("xh:0-1:0").bytes_total == 0.0
+    assert shard.link("xh:0-1:1").bytes_total == 0.0
+    assert shard.link("xh:0-1:2").bytes_total == 900.0
+    assert shard.lost_bytes == 0.0
+
+
+def test_whole_fan_down_counts_lost():
+    shard = BoundaryShard(2, BoundaryConfig(links_per_pair=2))
+    shard.fail("xh:0-1:0")
+    shard.drain("xh:0-1:1")
+    delivered = shard.offer(0, 1, 700.0, 2)
+    assert delivered == 0.0
+    assert shard.lost_bytes == 700.0 and shard.lost_flows == 2
+    assert shard.delivered_bytes == 0.0
+    # Repair + undrain restore delivery.
+    shard.repair("xh:0-1:0")
+    shard.undrain("xh:0-1:1")
+    shard.offer(0, 1, 700.0, 2)
+    assert shard.delivered_bytes == 700.0
+    assert shard.conservation_error() < 1e-9
+
+
+def test_hall_attribution_halves_each_link():
+    shard = BoundaryShard(3, BoundaryConfig(links_per_pair=1))
+    shard.offer(0, 1, 100.0, 1)
+    shard.offer(1, 2, 60.0, 1)
+    shard.offer(0, 2, 40.0, 1)
+    assert shard.hall_attributed_bytes(0) == pytest.approx(70.0)
+    assert shard.hall_attributed_bytes(1) == pytest.approx(80.0)
+    assert shard.hall_attributed_bytes(2) == pytest.approx(50.0)
+    total = sum(shard.hall_attributed_bytes(h) for h in range(3))
+    assert total == pytest.approx(shard.delivered_bytes)
+
+
+def test_live_fraction_tracks_state():
+    shard = BoundaryShard(2, BoundaryConfig(links_per_pair=4))
+    assert shard.live_fraction() == 1.0
+    shard.fail("xh:0-1:0")
+    shard.drain("xh:0-1:1")
+    assert shard.live_fraction() == 0.5
+    assert shard.smi_factor() == 0.5
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        BoundaryShard(0)
+    with pytest.raises(ValueError):
+        BoundaryConfig(links_per_pair=0)
+    with pytest.raises(ValueError):
+        BoundaryConfig(window_seconds=0.0)
+    with pytest.raises(ValueError):
+        BoundaryConfig(failure_rate_per_day=-1.0)
+    shard = BoundaryShard(2)
+    with pytest.raises(ValueError):
+        shard.offer(0, 1, -1.0, 0)
+    with pytest.raises(KeyError):
+        shard.drain("xh:9-9:0")

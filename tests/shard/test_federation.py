@@ -1,0 +1,216 @@
+"""The federation layer: deterministic boundary schedule, least-loaded
+incident routing, epoch registry, metrics merging, and — the core
+shard contract — chaos/failover on one hall never perturbing its
+siblings."""
+
+import dataclasses
+
+import pytest
+
+from dcrobot.chaos.config import ChaosConfig
+from dcrobot.core.automation import AutomationLevel
+from dcrobot.experiments.runner import DAY, WorldConfig
+from dcrobot.shard import (
+    BoundaryConfig,
+    BoundaryShard,
+    CampusFederation,
+    FederationRegistry,
+    campus_smi,
+    merge_metric_snapshots,
+    run_campus,
+)
+
+
+def _federation(seed=3, halls=3, horizon_days=30.0, **config):
+    boundary = BoundaryShard(halls, BoundaryConfig(**config))
+    return CampusFederation(boundary, seed=seed,
+                            horizon_seconds=horizon_days * DAY)
+
+
+def _campus_config(**overrides):
+    base = dict(horizon_days=4.0, seed=11, failure_scale=3.0,
+                level=AutomationLevel.L3_HIGH_AUTOMATION, halls=3)
+    base.update(overrides)
+    return WorldConfig(**base)
+
+
+# -- schedule determinism -------------------------------------------------
+
+def test_same_seed_same_schedule():
+    first = _federation(failure_rate_per_day=2.0).run()
+    second = _federation(failure_rate_per_day=2.0).run()
+    assert first.incidents, "want a non-trivial schedule"
+    assert ([dataclasses.asdict(i) for i in first.incidents]
+            == [dataclasses.asdict(i) for i in second.incidents])
+    assert first.offered_bytes == second.offered_bytes
+    assert first.routed_by_hall == second.routed_by_hall
+
+
+def test_different_seeds_diverge():
+    first = _federation(seed=3, failure_rate_per_day=2.0).run()
+    second = _federation(seed=4, failure_rate_per_day=2.0).run()
+    assert first.offered_bytes != second.offered_bytes
+
+
+def test_report_accounting():
+    federation = _federation(failure_rate_per_day=2.0)
+    report = federation.run()
+    assert report.windows == int(
+        federation.horizon_seconds
+        // federation.config.window_seconds)
+    assert report.concluded + report.open == len(report.incidents)
+    assert sum(report.routed_by_hall.values()) == len(report.incidents)
+    assert report.delivered_bytes + report.lost_bytes \
+        == pytest.approx(report.offered_bytes)
+    assert report.conservation_error < 1e-9 * max(
+        report.offered_bytes, 1.0)
+    # Concluded incidents land their repairs; their links are live
+    # again unless a later incident re-failed them.
+    for incident in report.incidents:
+        if incident.concluded:
+            assert incident.concluded_at <= federation.horizon_seconds
+
+
+def test_routing_prefers_less_loaded_endpoint():
+    route = CampusFederation._route
+    assert route((0, 1), {0: 5, 1: 2}) == 1
+    assert route((0, 1), {0: 2, 1: 5}) == 0
+    # Ties go to the lower hall id.
+    assert route((1, 2), {1: 3, 2: 3}) == 1
+    assert route((0, 2), {}) == 0
+
+
+# -- epoch registry -------------------------------------------------------
+
+def test_registry_tracks_monotone_epochs():
+    registry = FederationRegistry()
+    assert registry.epoch(0) == 0
+    assert registry.observe(0, 1) and registry.observe(0, 3)
+    assert registry.observe(0, 3)  # re-announcing is fine
+    assert registry.epoch(0) == 3 and not registry.regressions
+
+
+def test_registry_trips_on_regression():
+    registry = FederationRegistry()
+    registry.observe(1, 4)
+    assert not registry.observe(1, 2)
+    assert registry.regressions == [(1, 2, 4)]
+    assert registry.epoch(1) == 4  # regression never lowers the view
+    assert "regressions=1" in repr(registry)
+
+
+# -- metrics merging ------------------------------------------------------
+
+def _counter_snapshot(value, labels=None):
+    return {
+        "kind": "metrics", "schema_version": 1,
+        "metrics": {
+            "incidents_total": {
+                "kind": "counter", "help": "incidents",
+                "samples": [{"labels": labels or {}, "value": value}],
+            }}}
+
+
+def test_merge_counters_sums_per_label_set():
+    merged = merge_metric_snapshots([
+        _counter_snapshot(2.0, {"hall": "0"}),
+        _counter_snapshot(3.0, {"hall": "0"}),
+        _counter_snapshot(7.0, {"hall": "1"}),
+    ])
+    samples = merged["metrics"]["incidents_total"]["samples"]
+    assert [(s["labels"], s["value"]) for s in samples] == [
+        ({"hall": "0"}, 5.0), ({"hall": "1"}, 7.0)]
+
+
+def test_merge_histograms_sums_counts_and_buckets():
+    def snap(count, total, buckets):
+        return {"kind": "metrics", "schema_version": 1,
+                "metrics": {"repair_hours": {
+                    "kind": "histogram", "help": "h",
+                    "buckets": [1.0, 4.0],
+                    "samples": [{"labels": {}, "count": count,
+                                 "sum": total,
+                                 "bucket_counts": buckets}]}}}
+    merged = merge_metric_snapshots([snap(2, 3.0, [1, 1, 0]),
+                                     snap(4, 9.0, [0, 2, 2])])
+    sample = merged["metrics"]["repair_hours"]["samples"][0]
+    assert sample["count"] == 6 and sample["sum"] == 12.0
+    assert sample["bucket_counts"] == [1, 3, 2]
+
+
+def test_merge_rejects_mismatched_buckets():
+    base = {"kind": "metrics", "schema_version": 1,
+            "metrics": {"repair_hours": {
+                "kind": "histogram", "help": "h", "buckets": [1.0],
+                "samples": []}}}
+    other = {"kind": "metrics", "schema_version": 1,
+             "metrics": {"repair_hours": {
+                 "kind": "histogram", "help": "h", "buckets": [2.0],
+                 "samples": []}}}
+    with pytest.raises(ValueError, match="bucket layouts"):
+        merge_metric_snapshots([base, other])
+
+
+def test_merge_handles_missing_snapshots():
+    assert merge_metric_snapshots([]) is None
+    assert merge_metric_snapshots([None, None]) is None
+    merged = merge_metric_snapshots([None, _counter_snapshot(1.0)])
+    samples = merged["metrics"]["incidents_total"]["samples"]
+    assert samples[0]["value"] == 1.0
+
+
+# -- campus SMI -----------------------------------------------------------
+
+def test_campus_smi_is_link_weighted():
+    boundary = BoundaryShard(2, BoundaryConfig(links_per_pair=2))
+    # Halls: SMI 1.0 over 6 links, 0.5 over 2; boundary: 1.0 over 2.
+    value = campus_smi([1.0, 0.5], [6, 2], boundary)
+    assert value == pytest.approx((6.0 + 1.0 + 2.0) / 10.0)
+    boundary.fail("xh:0-1:0")
+    degraded = campus_smi([1.0, 0.5], [6, 2], boundary)
+    assert degraded == pytest.approx((6.0 + 1.0 + 1.0) / 10.0)
+    assert campus_smi([], [], BoundaryShard(1)) == 1.0
+
+
+# -- cross-shard isolation ------------------------------------------------
+
+def _plain(summary):
+    return dataclasses.asdict(summary)
+
+
+@pytest.mark.slow
+def test_chaos_on_one_hall_leaves_siblings_identical():
+    """Chaos confined to hall 0 by hall_overrides: halls 1 and 2 end
+    bit-identical to an undisturbed control campus."""
+    control = run_campus(_campus_config())
+    chaotic = run_campus(_campus_config(hall_overrides={0: {
+        "chaos": ChaosConfig.moderate(), "safety": True,
+        "mute_ttl_seconds": 2.0 * DAY}}))
+    assert _plain(chaotic.hall_summaries[1]) \
+        == _plain(control.hall_summaries[1])
+    assert _plain(chaotic.hall_summaries[2]) \
+        == _plain(control.hall_summaries[2])
+    # ... and the chaos hall itself genuinely diverged.
+    assert _plain(chaotic.hall_summaries[0]) \
+        != _plain(control.hall_summaries[0])
+
+
+@pytest.mark.slow
+def test_failover_on_one_hall_is_independent():
+    """Leadership + controller chaos on hall 1 only: that hall runs
+    its own S14 failovers (epoch >= 1 in the federation registry)
+    while halls 0 and 2 stay bit-identical to the control campus."""
+    control = run_campus(_campus_config())
+    campus = run_campus(_campus_config(hall_overrides={1: {
+        "chaos": ChaosConfig.moderate(), "leadership": True,
+        "controller_chaos": True,
+        "controller_chaos_check_seconds": 1800.0}}))
+    assert campus.hall_epochs[1] >= 1
+    assert campus.hall_epochs[0] == 0 and campus.hall_epochs[2] == 0
+    assert _plain(campus.hall_summaries[0]) \
+        == _plain(control.hall_summaries[0])
+    assert _plain(campus.hall_summaries[2]) \
+        == _plain(control.hall_summaries[2])
+    summary_1 = campus.hall_summaries[1]
+    assert summary_1.fencing_token == campus.hall_epochs[1]
+    assert summary_1.failovers >= 0  # supervisor attached and counted

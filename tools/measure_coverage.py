@@ -29,7 +29,8 @@ from typing import Dict, Set
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 TARGETS = ("src/dcrobot/core", "src/dcrobot/chaos",
            "src/dcrobot/obs", "src/dcrobot/traffic",
-           "src/dcrobot/twin", "src/dcrobot/robots")
+           "src/dcrobot/twin", "src/dcrobot/robots",
+           "src/dcrobot/shard")
 
 
 def _target_files():

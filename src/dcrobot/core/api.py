@@ -10,6 +10,21 @@ control."
 request maintenance, ask what cables a pending repair will touch (so
 they can migrate load), and observe fleet health — without ever seeing
 robots, ladders, or schedulers.
+
+The facade has two distinct halves, and the service plane (S21,
+:mod:`dcrobot.service`) treats them differently:
+
+* the **command path** (:meth:`MaintenanceServiceAPI.request_maintenance`)
+  mutates the world and always routes through the authorizer/audit
+  machinery — the service plane forwards commands here verbatim;
+* the **query path** (:meth:`MaintenanceServiceAPI.status` and friends)
+  is read-only.  ``status()`` serves its link counts from the columnar
+  :class:`~dcrobot.network.state.FabricState` state-code array (one
+  vectorized comparison instead of a Python loop over every link
+  object); :meth:`status_scan` keeps the legacy full scan as the
+  parity oracle, and the service plane's materialized
+  :class:`~dcrobot.service.readmodel.ReadModel` turns repeated queries
+  into O(1) snapshot reads.
 """
 
 from __future__ import annotations
@@ -17,10 +32,13 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional
 
+import numpy as np
+
 from dcrobot.core.actions import Priority, RepairAction, WorkOrder
 from dcrobot.core.controller import MaintenanceController
 from dcrobot.core.policy import PlanRequest
 from dcrobot.network.enums import LinkState
+from dcrobot.network.state import DOWN_CODE
 
 
 @dataclasses.dataclass(frozen=True)
@@ -34,6 +52,48 @@ class MaintenanceStatus:
     mean_time_to_repair_seconds: Optional[float]
     links_down: int
     links_total: int
+
+
+def link_state_counts(fabric) -> tuple:
+    """``(links_down, links_total)`` served from the columnar state.
+
+    One vectorized comparison over the ``state_code`` array replaces
+    the legacy per-object scan; unbound fabrics (plain test fixtures
+    without a consistent columnar store) fall back to the object walk.
+    """
+    state = getattr(fabric, "state", None)
+    links = fabric.links
+    if state is not None and state.n_links == len(links):
+        n = state.n_links
+        down = int(np.count_nonzero(state.state_code[:n] == DOWN_CODE))
+        return down, n
+    down = sum(1 for link in links.values()
+               if link.state is LinkState.DOWN)
+    return down, len(links)
+
+
+def full_scan_status(controller: MaintenanceController
+                     ) -> MaintenanceStatus:
+    """The legacy full-scan status: every link object visited.
+
+    Kept as the parity oracle for the vectorized
+    :meth:`MaintenanceServiceAPI.status` path and for the service
+    plane's read-model snapshots (both must equal this exactly).
+    """
+    repair_times = controller.repair_times()
+    links = controller.fabric.links.values()
+    return MaintenanceStatus(
+        open_incidents=len(controller.open_incidents),
+        closed_incidents=len(controller.closed_incidents),
+        unresolved_incidents=len(controller.unresolved_incidents),
+        proactive_operations=len(controller.proactive_outcomes),
+        mean_time_to_repair_seconds=(
+            sum(repair_times) / len(repair_times)
+            if repair_times else None),
+        links_down=sum(1 for link in links
+                       if link.state is LinkState.DOWN),
+        links_total=len(links),
+    )
 
 
 class MaintenanceServiceAPI:
@@ -50,13 +110,19 @@ class MaintenanceServiceAPI:
         self.controller = controller
         self.authorizer = authorizer
 
-    # -- observation -----------------------------------------------------------
+    # -- observation (query path) ----------------------------------------------
 
     def status(self) -> MaintenanceStatus:
-        """Current maintenance-plane summary."""
+        """Current maintenance-plane summary.
+
+        Link counts come from the columnar state-code array (see
+        :func:`link_state_counts`); everything else is O(1) controller
+        bookkeeping except the MTTR sum, which the service plane's
+        read model additionally materializes incrementally.
+        """
         controller = self.controller
         repair_times = controller.repair_times()
-        links = controller.fabric.links.values()
+        links_down, links_total = link_state_counts(controller.fabric)
         return MaintenanceStatus(
             open_incidents=len(controller.open_incidents),
             closed_incidents=len(controller.closed_incidents),
@@ -65,10 +131,14 @@ class MaintenanceServiceAPI:
             mean_time_to_repair_seconds=(
                 sum(repair_times) / len(repair_times)
                 if repair_times else None),
-            links_down=sum(1 for link in links
-                           if link.state is LinkState.DOWN),
-            links_total=len(links),
+            links_down=links_down,
+            links_total=links_total,
         )
+
+    def status_scan(self) -> MaintenanceStatus:
+        """The legacy full-scan status (parity oracle for
+        :meth:`status`)."""
+        return full_scan_status(self.controller)
 
     def incident_for(self, link_id: str):
         """The open incident on a link, if any."""
@@ -90,7 +160,7 @@ class MaintenanceServiceAPI:
         probe = WorkOrder(link_id, action, controller.sim.now)
         return executor.announce_touches(probe)
 
-    # -- control ----------------------------------------------------------------------
+    # -- control (command path) --------------------------------------------------
 
     def request_maintenance(self, link_id: str,
                             action: Optional[RepairAction] = None,

@@ -1,7 +1,7 @@
 """Experiment harness (S12): every paper claim as a runnable experiment.
 
 Each experiment module exposes ``run(quick=True, seed=0) ->
-ExperimentResult``; the registry maps experiment ids (``e1`` .. ``e19``)
+ExperimentResult``; the registry maps experiment ids (``e1`` .. ``e20``)
 to those functions.  Run one from the command line::
 
     python -m dcrobot.experiments e1 [--full] [--seed N]
@@ -30,6 +30,7 @@ from dcrobot.experiments import (
     e17_twin_planning,
     e18_fleet_healing,
     e19_campus_scale,
+    e20_service_load,
 )
 from dcrobot.experiments.parallel import (
     Execution,
@@ -67,6 +68,7 @@ _MODULES = (
     e17_twin_planning,
     e18_fleet_healing,
     e19_campus_scale,
+    e20_service_load,
 )
 
 #: Experiment id -> run function.
@@ -85,7 +87,7 @@ def run_experiment(experiment_id: str, quick: bool = True,
                    seed: int = 0,
                    execution: Optional[Execution] = None,
                    observe: bool = False) -> ExperimentResult:
-    """Run one experiment by id (``e1`` .. ``e19``).
+    """Run one experiment by id (``e1`` .. ``e20``).
 
     ``execution`` selects worker count, Monte-Carlo replicates, and
     the trial cache (see :class:`dcrobot.experiments.parallel.Execution`);

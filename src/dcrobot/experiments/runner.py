@@ -188,6 +188,14 @@ class WorldConfig:
     #: :class:`dcrobot.shard.BoundaryConfig`); ``None`` uses defaults.
     #: Typed loosely to keep the runner free of shard imports.
     boundary: Optional[object] = None
+    #: -- service plane (S21) -----------------------------------------
+    #: A :class:`dcrobot.service.ServiceConfig` when this world is
+    #: hosted behind :func:`dcrobot.service.serve_world`; ``None``
+    #: keeps the classic batch run.  Ignored by ``build_world`` /
+    #: ``run_world`` themselves (serving never changes sim outcomes),
+    #: read only by the service layer.  Typed loosely to keep the
+    #: runner free of service imports.
+    service: Optional[object] = None
 
     @property
     def horizon_seconds(self) -> float:

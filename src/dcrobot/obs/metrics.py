@@ -33,6 +33,11 @@ COUNT_BUCKETS = (1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0)
 FCT_BUCKETS = (0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0,
                5.0, 30.0, 120.0)
 
+#: Service-plane request-latency buckets (wall seconds): snapshot
+#: reads land sub-ms; queueing under overload pushes into seconds.
+SERVICE_LATENCY_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+                           0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
+
 #: Well-known histogram names → bucket bounds, so call sites can say
 #: ``registry.histogram("dcrobot_incident_mttr_seconds")`` without
 #: repeating the bounds everywhere.
@@ -40,6 +45,7 @@ BUCKETS_BY_NAME = {
     "dcrobot_incident_mttr_seconds": MTTR_BUCKETS,
     "dcrobot_incident_attempts": COUNT_BUCKETS,
     "dcrobot_traffic_window_p99_fct_seconds": FCT_BUCKETS,
+    "dcrobot_service_request_latency_seconds": SERVICE_LATENCY_BUCKETS,
 }
 
 #: Fallback bounds when a histogram name is not pre-registered.

@@ -1,0 +1,163 @@
+"""Cooperative sim stepping inside an asyncio event loop (S21).
+
+The service plane must keep two promises at once: the simulation makes
+progress toward its horizon, and a thundering herd of queries gets
+served between events.  :class:`SimBridge` keeps both by slicing the
+engine's run loop: at most ``max_events_per_slice`` events are
+processed per slice, then the coroutine yields so every pending query
+task (and the telemetry ingest drain) runs, then the next slice
+starts.  Everything the engine does inside a slice is exactly what
+``sim.run(until=...)`` would have done — same heap order, same final
+``now`` — so a served world is bit-identical to an unserved one (the
+determinism suite pins this).
+
+Sim clock and wall clock are decoupled:
+
+* ``pace=None`` (default) free-runs: the sim advances as fast as the
+  hardware allows, queries interleave at slice boundaries.
+* ``pace=R`` throttles the sim to ``R`` sim-seconds per wall-second —
+  the always-on mode, where a 30-day horizon is *served* over a chosen
+  wall window instead of racing to the end.
+
+The bridge also measures how well the loop protected the sim: every
+yield records how long the event loop kept the bridge off the CPU
+beyond what it asked for.  A gap exceeding ``stall_budget_seconds`` is
+a **stall** — the observable the admission layer exists to drive to
+zero (``bench_service_load`` gates on it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from typing import Callable, List, Optional, Sequence, Union
+
+from dcrobot.sim.engine import Simulation
+
+__all__ = ["BridgeConfig", "SimBridge"]
+
+
+@dataclasses.dataclass
+class BridgeConfig:
+    """Slice budgets and clock coupling for one bridge."""
+
+    #: Max engine events processed per sim per slice.
+    max_events_per_slice: int = 512
+    #: Sim-seconds advanced per wall-second; ``None`` free-runs.
+    pace: Optional[float] = None
+    #: A yield that keeps the bridge off the CPU longer than this
+    #: (beyond any sleep it asked for) counts as a sim-loop stall.
+    stall_budget_seconds: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_events_per_slice < 1:
+            raise ValueError("max_events_per_slice must be >= 1")
+        if self.pace is not None and self.pace <= 0:
+            raise ValueError("pace must be > 0 sim-seconds per "
+                             "wall-second when set")
+        if self.stall_budget_seconds <= 0:
+            raise ValueError("stall_budget_seconds must be > 0")
+
+
+class SimBridge:
+    """Steps one or more simulations cooperatively to a target time."""
+
+    def __init__(self, sims: Union[Simulation, Sequence[Simulation]],
+                 config: Optional[BridgeConfig] = None,
+                 clock: Callable[[], float] = time.perf_counter,
+                 sleep=asyncio.sleep) -> None:
+        if isinstance(sims, Simulation):
+            sims = [sims]
+        self.sims: List[Simulation] = list(sims)
+        if not self.sims:
+            raise ValueError("need at least one simulation")
+        self.config = config or BridgeConfig()
+        self.clock = clock
+        self.sleep = sleep
+        #: Called with ``sim_now`` after every round of slices (the
+        #: server hangs read-model refresh + ingest drain here).
+        self.on_slice: List[Callable[[float], None]] = []
+        # -- telemetry ----------------------------------------------------
+        self.slices = 0
+        self.events_processed = 0
+        self.stalls = 0
+        self.max_gap_seconds = 0.0
+        self.max_slice_seconds = 0.0
+        self.wall_seconds = 0.0
+
+    @property
+    def sim_now(self) -> float:
+        return min(sim.now for sim in self.sims)
+
+    def add_slice_hook(self, hook: Callable[[float], None]) -> None:
+        self.on_slice.append(hook)
+
+    # -- the serve loop --------------------------------------------------------
+
+    def _slice(self, sim: Simulation, target: float) -> int:
+        """Process up to the slice budget of events strictly before
+        ``target`` — the exact loop body of ``Simulation.run``."""
+        budget = self.config.max_events_per_slice
+        done = 0
+        heap = sim._heap
+        while done < budget and heap and heap[0][0] < target:
+            sim.step()
+            done += 1
+        return done
+
+    def _pending(self, target: float) -> bool:
+        return any(sim._heap and sim._heap[0][0] < target
+                   for sim in self.sims)
+
+    async def run_until(self, target: float) -> None:
+        """Serve the sims to ``target``, yielding between slices.
+
+        Equivalent to ``sim.run(until=target)`` on every sim (events
+        scheduled exactly at ``target`` are not processed and ``now``
+        ends equal to ``target``), except the event loop breathes
+        between slices.
+        """
+        target = float(target)
+        for sim in self.sims:
+            if target < sim.now:
+                raise ValueError(
+                    f"until={target} lies in the past "
+                    f"(now={sim.now})")
+        config = self.config
+        started = self.clock()
+        sim_start = self.sim_now
+        while self._pending(target):
+            slice_started = self.clock()
+            for sim in self.sims:
+                self.events_processed += self._slice(sim, target)
+            self.slices += 1
+            slice_ended = self.clock()
+            self.max_slice_seconds = max(
+                self.max_slice_seconds, slice_ended - slice_started)
+            for hook in self.on_slice:
+                hook(self.sim_now)
+            intended = 0.0
+            if config.pace is not None:
+                # Do not let the sim run ahead of the wall clock.
+                ahead = ((self.sim_now - sim_start) / config.pace
+                         - (slice_ended - started))
+                if ahead > 0:
+                    intended = ahead
+            yielded = self.clock()
+            await self.sleep(intended)
+            gap = self.clock() - yielded - intended
+            if gap > self.max_gap_seconds:
+                self.max_gap_seconds = gap
+            if gap > config.stall_budget_seconds:
+                self.stalls += 1
+        for sim in self.sims:
+            sim.now = target
+        for hook in self.on_slice:
+            hook(self.sim_now)
+        self.wall_seconds += self.clock() - started
+
+    def __repr__(self) -> str:
+        return (f"<SimBridge sims={len(self.sims)} "
+                f"slices={self.slices} events={self.events_processed} "
+                f"stalls={self.stalls}>")

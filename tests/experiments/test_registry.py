@@ -13,7 +13,7 @@ from dcrobot.metrics import Table
 
 
 def test_registry_has_all_experiments():
-    assert set(REGISTRY) == {f"e{i}" for i in range(1, 20)}
+    assert set(REGISTRY) == {f"e{i}" for i in range(1, 21)}
     assert set(DESCRIPTIONS) == set(REGISTRY)
 
 

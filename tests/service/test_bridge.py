@@ -1,0 +1,149 @@
+"""SimBridge: sliced stepping must equal ``sim.run``, exactly."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from dcrobot.core.automation import AutomationLevel
+from dcrobot.experiments import WorldConfig, build_world
+from dcrobot.service.bridge import BridgeConfig, SimBridge
+from dcrobot.sim.engine import Simulation
+
+DAY = 86400.0
+
+CONFIG = WorldConfig(horizon_days=3.0, seed=21, failure_scale=2.0,
+                     level=AutomationLevel.L3_HIGH_AUTOMATION)
+
+
+def fingerprint(world):
+    state = world.fabric.state
+    n = state.n_links
+    controller = world.live_controller
+    return (world.sim.now,
+            state.state_code[:n].tolist(),
+            np.round(state.loss_rate[:n], 15).tolist(),
+            len(controller.open_incidents),
+            len(controller.closed_incidents),
+            len(controller.unresolved_incidents),
+            controller.repair_times())
+
+
+def test_bridge_matches_sim_run_bit_for_bit():
+    batch = build_world(CONFIG)
+    batch.sim.run(until=CONFIG.horizon_seconds)
+
+    served = build_world(CONFIG)
+    bridge = SimBridge(served.sim,
+                       BridgeConfig(max_events_per_slice=7))
+    asyncio.run(bridge.run_until(CONFIG.horizon_seconds))
+
+    assert fingerprint(served) == fingerprint(batch)
+    assert served.sim.now == CONFIG.horizon_seconds
+    assert bridge.events_processed > 0
+    assert bridge.slices >= bridge.events_processed / 7
+
+
+def test_incremental_targets_equal_one_shot():
+    batch = build_world(CONFIG)
+    batch.sim.run(until=CONFIG.horizon_seconds)
+
+    served = build_world(CONFIG)
+    bridge = SimBridge(served.sim, BridgeConfig())
+
+    async def staged():
+        for day in (0.5, 1.0, 2.25, 3.0):
+            await bridge.run_until(day * DAY)
+
+    asyncio.run(staged())
+    assert fingerprint(served) == fingerprint(batch)
+
+
+def test_slice_hooks_fire_and_see_current_time():
+    world = build_world(CONFIG)
+    bridge = SimBridge(world.sim,
+                       BridgeConfig(max_events_per_slice=16))
+    seen = []
+    bridge.add_slice_hook(lambda now: seen.append(now))
+    asyncio.run(bridge.run_until(0.5 * DAY))
+    assert seen, "hooks never fired"
+    assert seen == sorted(seen)
+    # The final hook fires after now snaps to the target.
+    assert seen[-1] == 0.5 * DAY
+
+
+def test_target_in_the_past_is_rejected():
+    sim = Simulation()
+    sim.now = 10.0
+    bridge = SimBridge(sim)
+    with pytest.raises(ValueError):
+        asyncio.run(bridge.run_until(5.0))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BridgeConfig(max_events_per_slice=0)
+    with pytest.raises(ValueError):
+        BridgeConfig(pace=0.0)
+    with pytest.raises(ValueError):
+        BridgeConfig(stall_budget_seconds=0.0)
+    with pytest.raises(ValueError):
+        SimBridge([])
+
+
+# -- wall-clock coupling (virtual clock; no real sleeping) --------------------
+
+
+class VirtualLoop:
+    """A deterministic clock that only advances when the bridge
+    sleeps; ``extra`` models an overloaded event loop handing control
+    back late."""
+
+    def __init__(self, extra=0.0):
+        self.t = 0.0
+        self.extra = extra
+        self.sleeps = []
+
+    def clock(self):
+        return self.t
+
+    async def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.t += seconds + self.extra
+
+
+def test_pace_throttles_the_sim_to_wall_clock():
+    world = build_world(CONFIG)
+    loop = VirtualLoop()
+    # 1 sim-day per wall-second.
+    bridge = SimBridge(world.sim,
+                       BridgeConfig(max_events_per_slice=64,
+                                    pace=DAY),
+                       clock=loop.clock, sleep=loop.sleep)
+    asyncio.run(bridge.run_until(2.0 * DAY))
+    # The sim was held back: total intended sleep ≈ the 2-wall-second
+    # serve window (short only by the gap between the last event and
+    # the horizon — periodic ticks keep that under a few sim-minutes).
+    assert 1.9 <= sum(loop.sleeps) <= 2.0
+    assert bridge.stalls == 0
+
+
+def test_free_run_never_sleeps_positive():
+    world = build_world(CONFIG)
+    loop = VirtualLoop()
+    bridge = SimBridge(world.sim, BridgeConfig(),
+                       clock=loop.clock, sleep=loop.sleep)
+    asyncio.run(bridge.run_until(1.0 * DAY))
+    assert all(s == 0.0 for s in loop.sleeps)
+
+
+def test_late_wakeups_count_as_stalls():
+    world = build_world(CONFIG)
+    loop = VirtualLoop(extra=0.5)  # every yield returns 0.5s late
+    bridge = SimBridge(world.sim,
+                       BridgeConfig(max_events_per_slice=256,
+                                    stall_budget_seconds=0.25),
+                       clock=loop.clock, sleep=loop.sleep)
+    asyncio.run(bridge.run_until(1.0 * DAY))
+    assert bridge.stalls == len(loop.sleeps)
+    assert bridge.max_gap_seconds == pytest.approx(0.5)

@@ -1,0 +1,112 @@
+"""Serving is observation: a served world == the same world, batch-run.
+
+The whole service plane — bridge slicing, interleaved queries,
+telemetry ingestion, parity audits — must be invisible to the
+simulation.  These tests pin that with full ``WorldSummary``
+equality (every field, via ``dataclasses.asdict``) between a served
+run and a plain ``run_world``/``run_campus`` of the same config."""
+
+import asyncio
+import dataclasses
+
+from dcrobot.core.automation import AutomationLevel
+from dcrobot.experiments import WorldConfig, run_world
+from dcrobot.experiments.runner import summarize_world
+from dcrobot.service import (
+    BridgeConfig,
+    ServiceConfig,
+    TelemetryReport,
+    serve_world,
+)
+from dcrobot.shard.campus import run_campus
+
+DAY = 86400.0
+
+SERVICE = ServiceConfig(
+    bridge=BridgeConfig(max_events_per_slice=48), audit_every=3)
+
+
+def drive_queries(service, done):
+    """A busy client: queries + telemetry interleaving with slices."""
+
+    async def client():
+        i = 0
+        while not done.is_set():
+            await service.status()
+            service.offer_telemetry(TelemetryReport(
+                source_id=f"probe-{i % 7}", value=float(i)))
+            if i % 5 == 0:
+                await service.smi(audit=service.readmodels[0]
+                                  .smi_tracker is not None)
+            i += 1
+            await asyncio.sleep(0)
+
+    return client
+
+
+def test_served_world_summary_is_bit_identical():
+    config = WorldConfig(horizon_days=3.0, seed=7, failure_scale=2.0,
+                         level=AutomationLevel.L3_HIGH_AUTOMATION)
+
+    async def serve():
+        served = serve_world(config, SERVICE)
+        done = asyncio.Event()
+        client = asyncio.ensure_future(
+            drive_queries(served.service, done)())
+        await served.serve()
+        done.set()
+        await client
+        return served
+
+    served = asyncio.run(serve())
+    assert served.service.parity_audits > 0
+    assert served.service.parity_failures == 0
+
+    batch = summarize_world(run_world(dataclasses.replace(config)))
+    assert dataclasses.asdict(served.summarize()) == \
+        dataclasses.asdict(batch)
+
+
+def test_served_campus_halls_are_bit_identical():
+    config = WorldConfig(horizon_days=2.0, seed=11, halls=2,
+                         level=AutomationLevel.L3_HIGH_AUTOMATION)
+
+    async def serve():
+        served = serve_world(config, SERVICE)
+        done = asyncio.Event()
+        client = asyncio.ensure_future(
+            drive_queries(served.service, done)())
+        await served.serve()
+        done.set()
+        await client
+        return served
+
+    served = asyncio.run(serve())
+    got = served.summarize()
+    want = run_campus(dataclasses.replace(config))
+
+    assert [dataclasses.asdict(s) for s in got.hall_summaries] == \
+        [dataclasses.asdict(s) for s in want.hall_summaries]
+    assert got.campus_smi == want.campus_smi
+    assert got.hall_epochs == want.hall_epochs
+    assert got.boundary_delivered_bytes == want.boundary_delivered_bytes
+    assert got.cross_hall_incidents == want.cross_hall_incidents
+
+
+def test_partial_serve_then_resume_still_matches():
+    """Stopping at an intermediate target and resuming does not leak:
+    the final world equals one straight run."""
+    config = WorldConfig(horizon_days=2.0, seed=3, failure_scale=2.0,
+                         level=AutomationLevel.L3_HIGH_AUTOMATION)
+
+    async def serve():
+        served = serve_world(config, SERVICE)
+        await served.serve(until=0.7 * DAY)
+        await served.service.status()
+        await served.serve()  # resume to the horizon
+        return served
+
+    served = asyncio.run(serve())
+    batch = summarize_world(run_world(dataclasses.replace(config)))
+    assert dataclasses.asdict(served.summarize()) == \
+        dataclasses.asdict(batch)

@@ -1,0 +1,187 @@
+"""Read-model correctness: snapshots vs the full-scan oracle."""
+
+import types
+
+import pytest
+
+from dcrobot.core.api import full_scan_status
+from dcrobot.core.automation import AutomationLevel
+from dcrobot.experiments import WorldConfig, build_world, run_world
+from dcrobot.service.readmodel import (
+    CampusReadModel,
+    ReadModel,
+    ReadModelParityError,
+    ReadSnapshot,
+)
+
+DAY = 86400.0
+
+
+@pytest.fixture(scope="module")
+def eventful_world():
+    return run_world(WorldConfig(
+        horizon_days=4.0, seed=5, failure_scale=2.0,
+        level=AutomationLevel.L3_HIGH_AUTOMATION))
+
+
+def model_for(world) -> ReadModel:
+    return ReadModel(lambda: world.live_controller, world.fabric)
+
+
+def test_snapshot_matches_full_scan(eventful_world):
+    model = model_for(eventful_world)
+    model.refresh(eventful_world.sim.now)
+    assert model.status() == full_scan_status(
+        eventful_world.live_controller)
+    model.verify_status_parity()  # must not raise
+
+
+def test_incremental_mttr_folds_only_the_tail(eventful_world):
+    """Repeated refreshes never rescan the closed list — the fold
+    cursor only moves forward — yet the MTTR stays exact."""
+    model = model_for(eventful_world)
+    model.refresh()
+    controller = eventful_world.live_controller
+    assert model._closed_seen == len(controller.closed_incidents)
+    times = controller.repair_times()
+    snap = model.snapshot
+    assert snap.repair_count == len(times)
+    assert snap.repair_seconds_total == pytest.approx(sum(times))
+    # A second refresh folds zero new incidents.
+    model.refresh()
+    assert model.snapshot.repair_seconds_total == pytest.approx(
+        sum(times))
+
+
+def test_refresh_mid_run_tracks_live_state():
+    world = build_world(WorldConfig(
+        horizon_days=3.0, seed=9, failure_scale=2.0,
+        level=AutomationLevel.L3_HIGH_AUTOMATION))
+    model = model_for(world)
+    for until in (0.5 * DAY, 1.5 * DAY, 3.0 * DAY):
+        world.sim.run(until=until)
+        model.refresh(world.sim.now)
+        assert model.status() == full_scan_status(
+            world.live_controller)
+        assert model.snapshot.time == until
+
+
+def test_link_health_serves_the_columns(eventful_world):
+    model = model_for(eventful_world)
+    model.refresh()
+    fabric = eventful_world.fabric
+    link_id = next(iter(fabric.links))
+    health = model.link_health(link_id)
+    link = fabric.links[link_id]
+    assert health["link_id"] == link_id
+    assert health["state"] == link.state.value
+    assert health["external_report"] is None
+    with pytest.raises(KeyError):
+        model.link_health("no-such-link")
+
+
+def test_incident_lookup_is_the_open_ledger(eventful_world):
+    model = model_for(eventful_world)
+    controller = eventful_world.live_controller
+    for link_id, incident in controller.open_incidents.items():
+        assert model.incident(link_id) is incident
+    assert model.incident("no-such-link") is None
+
+
+def test_record_external_materializes_without_touching_sim(
+        eventful_world):
+    model = model_for(eventful_world)
+    heap_before = list(eventful_world.sim._heap)
+    report = types.SimpleNamespace(source_id="dev-1", link_id=None,
+                                   value=3.0)
+    model.record_external(report)
+    model.record_external(types.SimpleNamespace(
+        source_id="dev-1", link_id=None, value=4.0))
+    assert model.external_last["dev-1"].value == 4.0
+    assert model.external_ingested == 2
+    assert list(eventful_world.sim._heap) == heap_before
+    model.refresh()
+    assert model.status() == full_scan_status(
+        eventful_world.live_controller)
+
+
+def test_parity_error_on_stale_snapshot(eventful_world):
+    """A snapshot doctored out from under the oracle trips the audit."""
+    model = model_for(eventful_world)
+    model.refresh()
+    import dataclasses
+    model.snapshot = dataclasses.replace(
+        model.snapshot, links_down=model.snapshot.links_down + 1)
+    with pytest.raises(ReadModelParityError):
+        model.verify_status_parity()
+
+
+# -- failover / ledger-shrink handling ----------------------------------------
+
+
+class _StubController:
+    def __init__(self, closed):
+        self.open_incidents = {}
+        self.closed_incidents = list(closed)
+        self.unresolved_incidents = []
+        self.proactive_outcomes = []
+
+    def repair_times(self):
+        return [incident.time_to_repair
+                for incident in self.closed_incidents]
+
+
+def _incident(seconds):
+    return types.SimpleNamespace(time_to_repair=float(seconds))
+
+
+def test_mttr_refolds_after_ledger_shrink(eventful_world):
+    """A failover successor can restart with shorter ledgers; the
+    fold cursor resets instead of double-counting."""
+    controller = _StubController([_incident(10), _incident(20),
+                                  _incident(30)])
+    controller.fabric = eventful_world.fabric
+    model = ReadModel(controller, eventful_world.fabric)
+    model.refresh(0.0)
+    assert model.snapshot.repair_seconds_total == pytest.approx(60.0)
+
+    controller.closed_incidents = [_incident(7)]
+    model.refresh(1.0)
+    assert model.snapshot.repair_count == 1
+    assert model.snapshot.repair_seconds_total == pytest.approx(7.0)
+    model.verify_status_parity()
+
+
+# -- campus aggregation -------------------------------------------------------
+
+
+def test_campus_readmodel_sums_hall_snapshots():
+    worlds = [run_world(WorldConfig(
+        horizon_days=2.0, seed=seed, failure_scale=2.0,
+        level=AutomationLevel.L3_HIGH_AUTOMATION))
+        for seed in (3, 4)]
+    campus = CampusReadModel({
+        hall: ReadModel(world.live_controller, world.fabric)
+        for hall, world in enumerate(worlds)})
+    campus.refresh()
+    campus.verify_status_parity()
+    status = campus.status()
+    oracles = [full_scan_status(world.live_controller)
+               for world in worlds]
+    assert status.closed_incidents == sum(o.closed_incidents
+                                          for o in oracles)
+    assert status.links_total == sum(o.links_total for o in oracles)
+    assert status.links_down == sum(o.links_down for o in oracles)
+    times = [t for world in worlds
+             for t in world.live_controller.repair_times()]
+    if times:
+        assert status.mean_time_to_repair_seconds == pytest.approx(
+            sum(times) / len(times))
+
+
+def test_snapshot_is_frozen(eventful_world):
+    model = model_for(eventful_world)
+    snap = model.refresh()
+    assert isinstance(snap, ReadSnapshot)
+    with pytest.raises(Exception):
+        snap.links_down = 0

@@ -30,7 +30,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 TARGETS = ("src/dcrobot/core", "src/dcrobot/chaos",
            "src/dcrobot/obs", "src/dcrobot/traffic",
            "src/dcrobot/twin", "src/dcrobot/robots",
-           "src/dcrobot/shard")
+           "src/dcrobot/shard", "src/dcrobot/service")
 
 
 def _target_files():
